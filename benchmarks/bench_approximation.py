@@ -1,0 +1,96 @@
+"""E17 (extension) -- theta-approximation: cost vs answer quality.
+
+Sweeps the approximation factor theta for top-k retrieval under F = avg
+(where partial evaluations yield usable lower bounds) across three
+predicate counts. Reports, per theta: total access cost (% of exact),
+recall against the true top-k, and the worst realized ratio
+``max_other F(x) / min_returned F(y)`` -- which the guarantee promises
+stays at or below theta.
+
+Expected shape: exact cost until theta reaches the structural onset
+``m/(m-1)`` (an object known on all-but-one predicate has a lower bound
+of about ``(m-1)/m`` of its upper bound), then a steep cost collapse
+while the realized ratio stays within the guarantee.
+"""
+
+from repro.bench.reporting import ascii_table
+from repro.core.framework import FrameworkNC
+from repro.core.policies import SRGPolicy
+from repro.data.generators import uniform
+from repro.scoring.functions import Avg
+from repro.sources.cost import CostModel
+from repro.sources.middleware import Middleware
+
+THETAS = (1.0, 1.1, 1.25, 1.5, 2.0, 3.0)
+K = 10
+
+
+def run_sweep(m: int, n: int = 1500, seed: int = 61):
+    data = uniform(n, m, seed=seed)
+    fn = Avg(m)
+    truth = data.topk(fn, K)
+    true_set = {entry.obj for entry in truth}
+    rows = []
+    exact_cost = None
+    for theta in THETAS:
+        mw = Middleware.over(data, CostModel.uniform(m))
+        result = FrameworkNC(
+            mw, fn, K, SRGPolicy([0.7] * m), theta=theta
+        ).run()
+        cost = mw.stats.total_cost()
+        if exact_cost is None:
+            exact_cost = cost
+        returned = set(result.objects)
+        recall = len(returned & true_set) / K
+        worst_returned = min(fn(data.object_scores(obj)) for obj in returned)
+        best_excluded = max(
+            fn(data.object_scores(obj))
+            for obj in range(data.n)
+            if obj not in returned
+        )
+        realized = best_excluded / worst_returned if worst_returned else float("inf")
+        rows.append(
+            [
+                m,
+                f"{theta:.2f}",
+                cost,
+                100.0 * cost / exact_cost,
+                100.0 * recall,
+                realized,
+            ]
+        )
+        # The Fagin-style guarantee must hold on every run.
+        assert realized <= theta + 1e-9, (m, theta, realized)
+    return rows
+
+
+def test_theta_tradeoff(benchmark, report):
+    rows = []
+    for m in (2, 3, 4):
+        rows.extend(run_sweep(m))
+    report(
+        "E17",
+        "theta-approximation: cost vs answer quality (F=avg)",
+        ascii_table(
+            [
+                "m",
+                "theta",
+                "cost",
+                "% of exact",
+                "recall %",
+                "realized ratio",
+            ],
+            rows,
+        ),
+    )
+    by_key = {(r[0], r[1]): r for r in rows}
+    for m in (2, 3, 4):
+        # theta=1 is the exact baseline (100% recall).
+        assert by_key[(m, "1.00")][4] == 100.0
+        # Far beyond the onset, approximation must save real cost.
+        assert by_key[(m, "3.00")][2] < by_key[(m, "1.00")][2]
+        # Cost never increases as theta grows.
+        costs = [by_key[(m, f"{theta:.2f}")][2] for theta in THETAS]
+        assert costs == sorted(costs, reverse=True)
+
+    benchmark.pedantic(lambda: run_sweep(2), rounds=2, iterations=1)

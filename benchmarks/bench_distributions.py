@@ -1,0 +1,86 @@
+"""E16 (extension) -- robustness across score-distribution families.
+
+The paper's synthetic evaluation uses uniform iid scores; real predicate
+scores are skewed, correlated or anti-correlated. This sweep runs
+dummy-sample NC (which *cannot* know the distribution) against TA on
+five families and reports the relative cost, verifying that cost-based
+adaptation does not depend on the uniformity assumption:
+
+* correlated data is easy for everyone (top objects agree across lists);
+* anti-correlated data is the hard case (genuinely good objects are
+  rare) -- NC's margin should persist or grow;
+* skew changes how fast thresholds fall; NC re-plans per instance.
+"""
+
+from repro.algorithms.ta import TA
+from repro.bench.harness import nc_with_dummy_planner, run_algorithm
+from repro.bench.reporting import ascii_table
+from repro.bench.scenarios import Scenario
+from repro.data.generators import (
+    anticorrelated,
+    clustered,
+    correlated,
+    uniform,
+    zipf_skewed,
+)
+from repro.optimizer.search import NaiveGrid
+from repro.scoring.functions import Min
+from repro.sources.cost import CostModel
+
+FAMILIES = [
+    ("uniform", lambda: uniform(1000, 2, seed=51)),
+    ("zipf-skewed", lambda: zipf_skewed(1000, 2, skew=2.0, seed=52)),
+    ("correlated(0.8)", lambda: correlated(1000, 2, rho=0.8, seed=53)),
+    ("anticorrelated", lambda: anticorrelated(1000, 2, strength=0.8, seed=54)),
+    ("clustered", lambda: clustered(1000, 2, clusters=6, seed=55)),
+]
+
+
+def test_distribution_sweep(benchmark, report):
+    rows = []
+    ratios = {}
+    for name, factory in FAMILIES:
+        scenario = Scenario(
+            name=name,
+            description=f"{name} scores, F=min, cs=cr=1",
+            dataset=factory(),
+            fn=Min(2),
+            k=10,
+            cost_model=CostModel.uniform(2),
+        )
+        nc = nc_with_dummy_planner(scheme=NaiveGrid(6), sample_size=150)
+        row_nc = run_algorithm(nc, scenario)
+        row_ta = run_algorithm(TA(), scenario)
+        assert row_nc.correct and row_ta.correct, name
+        ratio = 100.0 * row_nc.cost / row_ta.cost
+        ratios[name] = ratio
+        rows.append([name, row_ta.cost, row_nc.cost, ratio])
+    report(
+        "E16",
+        "Distribution robustness: NC (dummy sample) vs TA, F=min",
+        ascii_table(
+            ["distribution", "TA cost", "NC cost", "NC % of TA"], rows
+        ),
+    )
+    # NC never loses meaningfully on any family, despite planning with a
+    # distribution-agnostic dummy sample.
+    assert all(ratio <= 110.0 for ratio in ratios.values())
+    # And keeps a real margin on the independent-score families.
+    assert ratios["uniform"] <= 80.0
+
+    scenario = Scenario(
+        name="anticorrelated",
+        description="",
+        dataset=anticorrelated(1000, 2, strength=0.8, seed=54),
+        fn=Min(2),
+        k=10,
+        cost_model=CostModel.uniform(2),
+    )
+    benchmark.pedantic(
+        lambda: run_algorithm(
+            nc_with_dummy_planner(scheme=NaiveGrid(6), sample_size=150),
+            scenario,
+        ),
+        rounds=2,
+        iterations=1,
+    )

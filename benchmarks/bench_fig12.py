@@ -1,0 +1,91 @@
+"""E4 -- Figure 12: NC vs TA relative cost across scenario families.
+
+The paper's Figure 12 normalizes TA to 100% and reports NC's relative
+access cost across symmetric and asymmetric scenarios. Reconstructed
+sweeps:
+
+(a) cost-ratio sweep: cr/cs in {0, 0.5, 1, 2, 5, 10} under F = avg and
+    F = min (uniform iid scores);
+(b) scoring-function sweep at cs = cr = 1: avg, weighted sum, min, max.
+
+Expected shape: near 100% in symmetric settings (NC degenerates to
+TA-like behaviour), large savings wherever asymmetry -- in the function
+or in the costs -- gives adaptivity room.
+"""
+
+import pytest
+
+from repro.algorithms.ta import TA
+from repro.bench.harness import nc_with_dummy_planner, run_algorithm
+from repro.bench.reporting import ascii_table
+from repro.bench.scenarios import Scenario
+from repro.data.generators import uniform
+from repro.optimizer.search import NaiveGrid
+from repro.scoring.functions import Avg, Max, Min, WeightedSum
+from repro.sources.cost import CostModel
+
+DATA = uniform(1000, 2, seed=42)
+K = 10
+
+
+def scenario_for(fn, cr):
+    return Scenario(
+        name=f"{fn.name}/cr={cr:g}",
+        description="Figure 12 sweep point",
+        dataset=DATA,
+        fn=fn,
+        k=K,
+        cost_model=CostModel.uniform(2, cs=1.0, cr=cr),
+    )
+
+
+def relative_row(scenario):
+    nc = nc_with_dummy_planner(scheme=NaiveGrid(6), sample_size=150)
+    row_nc = run_algorithm(nc, scenario)
+    row_ta = run_algorithm(TA(), scenario)
+    assert row_nc.correct and row_ta.correct
+    return [
+        scenario.name,
+        row_ta.cost,
+        row_nc.cost,
+        100.0 * row_nc.cost / row_ta.cost,
+    ]
+
+
+def test_fig12a_cost_ratio_sweep(benchmark, report):
+    rows = []
+    for fn in (Avg(2), Min(2)):
+        for cr in (0.0, 0.5, 1.0, 2.0, 5.0, 10.0):
+            rows.append(relative_row(scenario_for(fn, cr)))
+    report(
+        "E4",
+        "Figure 12a: NC vs TA over cr/cs sweep (TA = 100%)",
+        ascii_table(["scenario", "TA cost", "NC cost", "NC % of TA"], rows),
+    )
+    # Shape assertions: NC never loses badly anywhere, and wins big in
+    # the asymmetric min scenarios.
+    ratios = {row[0]: row[3] for row in rows}
+    assert all(ratio <= 110.0 for ratio in ratios.values())
+    assert ratios["min[2]/cr=1"] <= 80.0
+    assert ratios["min[2]/cr=0"] <= 70.0
+
+    benchmark.pedantic(
+        lambda: relative_row(scenario_for(Min(2), 1.0)), rounds=2, iterations=1
+    )
+
+
+def test_fig12b_scoring_function_sweep(benchmark, report):
+    rows = []
+    for fn in (Avg(2), WeightedSum([0.8, 0.2]), Min(2), Max(2)):
+        rows.append(relative_row(scenario_for(fn, 1.0)))
+    report(
+        "E4",
+        "Figure 12b: NC vs TA over scoring functions (cs=cr=1, TA = 100%)",
+        ascii_table(["scenario", "TA cost", "NC cost", "NC % of TA"], rows),
+    )
+    ratios = [row[3] for row in rows]
+    assert all(ratio <= 110.0 for ratio in ratios)
+
+    benchmark.pedantic(
+        lambda: relative_row(scenario_for(Avg(2), 1.0)), rounds=2, iterations=1
+    )

@@ -1,0 +1,81 @@
+"""E5 -- the Figure 2 access-scenario matrix, head to head.
+
+For every populated cell of the matrix, run cost-optimized NC against the
+specialist algorithm(s) designed for that cell (plus the historical FA
+where applicable). The paper's headline claim: one cost-based framework
+matches or beats each specialist in its own home scenario -- and covers
+the ``?`` cell (cheap/zero-cost random access) no specialist targets.
+"""
+
+from repro.algorithms.ca import CA
+from repro.algorithms.fa import FA
+from repro.algorithms.mpro import MPro
+from repro.algorithms.nra import NRA
+from repro.algorithms.quick_combine import QuickCombine
+from repro.algorithms.sr_combine import SRCombine
+from repro.algorithms.stream_combine import StreamCombine
+from repro.algorithms.ta import TA
+from repro.algorithms.upper import Upper
+from repro.bench.harness import compare, nc_with_dummy_planner
+from repro.bench.reporting import ascii_table
+from repro.bench.scenarios import matrix_scenarios
+from repro.optimizer.search import NaiveGrid
+from repro.scoring.functions import Min
+
+SPECIALISTS = {
+    "uniform": [TA(), FA(), QuickCombine()],
+    "expensive-ra": [CA(), SRCombine(), TA()],
+    "no-ra": [NRA(), StreamCombine()],
+    "no-sa": [MPro(), Upper()],
+    "cheap-ra": [TA(), QuickCombine()],
+    "zero-ra": [TA(), NRA()],
+}
+
+
+def run_matrix():
+    rows = []
+    nc_by_cell = {}
+    specialist_best = {}
+    nc = nc_with_dummy_planner(scheme=NaiveGrid(6), sample_size=150)
+    for scenario in matrix_scenarios(n=1000, k=10, fn_factory=Min):
+        cell_rows = compare(scenario, [nc] + SPECIALISTS[scenario.name])
+        assert all(row.correct for row in cell_rows), scenario.name
+        best_specialist = min(row.cost for row in cell_rows[1:])
+        for row in cell_rows:
+            rows.append(
+                [
+                    scenario.name,
+                    row.algorithm,
+                    row.cost,
+                    row.sorted_accesses,
+                    row.random_accesses,
+                    100.0 * row.cost / best_specialist,
+                ]
+            )
+        nc_by_cell[scenario.name] = cell_rows[0].cost
+        specialist_best[scenario.name] = best_specialist
+    return rows, nc_by_cell, specialist_best
+
+
+def test_matrix_cells(benchmark, report):
+    rows, nc_by_cell, specialist_best = run_matrix()
+    report(
+        "E5",
+        "Figure 2 matrix: NC vs each cell's specialists (F=min, n=1000, k=10)",
+        ascii_table(
+            ["cell", "algorithm", "cost", "sa", "ra", "% of best specialist"],
+            rows,
+        ),
+    )
+    # NC within 10% of the best specialist in every cell...
+    for cell, nc_cost in nc_by_cell.items():
+        assert nc_cost <= specialist_best[cell] * 1.10, cell
+    # ...and strictly better in the unexplored cheap-probe cells.
+    assert nc_by_cell["zero-ra"] < specialist_best["zero-ra"]
+
+    def one_cell():
+        scenario = matrix_scenarios(n=1000, k=10, fn_factory=Min)[0]
+        nc = nc_with_dummy_planner(scheme=NaiveGrid(6), sample_size=150)
+        return compare(scenario, [nc, TA()])
+
+    benchmark.pedantic(one_cell, rounds=2, iterations=1)

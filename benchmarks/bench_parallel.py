@@ -1,0 +1,103 @@
+"""E8 -- parallelization on top of the sequential plan (Section 9.1.1).
+
+Runs the optimized NC plan for scenario S2 under concurrency bounds
+c in {1, 2, 4, 8, 16}, in both speculation modes:
+
+* ``none``  -- only accesses the sequential schedule issues; total cost
+  stays flat at the sequential figure, elapsed time drops until the
+  plan's natural width saturates;
+* ``eager`` -- waves are packed with second-choice accesses; elapsed time
+  keeps dropping with c, at a measured total-cost premium.
+
+Elapsed time is virtual (unit-cost latencies), so at c = 1 elapsed equals
+Eq. 1 total cost -- the paper's sequential equivalence.
+"""
+
+from repro.bench.reporting import ascii_table
+from repro.bench.scenarios import s2
+from repro.core.policies import SRGPolicy
+from repro.optimizer.optimizer import NCOptimizer
+from repro.optimizer.sampling import dummy_uniform_sample
+from repro.optimizer.search import NaiveGrid
+from repro.parallel.executor import ParallelExecutor
+
+CONCURRENCIES = (1, 2, 4, 8, 16)
+
+
+def optimized_policy(scenario):
+    plan = NCOptimizer(scheme=NaiveGrid(6)).plan(
+        dummy_uniform_sample(scenario.m, 150, seed=3),
+        scenario.fn,
+        scenario.k,
+        scenario.n,
+        scenario.cost_model,
+        no_wild_guesses=scenario.no_wild_guesses,
+    )
+    return lambda: SRGPolicy(plan.depths, plan.schedule)
+
+
+def run_sweep(scenario, make_policy, speculation):
+    outcomes = []
+    for c in CONCURRENCIES:
+        executor = ParallelExecutor(
+            scenario.middleware(),
+            scenario.fn,
+            scenario.k,
+            make_policy(),
+            concurrency=c,
+            speculation=speculation,
+        )
+        outcomes.append(executor.execute())
+    return outcomes
+
+
+def test_parallel_sweep(benchmark, report):
+    scenario = s2(n=1000, k=10)
+    make_policy = optimized_policy(scenario)
+    rows = []
+    results = {}
+    for mode in ("none", "eager"):
+        outcomes = run_sweep(scenario, make_policy, mode)
+        results[mode] = outcomes
+        baseline = outcomes[0].elapsed
+        for outcome in outcomes:
+            rows.append(
+                [
+                    mode,
+                    outcome.concurrency,
+                    outcome.elapsed,
+                    outcome.total_cost,
+                    outcome.waves,
+                    100.0 * outcome.elapsed / baseline,
+                ]
+            )
+    report(
+        "E8",
+        "Bounded-concurrency execution (S2, optimized plan)",
+        ascii_table(
+            ["mode", "c", "elapsed", "total cost", "waves", "elapsed % of c=1"],
+            rows,
+        ),
+    )
+
+    lazy = results["none"]
+    eager = results["eager"]
+    sequential_cost = lazy[0].total_cost
+    # Sequential equivalence at c=1.
+    assert lazy[0].elapsed == sequential_cost
+    # Default mode: flat total cost, monotone-nonincreasing elapsed.
+    for outcome in lazy:
+        assert outcome.total_cost == sequential_cost
+    assert lazy[-1].elapsed < lazy[0].elapsed
+    # Eager mode reaches lower elapsed at high c than default mode.
+    assert eager[-1].elapsed <= lazy[-1].elapsed
+    # All answers exact.
+    oracle = scenario.oracle()
+    for outcome in lazy + eager:
+        assert sorted(outcome.result.scores) == sorted(
+            entry.score for entry in oracle
+        )
+
+    benchmark.pedantic(
+        lambda: run_sweep(scenario, make_policy, "none"), rounds=2, iterations=1
+    )

@@ -1,0 +1,73 @@
+"""E11 -- scalability ablation: cost and overhead vs n, m, k.
+
+Sweeps database size, predicate count and retrieval size for NC (with
+dummy-sample HClimb optimization) against TA. Expected shapes:
+
+* vs n: both algorithms' access counts grow sublinearly in n for fixed k
+  (top-k pruning); NC's advantage persists;
+* vs m: optimizer overhead grows with the depth-space dimension, run cost
+  grows with predicate count;
+* vs k: cost grows with k; NC stays below TA throughout.
+"""
+
+from repro.algorithms.ta import TA
+from repro.bench.harness import nc_with_dummy_planner, run_algorithm
+from repro.bench.reporting import ascii_table
+from repro.bench.scenarios import Scenario
+from repro.data.generators import uniform
+from repro.optimizer.search import HillClimb
+from repro.scoring.functions import Min
+from repro.sources.cost import CostModel
+
+
+def scenario(n, m, k, seed=42):
+    return Scenario(
+        name=f"n={n},m={m},k={k}",
+        description="scalability sweep point",
+        dataset=uniform(n, m, seed=seed),
+        fn=Min(m),
+        k=k,
+        cost_model=CostModel.uniform(m),
+    )
+
+
+def sweep_point(sc):
+    nc = nc_with_dummy_planner(scheme=HillClimb(restarts=2), sample_size=120)
+    row_nc = run_algorithm(nc, sc)
+    row_ta = run_algorithm(TA(), sc)
+    assert row_nc.correct and row_ta.correct
+    return [
+        sc.name,
+        row_nc.cost,
+        row_nc.result.metadata["estimator_runs"],
+        row_ta.cost,
+        100.0 * row_nc.cost / row_ta.cost,
+    ]
+
+
+HEADERS = ["point", "NC cost", "optimizer runs", "TA cost", "NC % of TA"]
+
+
+def test_scale_database_size(benchmark, report):
+    rows = [sweep_point(scenario(n, 2, 10)) for n in (500, 1000, 2000, 4000)]
+    report("E11", "Scalability vs n (m=2, k=10)", ascii_table(HEADERS, rows))
+    assert all(row[4] <= 110.0 for row in rows)
+    # Sublinear growth: 8x the data should not mean 8x the cost.
+    assert rows[-1][1] < rows[0][1] * 8
+    benchmark.pedantic(lambda: sweep_point(scenario(1000, 2, 10)), rounds=2, iterations=1)
+
+
+def test_scale_predicates(benchmark, report):
+    rows = [sweep_point(scenario(1000, m, 10)) for m in (2, 3, 4)]
+    report("E11", "Scalability vs m (n=1000, k=10)", ascii_table(HEADERS, rows))
+    assert all(row[4] <= 110.0 for row in rows)
+    benchmark.pedantic(lambda: sweep_point(scenario(1000, 3, 10)), rounds=2, iterations=1)
+
+
+def test_scale_retrieval_size(benchmark, report):
+    rows = [sweep_point(scenario(1000, 2, k)) for k in (1, 5, 10, 25, 50)]
+    report("E11", "Scalability vs k (n=1000, m=2)", ascii_table(HEADERS, rows))
+    assert all(row[4] <= 115.0 for row in rows)
+    costs = [row[1] for row in rows]
+    assert costs == sorted(costs), "cost grows with k"
+    benchmark.pedantic(lambda: sweep_point(scenario(1000, 2, 25)), rounds=2, iterations=1)

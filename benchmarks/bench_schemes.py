@@ -1,0 +1,94 @@
+"""E7 -- optimization-scheme comparison (the paper's Appendix study).
+
+Compares the three Delta-search schemes of Section 7.2 -- Naive
+(exhaustive grid), Strategies (query-driven families), HClimb
+(multi-restart hill climbing) -- on plan *quality* (the chosen plan's true
+execution cost on the full database) and *overhead* (estimator simulation
+runs). The paper adopts HClimb as the best quality/overhead balance;
+expected shape: all three land near the fine-grid optimum, with Strategies
+and HClimb an order of magnitude cheaper than Naive.
+"""
+
+from repro.bench.reporting import ascii_table
+from repro.bench.scenarios import s1, s2, s3
+from repro.core.framework import FrameworkNC
+from repro.core.policies import SRGPolicy
+from repro.data.generators import zipf_skewed
+from repro.bench.scenarios import Scenario
+from repro.optimizer.estimator import CostEstimator
+from repro.optimizer.sampling import dummy_uniform_sample
+from repro.optimizer.search import HillClimb, NaiveGrid, Strategies
+from repro.scoring.functions import Min
+from repro.sources.cost import CostModel
+
+SCHEMES = [
+    ("Naive(9)", lambda: NaiveGrid(resolution=9)),
+    ("Strategies", lambda: Strategies()),
+    ("HClimb", lambda: HillClimb(restarts=3)),
+]
+
+
+def skewed_scenario():
+    return s3(n=1000, k=10)
+
+
+def true_cost(scenario, depths):
+    mw = scenario.middleware()
+    FrameworkNC(mw, scenario.fn, scenario.k, SRGPolicy(depths)).run()
+    return mw.stats.total_cost()
+
+
+def evaluate_schemes(scenario):
+    rows = []
+    best_true = None
+    for label, factory in SCHEMES:
+        estimator = CostEstimator(
+            dummy_uniform_sample(scenario.m, 150, seed=3),
+            scenario.fn,
+            scenario.k,
+            scenario.n,
+            scenario.cost_model,
+            no_wild_guesses=scenario.no_wild_guesses,
+        )
+        result = factory().search(estimator)
+        actual = true_cost(scenario, result.depths)
+        rows.append([scenario.name, label, result.evaluations, actual])
+        best_true = actual if best_true is None else min(best_true, actual)
+    for row in rows:
+        row.append(100.0 * row[3] / best_true)
+    return rows
+
+
+def test_scheme_comparison(benchmark, report):
+    rows = []
+    for scenario in (s1(n=1000, k=10), s2(n=1000, k=10), skewed_scenario()):
+        rows.extend(evaluate_schemes(scenario))
+    report(
+        "E7",
+        "Search schemes: plan quality vs optimization overhead",
+        ascii_table(
+            [
+                "scenario",
+                "scheme",
+                "estimator runs",
+                "true plan cost",
+                "% of best",
+            ],
+            rows,
+        ),
+    )
+    by_key = {(r[0], r[1]): r for r in rows}
+    for scenario_name in ("S1", "S2", "S3"):
+        naive = by_key[(scenario_name, "Naive(9)")]
+        hclimb = by_key[(scenario_name, "HClimb")]
+        strategies = by_key[(scenario_name, "Strategies")]
+        # Quality: informed schemes within 20% of the grid's plan.
+        assert hclimb[3] <= naive[3] * 1.2, scenario_name
+        assert strategies[3] <= naive[3] * 1.2, scenario_name
+        # Overhead: informed schemes use fewer estimator runs than Naive.
+        assert hclimb[2] < naive[2], scenario_name
+        assert strategies[2] < naive[2], scenario_name
+
+    benchmark.pedantic(
+        lambda: evaluate_schemes(s2(n=1000, k=10)), rounds=2, iterations=1
+    )

@@ -1,0 +1,58 @@
+"""E1 -- Figures 7/8 worked traces on Dataset 1.
+
+Regenerates the paper's two contrasting executions of query Q (top-1
+restaurant under F = min) on Dataset 1: the focused configuration answers
+in two accesses, the parallel configuration in four (Example 11's cost
+contrast), with identical answers.
+"""
+
+from repro.bench.reporting import ascii_table
+from repro.core.framework import FrameworkNC
+from repro.core.policies import SRGPolicy
+from repro.data.dataset import dataset1
+from repro.scoring.functions import Min
+from repro.sources.cost import CostModel
+from repro.sources.middleware import Middleware
+
+
+def run_trace(depths):
+    mw = Middleware.over(dataset1(), CostModel.uniform(2), record_log=True)
+    result = FrameworkNC(mw, Min(2), 1, SRGPolicy(depths)).run()
+    return result, mw
+
+
+def test_fig7_fig8_traces(benchmark, report):
+    focused, mw_focused = run_trace([0.75, 1.0])
+    parallel, mw_parallel = run_trace([0.65, 0.85])
+
+    rows = [
+        [
+            "Figure 7 (focused)",
+            "(0.75, 1.00)",
+            " ".join(str(a) for a in mw_focused.stats.log),
+            mw_focused.stats.total_cost(),
+            f"u{focused.objects[0] + 1}@{focused.scores[0]:.2f}",
+        ],
+        [
+            "Figure 8 (parallel)",
+            "(0.65, 0.85)",
+            " ".join(str(a) for a in mw_parallel.stats.log),
+            mw_parallel.stats.total_cost(),
+            f"u{parallel.objects[0] + 1}@{parallel.scores[0]:.2f}",
+        ],
+    ]
+    report(
+        "E1",
+        "Dataset 1 traces (Figures 7 and 8)",
+        ascii_table(
+            ["trace", "Delta", "accesses", "cost", "answer"],
+            rows,
+            title="Query Q: top-1 by min(p1, p2) on Dataset 1",
+        ),
+    )
+
+    assert focused.objects == parallel.objects == [2]
+    assert mw_focused.stats.total_cost() == 2.0
+    assert mw_parallel.stats.total_cost() == 4.0
+
+    benchmark.pedantic(lambda: run_trace([0.75, 1.0]), rounds=20, iterations=1)

@@ -1,0 +1,42 @@
+"""Benchmark-suite plumbing.
+
+Each benchmark regenerates one of the paper's tables or figures and hands
+the rendered text to the ``report`` fixture. Tables are (a) appended to
+the terminal summary -- so they survive pytest's output capture and land
+in ``bench_output.txt`` -- and (b) written to ``benchmarks/results/`` for
+EXPERIMENTS.md bookkeeping.
+"""
+
+from __future__ import annotations
+
+import pathlib
+import re
+
+import pytest
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+_REPORTS: list[tuple[str, str]] = []
+
+
+@pytest.fixture
+def report():
+    """Register a rendered table: ``report(experiment_id, title, text)``."""
+
+    def _add(experiment: str, title: str, text: str) -> None:
+        _REPORTS.append((f"{experiment}: {title}", text))
+        RESULTS_DIR.mkdir(exist_ok=True)
+        slug = re.sub(r"[^a-z0-9]+", "_", f"{experiment} {title}".lower()).strip("_")
+        (RESULTS_DIR / f"{slug}.txt").write_text(text + "\n")
+
+    return _add
+
+
+def pytest_terminal_summary(terminalreporter, exitstatus, config):
+    if not _REPORTS:
+        return
+    terminalreporter.section("paper reproduction tables")
+    for title, text in _REPORTS:
+        terminalreporter.write_line("")
+        terminalreporter.write_line(f"==== {title} ====")
+        for line in text.splitlines():
+            terminalreporter.write_line(line)

@@ -1,0 +1,116 @@
+"""Runtime adaptivity: the same query under drifting source costs.
+
+Web sources are dynamic -- "cost scenarios change over time, depending on
+source load and availability" (Section 1). A static algorithm choice
+fossilizes one scenario's trade-offs; cost-based optimization re-plans at
+each query. This example issues the *same* top-k query while the sources'
+access costs drift through four regimes, re-optimizing each time, and
+shows how the chosen plan morphs:
+
+* balanced costs       -> moderate focused descent;
+* random access spikes -> deeper sorted descent, probes rationed;
+* random access free   -> shallow descent, probe everything;
+* sorted access dies   -> pure probing over the known universe.
+
+A frozen plan (optimized once for the first regime, reused forever) is
+priced alongside, quantifying what adaptivity buys.
+
+Run:  python examples/adaptive_middleware.py
+"""
+
+import math
+
+from repro import (
+    CostModel,
+    FrameworkNC,
+    Middleware,
+    Min,
+    NCOptimizer,
+    SRGPolicy,
+    dummy_uniform_sample,
+    uniform,
+)
+from repro.bench.reporting import ascii_table
+from repro.optimizer.search import NaiveGrid
+
+REGIMES = [
+    ("balanced", CostModel.uniform(2, cs=1.0, cr=1.0)),
+    ("probe spike (cr x20)", CostModel.uniform(2, cs=1.0, cr=20.0)),
+    ("probes free (cr=0)", CostModel.uniform(2, cs=1.0, cr=0.0)),
+    ("sorted outage", CostModel.no_sorted(2)),
+]
+
+
+def execute(data, cost_model, depths, schedule, k):
+    universe_known = not any(cost_model.sorted_capabilities)
+    middleware = Middleware.over(
+        data, cost_model, no_wild_guesses=not universe_known
+    )
+    engine = FrameworkNC(
+        middleware, Min(2), k, SRGPolicy(depths, schedule)
+    )
+    engine.run()
+    return middleware.stats.total_cost()
+
+
+def main():
+    data = uniform(1500, 2, seed=31)
+    k = 10
+    optimizer = NCOptimizer(scheme=NaiveGrid(6))
+    sample = dummy_uniform_sample(2, 150, seed=1)
+
+    frozen_plan = None
+    rows = []
+    for label, model in REGIMES:
+        universe_known = not any(model.sorted_capabilities)
+        plan = optimizer.plan(
+            sample,
+            Min(2),
+            k,
+            data.n,
+            model,
+            no_wild_guesses=not universe_known,
+        )
+        if frozen_plan is None:
+            frozen_plan = plan
+        adaptive_cost = execute(data, model, plan.depths, plan.schedule, k)
+        if any(model.sorted_capabilities):
+            frozen_cost = execute(
+                data, model, frozen_plan.depths, frozen_plan.schedule, k
+            )
+            frozen_text = f"{frozen_cost:,.0f}"
+            waste = (
+                f"{100.0 * (frozen_cost - adaptive_cost) / adaptive_cost:+.0f}%"
+                if adaptive_cost
+                else "--"
+            )
+        else:
+            # The frozen plan still wants sorted accesses that no longer
+            # exist; it simply cannot run in this regime.
+            frozen_text, waste = "infeasible", "--"
+        depths = ",".join(f"{d:.2f}" for d in plan.depths)
+        rows.append(
+            [label, f"({depths})", adaptive_cost, frozen_text, waste]
+        )
+
+    print("Same query (top-10 by min), four cost regimes:\n")
+    print(
+        ascii_table(
+            [
+                "regime",
+                "re-optimized Delta",
+                "adaptive cost",
+                "frozen-plan cost",
+                "frozen overhead",
+            ],
+            rows,
+        )
+    )
+    print(
+        "\nThe frozen plan was optimal for the first regime; every drift "
+        "makes it pay, and the sorted outage strands it entirely."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,61 @@
+"""One framework across the whole access-capability matrix (Figure 2).
+
+The literature built a different algorithm for every cell of the
+(sorted access x random access) capability/cost matrix. This example runs
+cost-based NC, side by side with each cell's specialist, across all six
+cells -- including the unexplored cheap-random ``?`` cell -- over the
+same dataset and query.
+
+Run:  python examples/capability_matrix.py
+"""
+
+from repro import CA, FA, MPro, NRA, QuickCombine, SRCombine, StreamCombine, TA, Upper
+from repro.bench.harness import compare, nc_with_dummy_planner
+from repro.bench.reporting import ascii_table
+from repro.bench.scenarios import matrix_scenarios
+from repro.optimizer.search import NaiveGrid
+from repro.scoring.functions import Min
+
+SPECIALISTS = {
+    "uniform": [TA(), FA(), QuickCombine()],
+    "expensive-ra": [CA(), SRCombine(), TA()],
+    "no-ra": [NRA(), StreamCombine()],
+    "no-sa": [MPro(), Upper()],
+    "cheap-ra": [TA(), QuickCombine()],
+    "zero-ra": [TA(), NRA()],
+}
+
+
+def main():
+    nc = nc_with_dummy_planner(scheme=NaiveGrid(6), sample_size=150)
+    rows = []
+    for scenario in matrix_scenarios(n=1000, k=10, fn_factory=Min):
+        cell_rows = compare(scenario, [nc] + SPECIALISTS[scenario.name])
+        best = min(row.cost for row in cell_rows)
+        for row in cell_rows:
+            rows.append(
+                [
+                    scenario.name,
+                    row.algorithm,
+                    row.cost,
+                    100.0 * row.cost / best,
+                    "ok" if row.correct else "WRONG",
+                ]
+            )
+        rows.append(["", "", "", "", ""])
+
+    print("Figure 2 matrix: top-10 by min over 1000 uniform objects\n")
+    print(
+        ascii_table(
+            ["cell", "algorithm", "total cost", "% of cell best", "answer"],
+            rows[:-1],
+        )
+    )
+    print(
+        "\nEvery specialist is confined to its cell; NC runs in all of "
+        "them, matching or beating each one at home."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,104 @@
+"""Progressive retrieval: streaming answers, next-k, and approximation.
+
+Interactive clients rarely want to block until all of top-k is proven:
+they render answers as they are confirmed, fetch "more results" on
+demand, and often accept near-top answers for a fraction of the cost.
+This example demonstrates all three on one engine:
+
+1. stream answers as Theorem 1 confirms them, showing the cost meter at
+   each confirmation;
+2. continue the *same* engine for the next batch (next-k) and compare
+   against the cost of a fresh top-(k+j) run;
+3. sweep the approximation knob theta and chart cost vs actual answer
+   quality.
+
+Run:  python examples/progressive_results.py
+"""
+
+import itertools
+
+from repro import (
+    Avg,
+    CostModel,
+    FrameworkNC,
+    Middleware,
+    Min,
+    SRGPolicy,
+    zipf_skewed,
+)
+
+DATA = zipf_skewed(2000, 2, skew=1.5, seed=77)
+FN = Min(2)
+COSTS = CostModel.uniform(2, cs=1.0, cr=2.0)
+
+
+def engine(fn=FN, theta=1.0):
+    middleware = Middleware.over(DATA, COSTS)
+    return (
+        FrameworkNC(middleware, fn, 5, SRGPolicy([0.6, 0.6]), theta=theta),
+        middleware,
+    )
+
+
+def main():
+    print(f"database: {DATA.n} skewed objects; query: top-5 by min, cr=2cs\n")
+
+    # 1. Streaming confirmations.
+    nc, middleware = engine()
+    stream = nc.answers()
+    print("streaming answers as they are confirmed:")
+    for rank, entry in enumerate(itertools.islice(stream, 5), start=1):
+        print(
+            f"  #{rank}: object {entry.obj:>4} score {entry.score:.4f}   "
+            f"(cost so far: {middleware.stats.total_cost():g})"
+        )
+    cost_at_5 = middleware.stats.total_cost()
+
+    # 2. Next-k: continue the same engine for five more answers.
+    print("\nuser clicks 'more results' -- continuing the same engine:")
+    for rank, entry in enumerate(itertools.islice(stream, 5), start=6):
+        print(
+            f"  #{rank}: object {entry.obj:>4} score {entry.score:.4f}   "
+            f"(cost so far: {middleware.stats.total_cost():g})"
+        )
+    cost_at_10 = middleware.stats.total_cost()
+
+    fresh_mw = Middleware.over(DATA, COSTS)
+    FrameworkNC(fresh_mw, FN, 10, SRGPolicy([0.6, 0.6])).run()
+    print(
+        f"\nincremental top-10 cost {cost_at_10:g} vs fresh top-10 run "
+        f"{fresh_mw.stats.total_cost():g} -- continuation is free of rework"
+        f" (marginal cost {cost_at_10 - cost_at_5:g})."
+    )
+
+    # 3. The approximation knob. Note the scoring function matters: under
+    # min, an incomplete object's proven lower bound is 0 (one unknown
+    # predicate could zero the whole score), so theta can never fire; avg
+    # accumulates partial lower bounds, which approximation can cash in.
+    avg = Avg(2)
+    exact_top = {entry.obj for entry in DATA.topk(avg, 5)}
+    print("\napproximate retrieval (theta sweep, F=avg):")
+    print("  theta   cost   % of exact   true-top-5 overlap")
+    exact_cost = None
+    for theta in (1.0, 1.05, 1.1, 1.25, 1.5, 2.0):
+        nc, middleware = engine(fn=avg, theta=theta)
+        result = nc.run()
+        cost = middleware.stats.total_cost()
+        if exact_cost is None:
+            exact_cost = cost
+        overlap = len(exact_top & set(result.objects))
+        print(
+            f"  {theta:>5.2f}  {cost:>5g}   {100 * cost / exact_cost:>8.1f}%"
+            f"   {overlap}/5"
+        )
+    print(
+        "\nEach returned object y is guaranteed theta*F(y) >= F(x) for every "
+        "non-returned x. The cliff is structural: with m=2 and avg, an "
+        "object known on one predicate has a proven lower bound of about "
+        "half its upper bound, so approximate confirmation first becomes "
+        "possible near theta = 2 (in general, m/(m - known predicates))."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,52 @@
+"""Top-k middleware algorithms over the common access layer.
+
+This package contains the specialized algorithms from the literature that
+Figure 2 places in the access-scenario matrix -- each implemented from
+scratch against the same :class:`~repro.sources.Middleware` interface --
+plus the paper's cost-based NC algorithm packaged for head-to-head runs:
+
+========================  ==========================================
+Algorithm                 Home scenario (Figure 2)
+========================  ==========================================
+:class:`FA`               uniform sorted/random costs
+:class:`TA`               uniform sorted/random costs
+:class:`QuickCombine`     uniform costs, runtime list selection
+:class:`CA`               random access expensive
+:class:`SRCombine`        nonuniform costs, runtime selection
+:class:`NRA`              random access impossible
+:class:`StreamCombine`    random access impossible, runtime selection
+:class:`MPro`             sorted access impossible
+:class:`Upper`            sorted access impossible (adaptive probes)
+:class:`NC`               any scenario (cost-based optimization)
+:class:`BruteForce`       oracle / correctness reference
+========================  ==========================================
+"""
+
+from repro.algorithms.base import BoundTracker, TopKAlgorithm
+from repro.algorithms.brute import BruteForce
+from repro.algorithms.ca import CA
+from repro.algorithms.fa import FA
+from repro.algorithms.mpro import MPro
+from repro.algorithms.nc import NC
+from repro.algorithms.nra import NRA
+from repro.algorithms.quick_combine import QuickCombine
+from repro.algorithms.sr_combine import SRCombine
+from repro.algorithms.stream_combine import StreamCombine
+from repro.algorithms.ta import TA
+from repro.algorithms.upper import Upper
+
+__all__ = [
+    "TopKAlgorithm",
+    "BoundTracker",
+    "BruteForce",
+    "FA",
+    "TA",
+    "NRA",
+    "CA",
+    "MPro",
+    "Upper",
+    "QuickCombine",
+    "StreamCombine",
+    "SRCombine",
+    "NC",
+]

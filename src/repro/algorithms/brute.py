@@ -1,0 +1,62 @@
+"""Exhaustive evaluation baseline / correctness oracle.
+
+Fetches every score of every object through the cheapest available access
+path and ranks. It is the most expensive correct algorithm and doubles as
+an in-band oracle (its answer matches :meth:`repro.data.Dataset.topk` by
+construction, but obtained through the metered middleware, which validates
+the substrate end to end).
+"""
+
+from __future__ import annotations
+
+from repro.algorithms.base import TopKAlgorithm
+from repro.core.state import ScoreState
+from repro.exceptions import CapabilityError
+from repro.scoring.functions import ScoringFunction
+from repro.sources.middleware import Middleware
+from repro.types import QueryResult, rank_key, RankedObject
+
+
+class BruteForce(TopKAlgorithm):
+    """Evaluate everything, then sort.
+
+    Per predicate, uses sorted access when supported (a full descent
+    delivers every object's score) and random access otherwise. Requires
+    either some sorted-capable predicate (to discover objects under
+    no-wild-guesses) or an enumerable universe.
+    """
+
+    name = "Brute"
+
+    def run(
+        self, middleware: Middleware, fn: ScoringFunction, k: int
+    ) -> QueryResult:
+        if k < 1:
+            raise ValueError(f"k must be >= 1, got {k}")
+        state = ScoreState(middleware, fn)
+        sorted_preds = middleware.sorted_predicates()
+        if middleware.no_wild_guesses and not sorted_preds:
+            raise CapabilityError(
+                "BruteForce cannot discover objects: no sorted access and no "
+                "enumerable universe"
+            )
+        # Drain every sorted-capable list completely.
+        for i in sorted_preds:
+            while not middleware.exhausted(i):
+                delivered = middleware.sorted_access(i)
+                if delivered is None:  # pragma: no cover - non-strict mode
+                    break
+                obj, score = delivered
+                state.record(i, obj, score)
+        # Probe whatever is still missing.
+        if middleware.no_wild_guesses:
+            universe = sorted(middleware.seen)
+        else:
+            universe = list(middleware.object_ids())
+        for obj in universe:
+            for i in state.undetermined(obj):
+                state.record(i, obj, middleware.random_access(i, obj))
+        pairs = [(obj, state.exact_score(obj)) for obj in universe]
+        pairs.sort(key=lambda pair: rank_key(pair[1], pair[0]))
+        ranking = [RankedObject(obj, score) for obj, score in pairs[:k]]
+        return self._result(ranking, middleware)

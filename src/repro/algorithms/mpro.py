@@ -1,0 +1,77 @@
+"""MPro: minimal probing for expensive-predicate (probe-only) scenarios.
+
+MPro [Chang & Hwang 2002] is the specialist for the matrix column where
+sorted access is impossible: every predicate is an expensive *probe*
+(random access), and the object universe is known up front (e.g. the
+output of a relational subquery). MPro maintains a priority queue of
+objects by maximal-possible score; each step it pops the top object and,
+if incomplete, probes its next unevaluated predicate according to a single
+**global predicate schedule** ``H`` -- the same global-scheduling idea the
+paper's G heuristic adopts (Section 7.1). An object popped complete is a
+confirmed answer (every other object is bounded below it), so answers
+stream out progressively.
+
+The schedule defaults to identity order; the optimizer's
+:class:`~repro.optimizer.schedule.ScheduleOptimizer` produces better ones
+from samples, exactly as [5] prescribes.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from repro.algorithms.base import BoundTracker, TopKAlgorithm
+from repro.scoring.functions import ScoringFunction
+from repro.sources.middleware import Middleware
+from repro.types import QueryResult, RankedObject
+
+
+class MPro(TopKAlgorithm):
+    """Global-schedule minimal probing over a known universe."""
+
+    name = "MPro"
+    requires_universe = True
+
+    def __init__(self, schedule: Optional[Sequence[int]] = None):
+        self._schedule = tuple(schedule) if schedule is not None else None
+
+    def _resolved_schedule(self, m: int) -> tuple[int, ...]:
+        if self._schedule is None:
+            return tuple(range(m))
+        if sorted(self._schedule) != list(range(m)):
+            raise ValueError(
+                f"schedule must be a permutation of 0..{m - 1}, got "
+                f"{self._schedule}"
+            )
+        return self._schedule
+
+    def run(
+        self, middleware: Middleware, fn: ScoringFunction, k: int
+    ) -> QueryResult:
+        if k < 1:
+            raise ValueError(f"k must be >= 1, got {k}")
+        self._require_universe(middleware)
+        self._require_random_all(middleware)
+        schedule = self._resolved_schedule(middleware.m)
+        tracker = BoundTracker(middleware, fn, k)
+        state = tracker.state
+        answers: list[RankedObject] = []
+
+        while len(answers) < min(k, middleware.n_objects):
+            popped = tracker.pop_top()
+            if popped is None:
+                break
+            obj, bound = popped
+            if state.is_complete(obj):
+                # Confirmed: nothing left in the queue can rank above it.
+                answers.append(RankedObject(obj, bound))
+                continue
+            pred = next(
+                i for i in schedule if state.known_score(obj, i) is None
+            )
+            score = middleware.random_access(pred, obj)
+            state.record(pred, obj, score)
+            tracker.push(obj)
+        return self._result(
+            answers, middleware, schedule=schedule
+        )

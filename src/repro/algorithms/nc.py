@@ -1,0 +1,95 @@
+"""NC packaged as a runnable algorithm: optimize, then execute.
+
+This wraps the two halves of the paper's system -- the
+:class:`~repro.optimizer.NCOptimizer` (Section 7) and the
+:class:`~repro.core.FrameworkNC` engine with an SR/G policy (Section 6) --
+behind the same :class:`TopKAlgorithm` interface the baselines implement,
+so head-to-head cost comparisons are one harness call.
+
+Planning modes, in precedence order:
+
+* an explicit :class:`~repro.optimizer.SRGPlan` (``plan=...``) -- run it
+  as-is;
+* a ``planner`` callable ``(middleware, fn, k) -> SRGPlan`` -- e.g. a
+  closure over a true-distribution sample;
+* neither: the default self-contained planner builds a **dummy uniform
+  sample** (the paper's worst case: no knowledge of the real score
+  distributions) and optimizes with the configured scheme. Planning
+  simulates on the sample only; it performs no accesses on the real
+  middleware, so the reported run cost is purely execution.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+from repro.algorithms.base import TopKAlgorithm
+from repro.core.framework import FrameworkNC
+from repro.core.policies import SRGPolicy
+from repro.optimizer.optimizer import NCOptimizer
+from repro.optimizer.plan import SRGPlan
+from repro.optimizer.sampling import dummy_uniform_sample
+from repro.scoring.functions import ScoringFunction
+from repro.sources.middleware import Middleware
+from repro.types import QueryResult
+
+Planner = Callable[[Middleware, ScoringFunction, int], SRGPlan]
+
+
+class NC(TopKAlgorithm):
+    """The unified cost-based algorithm (the paper's system)."""
+
+    name = "NC"
+
+    def __init__(
+        self,
+        plan: Optional[SRGPlan] = None,
+        planner: Optional[Planner] = None,
+        optimizer: Optional[NCOptimizer] = None,
+        sample_size: int = 100,
+        seed: int = 0,
+    ):
+        if plan is not None and planner is not None:
+            raise ValueError("pass either a fixed plan or a planner, not both")
+        self.plan = plan
+        self.planner = planner
+        self.optimizer = optimizer if optimizer is not None else NCOptimizer()
+        self.sample_size = sample_size
+        self.seed = seed
+
+    def _default_planner(
+        self, middleware: Middleware, fn: ScoringFunction, k: int
+    ) -> SRGPlan:
+        sample = dummy_uniform_sample(middleware.m, self.sample_size, self.seed)
+        return self.optimizer.plan(
+            sample,
+            fn,
+            k,
+            middleware.n_objects,
+            middleware.cost_model,
+            no_wild_guesses=middleware.no_wild_guesses,
+        )
+
+    def resolve_plan(
+        self, middleware: Middleware, fn: ScoringFunction, k: int
+    ) -> SRGPlan:
+        """The plan this algorithm would execute on the given query."""
+        if self.plan is not None:
+            return self.plan
+        if self.planner is not None:
+            return self.planner(middleware, fn, k)
+        return self._default_planner(middleware, fn, k)
+
+    def run(
+        self, middleware: Middleware, fn: ScoringFunction, k: int
+    ) -> QueryResult:
+        plan = self.resolve_plan(middleware, fn, k)
+        policy = SRGPolicy(plan.depths, plan.schedule)
+        engine = FrameworkNC(middleware, fn, k, policy)
+        result = engine.run()
+        result.algorithm = self.name
+        result.metadata["plan"] = plan.describe()
+        result.metadata["depths"] = plan.depths
+        result.metadata["schedule"] = plan.schedule
+        result.metadata["estimator_runs"] = plan.estimator_runs
+        return result

@@ -1,0 +1,152 @@
+"""SR-Combine: cost-aware interleaving of sorted and random accesses.
+
+SR-Combine [Balke & Guentzer 2002 family] extends Quick-Combine's
+runtime indicator to *both* access types in scenarios where their costs
+differ: at each step it compares
+
+* per sorted list, the expected threshold reduction per unit cost
+  ``dF/dx_i(l) * recent drop of l_i / cs_i``, against
+* probing the most promising incomplete candidate, valued by its expected
+  bound reduction per unit cost ``(F_max(u) - F_max(u | x_j := mu_j)) / cr_j``
+  over its best probeable predicate ``j``,
+
+and performs the higher-valued access. Halting is the exact-score
+Theorem-1 test over the shared bound tracker.
+
+This is a faithful-in-spirit rendition (the original's control flow is
+specified operationally over TA-style phases); like its siblings, its
+derivative-based indicator degrades for non-smooth functions -- the
+limitation the paper cites when motivating full cost-based optimization.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Optional, Sequence
+
+from repro.algorithms.base import BoundTracker, TopKAlgorithm
+from repro.core.tasks import UNSEEN
+from repro.scoring.functions import ScoringFunction
+from repro.sources.middleware import Middleware
+from repro.types import QueryResult
+
+
+class SRCombine(TopKAlgorithm):
+    """Indicator-guided sorted/random interleaving with cost weighting."""
+
+    name = "SR-Combine"
+
+    def __init__(
+        self,
+        window: int = 2,
+        expected_scores: Optional[Sequence[float]] = None,
+    ):
+        if window < 1:
+            raise ValueError(f"window must be >= 1, got {window}")
+        self.window = window
+        self._expected = tuple(expected_scores) if expected_scores else None
+
+    def run(
+        self, middleware: Middleware, fn: ScoringFunction, k: int
+    ) -> QueryResult:
+        if k < 1:
+            raise ValueError(f"k must be >= 1, got {k}")
+        self._require_sorted_all(middleware)
+        m = middleware.m
+        expected = self._expected or tuple([0.5] * m)
+        if len(expected) != m:
+            raise ValueError("expected_scores must cover every predicate")
+        tracker = BoundTracker(middleware, fn, k)
+        history: list[list[float]] = [[1.0] for _ in range(m)]
+        tick = 0
+
+        while True:
+            ranking = tracker.finished()
+            if ranking is not None:
+                return self._result(ranking, middleware, window=self.window)
+            sorted_choice = self._best_sorted(middleware, fn, history)
+            probe_choice = self._best_probe(tracker, middleware, fn, expected)
+            if sorted_choice is None and probe_choice is None:
+                # Indicators flat (non-smooth function or stalled lists):
+                # fall back to round-robin descent to guarantee progress.
+                live = [i for i in range(m) if not middleware.exhausted(i)]
+                if not live:
+                    ranking = tracker.finished()
+                    assert ranking is not None
+                    return self._result(ranking, middleware, window=self.window)
+                pred = live[tick % len(live)]
+                tick += 1
+                self._descend(middleware, tracker, history, pred)
+                continue
+            sorted_value = sorted_choice[0] if sorted_choice else -math.inf
+            probe_value = probe_choice[0] if probe_choice else -math.inf
+            if sorted_value >= probe_value:
+                assert sorted_choice is not None
+                self._descend(middleware, tracker, history, sorted_choice[1])
+            else:
+                assert probe_choice is not None
+                _value, obj, pred = probe_choice
+                score = middleware.random_access(pred, obj)
+                tracker.record(pred, obj, score)
+
+    # ------------------------------------------------------------------
+    # Access valuation
+    # ------------------------------------------------------------------
+
+    def _best_sorted(self, middleware, fn, history):
+        """(value, predicate) of the best sorted access, or None if flat."""
+        m = middleware.m
+        point = [middleware.last_seen(j) for j in range(m)]
+        best = None
+        for i in range(m):
+            if middleware.exhausted(i):
+                continue
+            cs = middleware.cost_model.sorted_cost(i)
+            trail = history[i]
+            back = min(self.window, len(trail) - 1)
+            drop = trail[-1 - back] - trail[-1] if back else 1.0 - trail[-1]
+            value = fn.partial_derivative(i, point) * max(drop, 0.0)
+            if cs > 0:
+                value /= cs
+            elif value > 0:
+                value = math.inf
+            if value > 0 and (best is None or value > best[0]):
+                best = (value, i)
+        return best
+
+    def _best_probe(self, tracker, middleware, fn, expected):
+        """(value, obj, predicate) of the best probe, or None."""
+        top = tracker.top_incomplete()
+        if top is None:
+            return None
+        obj, _bound = top
+        if obj == UNSEEN:
+            return None
+        state = tracker.state
+        current = [state.predicate_upper(obj, j) for j in range(middleware.m)]
+        upper = fn(current)
+        best = None
+        for j in state.undetermined(obj):
+            if not middleware.supports_random(j):
+                continue
+            cr = middleware.cost_model.random_cost(j)
+            swapped = list(current)
+            swapped[j] = expected[j]
+            drop = upper - fn(swapped)
+            if cr > 0:
+                value = drop / cr
+            else:
+                value = math.inf if drop >= 0 else drop
+            if best is None or value > best[0]:
+                best = (value, obj, j)
+        if best is not None and best[0] <= 0 and not math.isinf(best[0]):
+            return None
+        return best
+
+    @staticmethod
+    def _descend(middleware, tracker, history, pred):
+        delivered = middleware.sorted_access(pred)
+        if delivered is not None:
+            obj, score = delivered
+            tracker.record(pred, obj, score)
+        history[pred].append(middleware.last_seen(pred))

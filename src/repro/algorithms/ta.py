@@ -1,0 +1,87 @@
+"""The Threshold Algorithm (TA).
+
+TA [Fagin, Lotem & Naor 2001; also Nepal & Ramakrishna; Guentzer et al.]
+is the instance-optimal specialist for the uniform-cost diagonal of
+Figure 2. Its three characteristic behaviours (Section 8.1 of the paper):
+
+* **equal-depth sorted access** -- one sorted access per list per round;
+* **exhaustive random access** -- each newly seen object is immediately
+  evaluated completely via random accesses;
+* **early stop** -- maintain the threshold ``T = F(l_1, ..., l_m)``; halt
+  as soon as ``k`` evaluated objects score at least ``T`` (no unseen
+  object can beat them).
+
+The paper contrasts these behaviours with NC's adaptivity: in asymmetric
+scenarios (e.g. ``F = min``) equal depths and exhaustive probing are both
+wasteful, and NC departs from them (Figure 11b).
+"""
+
+from __future__ import annotations
+
+import heapq
+
+from repro.algorithms.base import TopKAlgorithm
+from repro.core.state import ScoreState
+from repro.scoring.functions import ScoringFunction
+from repro.sources.middleware import Middleware
+from repro.types import QueryResult, RankedObject
+
+
+class TA(TopKAlgorithm):
+    """The Threshold Algorithm: equal-depth descent with immediate probes."""
+
+    name = "TA"
+
+    def run(
+        self, middleware: Middleware, fn: ScoringFunction, k: int
+    ) -> QueryResult:
+        if k < 1:
+            raise ValueError(f"k must be >= 1, got {k}")
+        self._require_sorted_all(middleware)
+        self._require_random_all(middleware)
+        m = middleware.m
+        state = ScoreState(middleware, fn)
+        # Min-heap of the best k evaluated objects, keyed like rank_key but
+        # inverted so the heap root is the current k-th best.
+        best: list[tuple[float, int]] = []
+        evaluated: set[int] = set()
+
+        def consider(obj: int) -> None:
+            if obj in evaluated:
+                return
+            for i in state.undetermined(obj):
+                state.record(i, obj, middleware.random_access(i, obj))
+            evaluated.add(obj)
+            key = (state.exact_score(obj), obj)
+            if len(best) < k:
+                heapq.heappush(best, key)
+            elif key > best[0]:
+                heapq.heapreplace(best, key)
+
+        def threshold() -> float:
+            return fn([middleware.last_seen(i) for i in range(m)])
+
+        done = False
+        while not done:
+            progressed = False
+            for i in range(m):
+                if middleware.exhausted(i):
+                    continue
+                delivered = middleware.sorted_access(i)
+                if delivered is None:  # pragma: no cover - non-strict mode
+                    continue
+                progressed = True
+                obj, score = delivered
+                state.record(i, obj, score)
+                consider(obj)
+                # Early stop: the k-th best evaluated score has met the
+                # threshold, so no unseen object can exceed the answer.
+                if len(best) >= k and best[0][0] >= threshold():
+                    done = True
+                    break
+            if not progressed:
+                break  # all lists exhausted: every object evaluated
+
+        ordered = sorted(best, key=lambda key: (-key[0], -key[1]))
+        ranking = [RankedObject(obj, score) for score, obj in ordered]
+        return self._result(ranking, middleware, threshold=ordered and threshold())

@@ -1,0 +1,40 @@
+"""Optimality analysis: offline-optimal references and competitive ratios.
+
+Cost-based optimization targets, in principle, the optimal algorithm in
+the NC space (Eq. 2/4). This package makes that target measurable for a
+concrete instance:
+
+* :func:`offline_optimal` -- the cheapest SR/G plan found by exhaustively
+  executing a depth/schedule grid *on the true database* (an omniscient
+  optimizer with a perfect estimator);
+* :func:`competitive_ratio` -- an algorithm's measured cost relative to
+  that reference;
+* :func:`instance_profile` -- ratios for a set of algorithms on one
+  scenario, the basis of the optimality-gap experiment (E13);
+* :mod:`repro.analysis.trace` -- access-trace analytics: per-predicate
+  cost breakdowns, phase interleaving, probe distributions.
+"""
+
+from repro.analysis.optimality import (
+    OfflineOptimum,
+    competitive_ratio,
+    instance_profile,
+    offline_optimal,
+)
+from repro.analysis.trace import (
+    PredicateProfile,
+    TraceSummary,
+    format_trace_summary,
+    summarize_trace,
+)
+
+__all__ = [
+    "OfflineOptimum",
+    "offline_optimal",
+    "competitive_ratio",
+    "instance_profile",
+    "TraceSummary",
+    "PredicateProfile",
+    "summarize_trace",
+    "format_trace_summary",
+]

@@ -1,0 +1,134 @@
+"""Offline-optimal SR/G references and competitive ratios.
+
+The offline optimum executes every plan of a depth x schedule grid on the
+*true* database (no sampling, no estimation error) and keeps the
+cheapest. It upper-bounds what any sample-driven optimizer of the same
+plan space can achieve, so an algorithm's cost divided by it -- its
+*competitive ratio* on the instance -- cleanly separates the two error
+sources the paper's optimizer has: estimator error (NC above 1.0) versus
+plan-space restriction (specialists far above 1.0 in foreign scenarios).
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.algorithms.base import TopKAlgorithm
+from repro.bench.scenarios import Scenario
+from repro.core.framework import FrameworkNC
+from repro.core.policies import SRGPolicy
+from repro.exceptions import OptimizationError
+
+
+@dataclass(frozen=True)
+class OfflineOptimum:
+    """The grid-optimal SR/G plan of one scenario instance."""
+
+    depths: tuple[float, ...]
+    schedule: tuple[int, ...]
+    cost: float
+    plans_evaluated: int
+
+
+def _plan_cost(
+    scenario: Scenario, depths: Sequence[float], schedule: Sequence[int]
+) -> float:
+    middleware = scenario.middleware()
+    FrameworkNC(
+        middleware, scenario.fn, scenario.k, SRGPolicy(depths, schedule)
+    ).run()
+    return middleware.stats.total_cost()
+
+
+def offline_optimal(
+    scenario: Scenario,
+    resolution: int = 5,
+    schedules: Optional[Sequence[Sequence[int]]] = None,
+    max_plans: int = 2000,
+) -> OfflineOptimum:
+    """Exhaustively find the cheapest SR/G plan on the true database.
+
+    Args:
+        scenario: the instance (dataset, query, costs).
+        resolution: depth-grid points per predicate.
+        schedules: candidate probe schedules; defaults to all ``m!``
+            permutations for ``m <= 4``, else the identity.
+        max_plans: guard against accidental combinatorial blow-ups.
+    """
+    m = scenario.m
+    if resolution < 2:
+        raise OptimizationError("resolution must be >= 2")
+    if schedules is None:
+        if m <= 4:
+            schedules = list(itertools.permutations(range(m)))
+        else:
+            schedules = [tuple(range(m))]
+    axis = [float(v) for v in np.linspace(0.0, 1.0, resolution)]
+    total = (resolution**m) * len(schedules)
+    if total > max_plans:
+        raise OptimizationError(
+            f"{total} plans exceed max_plans={max_plans}; lower the "
+            "resolution or restrict the schedules"
+        )
+    best: Optional[OfflineOptimum] = None
+    evaluated = 0
+    for depths in itertools.product(axis, repeat=m):
+        for schedule in schedules:
+            cost = _plan_cost(scenario, depths, schedule)
+            evaluated += 1
+            if best is None or cost < best.cost:
+                best = OfflineOptimum(
+                    depths=tuple(depths),
+                    schedule=tuple(schedule),
+                    cost=cost,
+                    plans_evaluated=evaluated,
+                )
+    assert best is not None
+    return OfflineOptimum(
+        depths=best.depths,
+        schedule=best.schedule,
+        cost=best.cost,
+        plans_evaluated=evaluated,
+    )
+
+
+def competitive_ratio(
+    algorithm: TopKAlgorithm,
+    scenario: Scenario,
+    reference: Optional[OfflineOptimum] = None,
+) -> float:
+    """Measured cost of ``algorithm`` relative to the offline optimum."""
+    if reference is None:
+        reference = offline_optimal(scenario)
+    middleware = scenario.middleware()
+    algorithm.run(middleware, scenario.fn, scenario.k)
+    if reference.cost <= 0:
+        raise OptimizationError("degenerate reference: optimal cost is 0")
+    return middleware.stats.total_cost() / reference.cost
+
+
+def instance_profile(
+    scenario: Scenario,
+    algorithms: Sequence[TopKAlgorithm],
+    resolution: int = 5,
+) -> tuple[OfflineOptimum, list[tuple[str, float]]]:
+    """Competitive ratios of several algorithms on one instance.
+
+    Algorithms whose capability requirements the scenario cannot meet are
+    skipped (mirroring the empty Figure 2 cells).
+    """
+    from repro.exceptions import CapabilityError
+
+    reference = offline_optimal(scenario, resolution=resolution)
+    rows: list[tuple[str, float]] = []
+    for algorithm in algorithms:
+        try:
+            ratio = competitive_ratio(algorithm, scenario, reference)
+        except CapabilityError:
+            continue
+        rows.append((algorithm.name, ratio))
+    return reference, rows

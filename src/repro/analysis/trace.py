@@ -1,0 +1,129 @@
+"""Access-trace analytics: understand *how* a plan spent its budget.
+
+Given a run's chronological access log (record it by building the
+middleware with ``record_log=True``), these helpers answer the questions
+one asks when debugging or teaching a plan:
+
+* how deep did each sorted list go, and what did each predicate cost?
+* how did the run interleave phases (sorted descent vs probing)?
+* which objects were probed, and how many probes did each need?
+
+The summary renders as an ASCII report via :func:`format_trace_summary`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+from repro.sources.cost import CostModel
+from repro.types import Access
+
+
+@dataclass
+class PredicateProfile:
+    """Per-predicate access/cost breakdown."""
+
+    predicate: int
+    sorted_accesses: int = 0
+    random_accesses: int = 0
+    sorted_cost: float = 0.0
+    random_cost: float = 0.0
+
+    @property
+    def total_cost(self) -> float:
+        return self.sorted_cost + self.random_cost
+
+
+@dataclass
+class TraceSummary:
+    """Aggregate view of one run's access log."""
+
+    predicates: list[PredicateProfile]
+    phases: list[tuple[str, int]]
+    probes_per_object: dict[int, int]
+    total_cost: float
+
+    @property
+    def total_sorted(self) -> int:
+        return sum(p.sorted_accesses for p in self.predicates)
+
+    @property
+    def total_random(self) -> int:
+        return sum(p.random_accesses for p in self.predicates)
+
+    @property
+    def phase_switches(self) -> int:
+        """How often the run alternated between access kinds.
+
+        0 for a strict sorted-then-random (SR) schedule with one block of
+        each; large values indicate fine-grained interleaving.
+        """
+        return max(0, len(self.phases) - 1)
+
+    @property
+    def is_sorted_then_random(self) -> bool:
+        """True when all sorted accesses precede all random accesses."""
+        kinds = [kind for kind, _count in self.phases]
+        return kinds in ([], ["sorted"], ["random"], ["sorted", "random"])
+
+
+def summarize_trace(
+    log: Sequence[Access], cost_model: CostModel
+) -> TraceSummary:
+    """Build a :class:`TraceSummary` from a chronological access log."""
+    profiles = [PredicateProfile(i) for i in range(cost_model.m)]
+    phases: list[tuple[str, int]] = []
+    probes: dict[int, int] = {}
+    total = 0.0
+    for access in log:
+        profile = profiles[access.predicate]
+        kind = "sorted" if access.is_sorted else "random"
+        cost = cost_model.access_cost(access)
+        total += cost
+        if access.is_sorted:
+            profile.sorted_accesses += 1
+            profile.sorted_cost += cost
+        else:
+            profile.random_accesses += 1
+            profile.random_cost += cost
+            assert access.obj is not None
+            probes[access.obj] = probes.get(access.obj, 0) + 1
+        if phases and phases[-1][0] == kind:
+            phases[-1] = (kind, phases[-1][1] + 1)
+        else:
+            phases.append((kind, 1))
+    return TraceSummary(
+        predicates=profiles,
+        phases=phases,
+        probes_per_object=probes,
+        total_cost=total,
+    )
+
+
+def format_trace_summary(summary: TraceSummary) -> str:
+    """Render a summary as a compact ASCII report."""
+    lines = [
+        f"total cost {summary.total_cost:g}  "
+        f"({summary.total_sorted} sorted, {summary.total_random} random, "
+        f"{summary.phase_switches} phase switches)"
+    ]
+    for profile in summary.predicates:
+        lines.append(
+            f"  p{profile.predicate}: {profile.sorted_accesses:>5} sa "
+            f"(cost {profile.sorted_cost:g}), "
+            f"{profile.random_accesses:>5} ra (cost {profile.random_cost:g})"
+        )
+    if summary.phases:
+        rendered = " -> ".join(
+            f"{kind} x{count}" for kind, count in summary.phases[:12]
+        )
+        suffix = " ..." if len(summary.phases) > 12 else ""
+        lines.append(f"  phases: {rendered}{suffix}")
+    if summary.probes_per_object:
+        most = max(summary.probes_per_object.values())
+        lines.append(
+            f"  probed objects: {len(summary.probes_per_object)} "
+            f"(max {most} probes on one object)"
+        )
+    return "\n".join(lines)

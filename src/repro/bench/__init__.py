@@ -1,0 +1,42 @@
+"""Benchmark harness: scenarios, runners and reporting.
+
+Everything the ``benchmarks/`` suite needs to regenerate the paper's
+tables and figures:
+
+* :mod:`repro.bench.scenarios` -- named (dataset, query, cost model)
+  triples: the synthetic S1/S2 settings, every cell of the Figure 2
+  access-scenario matrix, and the reconstructed travel-agent queries Q1/Q2;
+* :mod:`repro.bench.harness` -- run algorithms on scenarios with oracle
+  verification and cost accounting;
+* :mod:`repro.bench.reporting` -- ASCII tables, relative-cost series and
+  text contour maps for terminal-friendly figure output.
+"""
+
+from repro.bench.harness import AlgoRow, compare, nc_with_dummy_planner, run_algorithm
+from repro.bench.reporting import ascii_table, format_row, text_contour
+from repro.bench.scenarios import (
+    Scenario,
+    matrix_scenarios,
+    s1,
+    s2,
+    s3,
+    travel_q1,
+    travel_q2,
+)
+
+__all__ = [
+    "Scenario",
+    "s1",
+    "s2",
+    "s3",
+    "matrix_scenarios",
+    "travel_q1",
+    "travel_q2",
+    "AlgoRow",
+    "run_algorithm",
+    "compare",
+    "nc_with_dummy_planner",
+    "ascii_table",
+    "format_row",
+    "text_contour",
+]

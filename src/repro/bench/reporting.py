@@ -1,0 +1,105 @@
+"""Terminal-friendly reporting: tables, series, text contours.
+
+The benchmark suite prints the same rows/series the paper's tables and
+figures report; these helpers keep that output aligned and readable in a
+plain terminal (the contour maps of Figure 11 render as shaded character
+grids).
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+
+def format_row(values: Sequence, widths: Sequence[int]) -> str:
+    """Format one table row with right-aligned numerics."""
+    cells = []
+    for value, width in zip(values, widths):
+        if isinstance(value, float):
+            text = f"{value:,.1f}"
+            cells.append(text.rjust(width))
+        elif isinstance(value, int):
+            cells.append(f"{value:,}".rjust(width))
+        else:
+            cells.append(str(value).ljust(width))
+    return "  ".join(cells)
+
+
+def ascii_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence],
+    title: Optional[str] = None,
+) -> str:
+    """Render a fixed-width ASCII table."""
+    rendered_rows = []
+    for row in rows:
+        rendered = [
+            f"{v:,.1f}" if isinstance(v, float) else (f"{v:,}" if isinstance(v, int) else str(v))
+            for v in row
+        ]
+        rendered_rows.append(rendered)
+    widths = [len(h) for h in headers]
+    for row in rendered_rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(format_row(headers, widths))
+    lines.append("  ".join("-" * w for w in widths))
+    for original, _rendered in zip(rows, rendered_rows):
+        lines.append(format_row(list(original), widths))
+    return "\n".join(lines)
+
+
+_SHADES = " .:-=+*#%@"
+
+
+def text_contour(
+    grid: Sequence[Sequence[float]],
+    x_labels: Sequence[float],
+    y_labels: Sequence[float],
+    mark: Optional[tuple[int, int]] = None,
+    title: Optional[str] = None,
+) -> str:
+    """Render a cost surface as a shaded character grid.
+
+    Darker characters (later in the shade ramp) mean *higher* cost, so the
+    optimum region reads as the lightest area -- the inverse convention of
+    the paper's printed contours, chosen for terminal legibility. ``mark``
+    highlights one cell (row, col) with ``[]`` (e.g. the argmin).
+    """
+    flat = sorted(v for row in grid for v in row)
+    lines = []
+    if title:
+        lines.append(title)
+
+    def level_of(value: float) -> int:
+        # Percentile-based shading: robust to outlier cells that would
+        # otherwise saturate a linear ramp.
+        rank = flat.index(value)
+        return int(rank / max(1, len(flat) - 1) * (len(_SHADES) - 1))
+
+    for r, row in enumerate(grid):
+        cells = []
+        for c, value in enumerate(row):
+            shade = _SHADES[level_of(value)]
+            if mark == (r, c):
+                cells.append(f"[{shade}]")
+            else:
+                cells.append(f" {shade} ")
+        lines.append(f"{y_labels[r]:>5.2f} |" + "".join(cells))
+    lines.append(" " * 6 + "+" + "---" * len(x_labels))
+    lines.append(
+        " " * 7 + "".join(f"{x:^3.1f}" for x in x_labels)
+    )
+    return "\n".join(lines)
+
+
+def relative_series(
+    baseline: float, values: Sequence[tuple[str, float]]
+) -> list[tuple[str, float, float]]:
+    """Series of (label, absolute, percent-of-baseline) rows."""
+    if baseline <= 0:
+        raise ValueError("baseline cost must be positive")
+    return [(label, value, 100.0 * value / baseline) for label, value in values]

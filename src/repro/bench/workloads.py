@@ -1,0 +1,150 @@
+"""Query workload generation and batch execution.
+
+A workload is a sequence of top-k queries (scoring function + retrieval
+size) against one database and cost scenario -- the unit of the
+throughput experiment (E14): is per-query cost-based optimization worth
+its overhead across a realistic query mix?
+
+Workload execution reports both sides of that trade separately:
+
+* **access cost** -- the metered Eq. 1 cost actually spent on sources
+  (expensive: network round-trips in the paper's setting);
+* **planning overhead** -- estimator simulation runs, which touch only
+  local samples (cheap local computation).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Callable, Optional, Sequence
+
+from repro.data.dataset import Dataset
+from repro.scoring.functions import (
+    Avg,
+    Geometric,
+    Min,
+    Product,
+    ScoringFunction,
+    WeightedSum,
+)
+from repro.sources.cost import CostModel
+from repro.sources.middleware import Middleware
+from repro.types import QueryResult
+
+
+@dataclass(frozen=True)
+class QuerySpec:
+    """One workload entry: the paper's ``Q = (F, k)``."""
+
+    fn: ScoringFunction
+    k: int
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return f"({self.fn.name}, k={self.k})"
+
+
+def random_workload(
+    m: int,
+    size: int,
+    seed: int = 0,
+    k_choices: Sequence[int] = (1, 5, 10, 20),
+) -> list[QuerySpec]:
+    """A mixed bag of monotone queries over ``m`` predicates.
+
+    Draws uniformly over function families (min, avg, product, geometric,
+    random-weighted sums) and the given ``k`` choices; deterministic per
+    seed.
+    """
+    if m < 1:
+        raise ValueError(f"m must be >= 1, got {m}")
+    if size < 1:
+        raise ValueError(f"size must be >= 1, got {size}")
+    rng = random.Random(seed)
+    specs: list[QuerySpec] = []
+    for _ in range(size):
+        family = rng.randrange(5)
+        if family == 0:
+            fn: ScoringFunction = Min(m)
+        elif family == 1:
+            fn = Avg(m)
+        elif family == 2:
+            fn = Product(m)
+        elif family == 3:
+            fn = Geometric(m)
+        else:
+            weights = [rng.random() + 0.05 for _ in range(m)]
+            fn = WeightedSum(weights)
+        specs.append(QuerySpec(fn=fn, k=rng.choice(list(k_choices))))
+    return specs
+
+
+@dataclass
+class WorkloadReport:
+    """Aggregate outcome of a workload run."""
+
+    label: str
+    queries: int
+    total_access_cost: float
+    total_sorted: int
+    total_random: int
+    planning_runs: int
+    failures: int
+    results: list[QueryResult]
+
+    @property
+    def mean_access_cost(self) -> float:
+        return self.total_access_cost / self.queries if self.queries else 0.0
+
+
+def run_workload(
+    dataset: Dataset,
+    cost_model: CostModel,
+    workload: Sequence[QuerySpec],
+    algorithm_factory: Callable[[], "object"],
+    label: str = "",
+    oracle_check: bool = True,
+    no_wild_guesses: Optional[bool] = None,
+) -> WorkloadReport:
+    """Execute every query on a fresh middleware; aggregate accounting.
+
+    ``algorithm_factory`` builds one algorithm instance per query (some
+    algorithms keep per-run state). Planning overhead is read from each
+    result's ``estimator_runs`` metadata when present (cost-based NC
+    reports it; fixed algorithms plan nothing).
+    """
+    if no_wild_guesses is None:
+        no_wild_guesses = any(cost_model.sorted_capabilities)
+    total_cost = 0.0
+    total_sorted = 0
+    total_random = 0
+    planning = 0
+    failures = 0
+    results: list[QueryResult] = []
+    for spec in workload:
+        middleware = Middleware.over(
+            dataset, cost_model, no_wild_guesses=no_wild_guesses
+        )
+        algorithm = algorithm_factory()
+        result = algorithm.run(middleware, spec.fn, spec.k)
+        results.append(result)
+        total_cost += middleware.stats.total_cost()
+        total_sorted += middleware.stats.total_sorted
+        total_random += middleware.stats.total_random
+        planning += int(result.metadata.get("estimator_runs", 0))
+        if oracle_check:
+            oracle = dataset.topk(spec.fn, spec.k)
+            got = sorted(round(s, 9) for s in result.scores)
+            want = sorted(round(entry.score, 9) for entry in oracle)
+            if got != want:
+                failures += 1
+    return WorkloadReport(
+        label=label,
+        queries=len(workload),
+        total_access_cost=total_cost,
+        total_sorted=total_sorted,
+        total_random=total_random,
+        planning_runs=planning,
+        failures=failures,
+        results=results,
+    )

@@ -1,0 +1,239 @@
+"""Command-line interface: run scenarios, comparisons and ad-hoc queries.
+
+Usage (also via ``python -m repro``)::
+
+    python -m repro scenarios
+        List the built-in evaluation scenarios.
+
+    python -m repro compare --scenario S2 [--algorithms NC,TA,CA]
+        Run algorithms head-to-head on a named scenario and print the
+        cost table.
+
+    python -m repro optimize --scenario Q1 [--scheme hclimb]
+        Show the SR/G plan the cost-based optimizer picks for a scenario.
+
+    python -m repro query "SELECT * FROM r ORDER BY min(a, b) STOP AFTER 5"
+        --n 1000 --seed 7
+        Parse and execute an SQL-like query over a synthetic uniform
+        database whose predicates are named by first appearance.
+
+Everything prints plain ASCII tables; exit status is nonzero on errors
+or on a verification failure.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Optional, Sequence
+
+from repro.algorithms import (
+    CA,
+    FA,
+    NRA,
+    MPro,
+    QuickCombine,
+    SRCombine,
+    StreamCombine,
+    TA,
+    Upper,
+)
+from repro.bench.harness import compare, nc_with_dummy_planner
+from repro.bench.reporting import ascii_table
+from repro.bench.scenarios import matrix_scenarios, s1, s2, s3, travel_q1, travel_q2
+from repro.data.generators import uniform
+from repro.exceptions import ReproError
+from repro.optimizer.search import HillClimb, NaiveGrid, Strategies
+from repro.query import parse_query, run_query
+from repro.sources.cost import CostModel
+from repro.sources.middleware import Middleware
+
+_ALGORITHM_FACTORIES = {
+    "NC": lambda: nc_with_dummy_planner(scheme=HillClimb(restarts=3), sample_size=150),
+    "TA": TA,
+    "FA": FA,
+    "CA": CA,
+    "NRA": NRA,
+    "MPRO": MPro,
+    "UPPER": Upper,
+    "QC": QuickCombine,
+    "SC": StreamCombine,
+    "SRC": SRCombine,
+}
+
+_SCHEMES = {
+    "naive": lambda: NaiveGrid(resolution=6),
+    "strategies": Strategies,
+    "hclimb": lambda: HillClimb(restarts=3),
+}
+
+
+def _scenarios() -> dict:
+    named = {
+        "S1": s1(),
+        "S2": s2(),
+        "S3": s3(),
+        "Q1": travel_q1(),
+        "Q2": travel_q2(),
+    }
+    for scenario in matrix_scenarios():
+        named[scenario.name] = scenario
+    return named
+
+
+def _resolve_scenario(name: str):
+    scenarios = _scenarios()
+    if name not in scenarios:
+        raise ReproError(
+            f"unknown scenario {name!r}; available: {', '.join(sorted(scenarios))}"
+        )
+    return scenarios[name]
+
+
+def _cmd_scenarios(_args) -> int:
+    rows = [
+        [name, sc.n, sc.m, sc.fn.name, sc.k, sc.cost_model.describe()]
+        for name, sc in sorted(_scenarios().items())
+    ]
+    print(ascii_table(["name", "n", "m", "F", "k", "costs"], rows))
+    return 0
+
+
+def _cmd_compare(args) -> int:
+    scenario = _resolve_scenario(args.scenario)
+    wanted = [token.strip().upper() for token in args.algorithms.split(",")]
+    unknown = [name for name in wanted if name not in _ALGORITHM_FACTORIES]
+    if unknown:
+        raise ReproError(
+            f"unknown algorithms {unknown}; available: "
+            f"{', '.join(sorted(_ALGORITHM_FACTORIES))}"
+        )
+    algorithms = [_ALGORITHM_FACTORIES[name]() for name in wanted]
+    rows = compare(scenario, algorithms)
+    if not rows:
+        raise ReproError(
+            "none of the requested algorithms support this scenario's "
+            "capabilities"
+        )
+    best = min(row.cost for row in rows)
+    print(
+        ascii_table(
+            ["algorithm", "total cost", "sa", "ra", "% of best", "answer ok"],
+            [
+                [
+                    row.algorithm,
+                    row.cost,
+                    row.sorted_accesses,
+                    row.random_accesses,
+                    100.0 * row.cost / best,
+                    "yes" if row.correct else "NO",
+                ]
+                for row in rows
+            ],
+            title=f"{scenario.name}: {scenario.description}",
+        )
+    )
+    return 0 if all(row.correct for row in rows) else 1
+
+
+def _cmd_optimize(args) -> int:
+    scenario = _resolve_scenario(args.scenario)
+    scheme_key = args.scheme.lower()
+    if scheme_key not in _SCHEMES:
+        raise ReproError(
+            f"unknown scheme {args.scheme!r}; available: "
+            f"{', '.join(sorted(_SCHEMES))}"
+        )
+    nc = nc_with_dummy_planner(
+        scheme=_SCHEMES[scheme_key](), sample_size=args.sample_size
+    )
+    plan = nc.resolve_plan(scenario.middleware(), scenario.fn, scenario.k)
+    print(f"scenario : {scenario.name}  ({scenario.description})")
+    print(f"costs    : {scenario.cost_model.describe()}")
+    print(f"plan     : {plan.describe()}")
+    print(f"overhead : {plan.estimator_runs} estimator simulation runs")
+    return 0
+
+
+def _cmd_query(args) -> int:
+    parsed = parse_query(args.text)
+    m = len(parsed.predicates)
+    data = uniform(args.n, m, seed=args.seed)
+    model = CostModel.uniform(m, cs=args.cs, cr=args.cr)
+    middleware = Middleware.over(data, model)
+    result = run_query(parsed, middleware, schema=list(parsed.predicates))
+    print(f"query     : {parsed}")
+    print(f"predicates: {', '.join(parsed.predicates)} (synthetic uniform scores)")
+    print(f"plan      : {result.metadata.get('plan', '-')}")
+    print(
+        ascii_table(
+            ["rank", "object", "score"],
+            [
+                [rank, entry.obj, f"{entry.score:.4f}"]
+                for rank, entry in enumerate(result.ranking, start=1)
+            ],
+        )
+    )
+    print(
+        f"total access cost {result.total_cost():g}  "
+        f"({middleware.stats.total_sorted} sorted, "
+        f"{middleware.stats.total_random} random)"
+    )
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Build the argparse command tree."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Cost-based top-k query optimization (ICDE 2005 reproduction)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("scenarios", help="list built-in scenarios")
+
+    cmp_parser = sub.add_parser("compare", help="run algorithms on a scenario")
+    cmp_parser.add_argument("--scenario", required=True)
+    cmp_parser.add_argument(
+        "--algorithms",
+        default="NC,TA,CA,NRA",
+        help="comma-separated names (NC,TA,FA,CA,NRA,MPRO,UPPER,QC,SC,SRC)",
+    )
+
+    opt_parser = sub.add_parser("optimize", help="show the optimizer's plan")
+    opt_parser.add_argument("--scenario", required=True)
+    opt_parser.add_argument("--scheme", default="hclimb")
+    opt_parser.add_argument("--sample-size", type=int, default=150)
+
+    query_parser = sub.add_parser("query", help="execute an SQL-like query")
+    query_parser.add_argument("text", help="the query text")
+    query_parser.add_argument("--n", type=int, default=1000)
+    query_parser.add_argument("--seed", type=int, default=0)
+    query_parser.add_argument("--cs", type=float, default=1.0)
+    query_parser.add_argument("--cr", type=float, default=1.0)
+
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """CLI entry point; returns the process exit status."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    handlers = {
+        "scenarios": _cmd_scenarios,
+        "compare": _cmd_compare,
+        "optimize": _cmd_optimize,
+        "query": _cmd_query,
+    }
+    try:
+        return handlers[args.command](args)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    except BrokenPipeError:
+        # Output piped into a pager/head that closed early; not an error.
+        return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,48 @@
+"""The paper's contribution: Framework NC and its supporting machinery.
+
+Layout mirrors the paper's development:
+
+* :mod:`repro.core.state` -- score bookkeeping and maximal-possible scores
+  (Eq. 3), including the virtual ``UNSEEN`` object of Section 8/Figure 10;
+* :mod:`repro.core.tasks` -- the scoring-task view: identifying unsatisfied
+  tasks and the stopping rule (Definition 1, Theorem 1);
+* :mod:`repro.core.choices` -- necessary choices (Definition 2);
+* :mod:`repro.core.heap` -- the lazy max-heap that makes Theorem 1's
+  "current top-k by maximal-possible score" maintainable;
+* :mod:`repro.core.policies` -- access-selection policies, chiefly the
+  SR/G policy of Section 7.1 (Figure 9);
+* :mod:`repro.core.framework` -- the NC engine (Figure 6 + Figure 10) and
+  the trivially-general TG reference engine (Figure 4).
+"""
+
+from repro.core.choices import necessary_choices
+from repro.core.framework import UNSEEN, FrameworkNC, FrameworkTG
+from repro.core.heap import LazyMaxHeap
+from repro.core.policies import (
+    RandomPolicy,
+    RankDepthPolicy,
+    RoundRobinPolicy,
+    SelectContext,
+    SelectPolicy,
+    SRGPolicy,
+)
+from repro.core.state import ScoreState
+from repro.core.tasks import all_tasks_satisfied, current_topk, unsatisfied_objects
+
+__all__ = [
+    "ScoreState",
+    "LazyMaxHeap",
+    "necessary_choices",
+    "current_topk",
+    "unsatisfied_objects",
+    "all_tasks_satisfied",
+    "SelectPolicy",
+    "SelectContext",
+    "SRGPolicy",
+    "RankDepthPolicy",
+    "RoundRobinPolicy",
+    "RandomPolicy",
+    "FrameworkNC",
+    "FrameworkTG",
+    "UNSEEN",
+]

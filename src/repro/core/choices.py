@@ -1,0 +1,60 @@
+"""Necessary choices (Definition 2).
+
+Given an unsatisfied scoring task for object ``v``, the *necessary choices*
+are all and only the accesses that can contribute to it: a sorted or random
+access on any predicate of ``v`` that is still undetermined. This set is
+*complete* with respect to the accesses-so-far (Section 6.2): any algorithm
+must eventually perform at least one access from it, which is what makes
+restricting Select to this set lossless (Theorem 2).
+
+For the virtual UNSEEN object the choices are the available sorted accesses
+only -- random access to an unseen object is a wild guess (Figure 10).
+"""
+
+from __future__ import annotations
+
+from repro.core.state import ScoreState
+from repro.core.tasks import UNSEEN
+from repro.exceptions import UnanswerableQueryError
+from repro.types import Access
+
+
+def necessary_choices(state: ScoreState, obj: int) -> list[Access]:
+    """The necessary choices ``N_j`` for an incomplete object (or UNSEEN).
+
+    Accesses appear in a deterministic order (by predicate, sorted before
+    random) so that policies see stable input. Raises
+    :class:`UnanswerableQueryError` when no available access can make
+    progress on the task, i.e. the query is unanswerable under the given
+    capabilities.
+    """
+    middleware = state.middleware
+    choices: list[Access] = []
+    if obj == UNSEEN:
+        for i in middleware.sorted_predicates():
+            if not middleware.exhausted(i):
+                choices.append(Access.sorted(i))
+        if not choices:
+            raise UnanswerableQueryError(
+                "unseen objects remain but no sorted access is available to "
+                "discover them"
+            )
+        return choices
+    undetermined = state.undetermined(obj)
+    if not undetermined:
+        raise ValueError(
+            f"object {obj} is complete; it induces no necessary choices"
+        )
+    for i in undetermined:
+        # An undetermined predicate with a sorted source implies the list is
+        # not exhausted (an exhausted complete list has delivered everyone).
+        if middleware.supports_sorted(i) and not middleware.exhausted(i):
+            choices.append(Access.sorted(i))
+        if middleware.supports_random(i):
+            choices.append(Access.random(i, obj))
+    if not choices:
+        raise UnanswerableQueryError(
+            f"object {obj} has undetermined predicates {undetermined} but no "
+            "available access can evaluate them"
+        )
+    return choices

@@ -1,0 +1,371 @@
+"""The query-processing engines: Framework NC (Figure 6) and TG (Figure 4).
+
+:class:`FrameworkNC` is the paper's contribution engine. Each iteration it
+
+1. maintains the current top-k objects ranked by maximal-possible score
+   ``F_max`` (lazy max-heap; Theorem 1 machinery);
+2. halts when they are all completely evaluated (Theorem 1.2) -- they are
+   then the exact answer;
+3. otherwise picks the highest-ranked incomplete object, whose scoring
+   task is provably unsatisfied (Theorem 1.1), builds its *necessary
+   choices* (Definition 2), and lets the pluggable
+   :class:`~repro.core.policies.SelectPolicy` choose one access to perform.
+
+Under the no-wild-guess assumption the virtual ``UNSEEN`` object stands in
+for all undiscovered objects (Figure 10): it ranks with bound
+``F(l_1..l_m)``, only admits sorted accesses, and disappears once every
+object has been seen.
+
+:class:`FrameworkTG` is the trivially-general reference engine: identical
+loop and stopping rule, but Select ranges over *all* currently-legal
+accesses rather than one task's necessary choices. It exists to make the
+generality/specificity contrast of Section 4 executable (and testable).
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Callable, Iterator, Optional, Sequence
+
+from repro.core.choices import necessary_choices
+from repro.core.heap import LazyMaxHeap
+from repro.core.policies import SelectContext, SelectPolicy
+from repro.core.state import ScoreState
+from repro.core.tasks import UNSEEN
+from repro.exceptions import ReproError, UnanswerableQueryError
+from repro.scoring.functions import ScoringFunction
+from repro.sources.middleware import Middleware
+from repro.types import Access, QueryResult, RankedObject
+
+
+@dataclass
+class TraceStep:
+    """One observed iteration, for example scripts and trace tests.
+
+    Attributes:
+        step: 1-based iteration counter.
+        target: the incomplete object whose task drove the iteration
+            (:data:`UNSEEN` for the virtual object).
+        alternatives: the choice set offered to the policy.
+        access: the access the policy selected.
+        result: what the access returned (``(obj, score)`` or ``score``).
+    """
+
+    step: int
+    target: int
+    alternatives: list[Access]
+    access: Access
+    result: object
+
+
+class FrameworkNC:
+    """The NC engine: necessary-choices top-k processing.
+
+    Args:
+        middleware: a *fresh* access layer (no accesses performed yet).
+        fn: the monotone scoring function.
+        k: retrieval size.
+        policy: the Select strategy (e.g. :class:`SRGPolicy`).
+        observer: optional callback receiving a :class:`TraceStep` per
+            iteration.
+        max_accesses: optional safety cap; exceeding it raises, guarding
+            against non-terminating custom policies.
+        theta: approximation factor (>= 1.0). The default 1.0 demands the
+            exact answer; ``theta > 1`` permits confirming an object once
+            ``theta`` times its proven lower bound dominates every other
+            candidate (Fagin-style theta-approximation), trading accuracy
+            for access cost.
+    """
+
+    def __init__(
+        self,
+        middleware: Middleware,
+        fn: ScoringFunction,
+        k: int,
+        policy: SelectPolicy,
+        observer: Optional[Callable[[TraceStep], None]] = None,
+        max_accesses: Optional[int] = None,
+        theta: float = 1.0,
+    ):
+        if k < 1:
+            raise ValueError(f"k must be >= 1, got {k}")
+        if theta < 1.0:
+            raise ValueError(f"theta must be >= 1.0, got {theta}")
+        if middleware.stats.total_accesses:
+            raise ValueError("middleware has already been used; pass a fresh one")
+        self.middleware = middleware
+        self.fn = fn
+        self.k = k
+        self.policy = policy
+        self.observer = observer
+        self.max_accesses = max_accesses
+        self.theta = theta
+        self.state = ScoreState(middleware, fn)
+        self._heap = LazyMaxHeap()
+        self._in_heap: set[int] = set()
+        self._steps = 0
+        self._prepared = False
+
+    # ------------------------------------------------------------------
+    # Engine plumbing (shared with the parallel executor)
+    # ------------------------------------------------------------------
+
+    def _priority_of(self, obj: int) -> float:
+        if obj == UNSEEN:
+            return self.state.unseen_bound()
+        return self.state.upper_bound(obj)
+
+    def _prepare(self) -> None:
+        if self._prepared:
+            raise ReproError("an engine instance runs exactly one query")
+        self._prepared = True
+        self.policy.reset()
+        middleware = self.middleware
+        if middleware.no_wild_guesses:
+            if not middleware.sorted_predicates():
+                raise UnanswerableQueryError(
+                    "no predicate supports sorted access and wild guesses are "
+                    "disallowed: no object can ever be discovered"
+                )
+            self._heap.push(UNSEEN, self.state.unseen_bound())
+            self._in_heap.add(UNSEEN)
+        else:
+            for obj in middleware.object_ids():
+                self._heap.push(obj, self.state.upper_bound(obj))
+                self._in_heap.add(obj)
+
+    def _collect_topk(self) -> list[tuple[int, float]]:
+        """Pop the current top-k ``(obj, F_max)`` off the heap (verified).
+
+        A stale UNSEEN entry is retired on pop once every object has been
+        discovered (Figure 10), so callers never see -- or target -- the
+        virtual object after it stopped representing anyone.
+        """
+        popped: list[tuple[int, float]] = []
+        while len(popped) < self.k:
+            entry = self._heap.pop_current(self._priority_of)
+            if entry is None:
+                break
+            if (
+                entry[0] == UNSEEN
+                and len(self.middleware.seen) >= self.middleware.n_objects
+            ):
+                self._in_heap.discard(UNSEEN)
+                continue
+            popped.append(entry)
+        return popped
+
+    def _push_back(self, entries: Sequence[tuple[int, float]]) -> None:
+        """Reinsert popped entries with refreshed bounds.
+
+        The UNSEEN entry is dropped once every object has been discovered.
+        """
+        all_seen = len(self.middleware.seen) >= self.middleware.n_objects
+        for obj, _stale in entries:
+            if obj == UNSEEN and all_seen:
+                self._in_heap.discard(UNSEEN)
+                continue
+            self._heap.push(obj, self._priority_of(obj))
+
+    def _first_incomplete(
+        self, entries: Sequence[tuple[int, float]]
+    ) -> Optional[int]:
+        for obj, _bound in entries:
+            if obj == UNSEEN or not self.state.is_complete(obj):
+                return obj
+        return None
+
+    def _apply(self, access: Access) -> object:
+        """Perform one access and fold its result into the score state."""
+        result = self.middleware.perform(access)
+        if access.is_sorted:
+            if result is not None:
+                obj, score = result
+                self.state.record(access.predicate, obj, score)
+                if obj not in self._in_heap:
+                    self._heap.push(obj, self.state.upper_bound(obj))
+                    self._in_heap.add(obj)
+        else:
+            assert access.obj is not None
+            self.state.record(access.predicate, access.obj, float(result))
+        return result
+
+    def _check_budget(self) -> None:
+        if (
+            self.max_accesses is not None
+            and self.middleware.stats.total_accesses > self.max_accesses
+        ):
+            raise ReproError(
+                f"access budget of {self.max_accesses} exceeded; the policy "
+                "appears not to make progress"
+            )
+
+    def _alternatives(self, target: int) -> list[Access]:
+        """The choice set for this iteration: the task's necessary choices."""
+        return necessary_choices(self.state, target)
+
+    def _finish(self, entries: Sequence[tuple[int, float]], label: str) -> QueryResult:
+        ranking = [RankedObject(obj, bound) for obj, bound in entries]
+        return QueryResult(
+            ranking=ranking,
+            stats=self.middleware.stats,
+            algorithm=label,
+            metadata={"policy": self.policy.describe(), "iterations": self._steps},
+        )
+
+    def _iterate(self, target: int) -> None:
+        """One Figure-6 iteration: build choices, Select, perform, record."""
+        alternatives = self._alternatives(target)
+        ctx = SelectContext(
+            state=self.state, middleware=self.middleware, target=target
+        )
+        access = self.policy.select(alternatives, ctx)
+        if access not in alternatives:
+            raise ReproError(
+                f"policy {self.policy.describe()} selected {access}, which "
+                "is outside the offered alternatives"
+            )
+        result = self._apply(access)
+        self._steps += 1
+        self._check_budget()
+        if self.observer is not None:
+            self.observer(
+                TraceStep(
+                    step=self._steps,
+                    target=target,
+                    alternatives=alternatives,
+                    access=access,
+                    result=result,
+                )
+            )
+
+    # ------------------------------------------------------------------
+    # The main loop (Figure 6 / Figure 10), progressive form
+    # ------------------------------------------------------------------
+
+    def answers(self) -> Iterator[RankedObject]:
+        """Stream the ranked answers progressively, best first.
+
+        An object popped from the bound heap *complete* is a confirmed
+        answer: everything still live is bounded at or below it (the
+        MPro-style progressive output; equivalent to the Theorem-1 batch
+        test, and performing the identical access sequence, since the
+        highest-ranked incomplete object is the target either way).
+
+        The stream is lazy and unbounded by ``k``: consuming exactly ``k``
+        items reproduces :meth:`run`; consuming further items continues
+        the same processing for "next-k" retrieval at only the marginal
+        access cost. With ``theta > 1``, an incomplete leader may be
+        confirmed *approximately* once ``theta * F_min(u)`` dominates
+        every other candidate's bound; its reported score is then the
+        proven lower bound.
+        """
+        self._prepare()
+        while True:
+            entry = self._heap.pop_current(self._priority_of)
+            if entry is None:
+                return
+            obj, bound = entry
+            all_seen = len(self.middleware.seen) >= self.middleware.n_objects
+            if obj == UNSEEN and all_seen:
+                # Every object has been discovered; the virtual stand-in
+                # retires (Figure 10).
+                self._in_heap.discard(UNSEEN)
+                continue
+            if obj != UNSEEN and self.state.is_complete(obj):
+                # Confirmed: its exact score equals its bound, and no live
+                # entry can rank above it. The object stays in _in_heap
+                # (the "ever tracked" set) so a later sorted delivery of it
+                # cannot re-enqueue and re-confirm it.
+                yield RankedObject(obj, bound)
+                continue
+            if (
+                obj != UNSEEN
+                and self.theta > 1.0
+                and self._approximately_confirmed(obj)
+            ):
+                yield RankedObject(obj, self.state.lower_bound(obj))
+                continue
+            self._iterate(obj)
+            self._heap.push(obj, self._priority_of(obj))
+
+    def _approximately_confirmed(self, obj: int) -> bool:
+        """theta-approximation test for the current leader ``obj``.
+
+        Sound because ``obj`` tops the heap: every other live candidate
+        ``x`` satisfies ``F(x) <= F_max(x) <= runner_up_bound``, so
+        ``theta * F_min(obj) >= runner_up_bound`` implies the Fagin-style
+        guarantee ``theta * F(obj) >= F(x)``.
+        """
+        runner_up = self._heap.pop_current(self._priority_of)
+        if runner_up is None:
+            return True
+        self._heap.push(runner_up[0], runner_up[1])
+        return self.theta * self.state.lower_bound(obj) >= runner_up[1]
+
+    def run(self) -> QueryResult:
+        """Process the query to completion and return the top-k.
+
+        Exact by default; with ``theta > 1`` the ranking is a
+        theta-approximation and reported scores of approximately-confirmed
+        objects are their proven lower bounds.
+        """
+        ranking = list(itertools.islice(self.answers(), self.k))
+        result = self._finish_ranking(ranking, self._label())
+        return result
+
+    def _finish_ranking(
+        self, ranking: list[RankedObject], label: str
+    ) -> QueryResult:
+        metadata = {
+            "policy": self.policy.describe(),
+            "iterations": self._steps,
+        }
+        if self.theta > 1.0:
+            metadata["theta"] = self.theta
+        return QueryResult(
+            ranking=ranking,
+            stats=self.middleware.stats,
+            algorithm=label,
+            metadata=metadata,
+        )
+
+    def _label(self) -> str:
+        return f"NC[{self.policy.describe()}]"
+
+
+class FrameworkTG(FrameworkNC):
+    """The trivially-general engine: Select over *all* legal accesses.
+
+    Shares NC's bookkeeping and Theorem-1 stopping rule but offers the
+    policy the entire pool of currently-legal accesses: every
+    non-exhausted sorted access plus every non-duplicate random access on
+    a discovered (or, with wild guesses, any) object. The pool's size is
+    what makes TG useless for optimization (Section 4); it is retained as
+    an executable reference point and for tests.
+    """
+
+    def _alternatives(self, target: int) -> list[Access]:
+        middleware = self.middleware
+        state = self.state
+        alts: list[Access] = []
+        for i in middleware.sorted_predicates():
+            if not middleware.exhausted(i):
+                alts.append(Access.sorted(i))
+        if middleware.no_wild_guesses:
+            pool = middleware.seen
+        else:
+            pool = middleware.object_ids()
+        for obj in pool:
+            for i in state.undetermined(obj):
+                if middleware.supports_random(i):
+                    alts.append(Access.random(i, obj))
+        if not alts:
+            raise UnanswerableQueryError(
+                "no legal access remains but the query is not yet answered"
+            )
+        return alts
+
+    def _label(self) -> str:
+        return f"TG[{self.policy.describe()}]"

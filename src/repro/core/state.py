@@ -1,0 +1,149 @@
+"""Score bookkeeping and maximal-possible scores (Eq. 3).
+
+:class:`ScoreState` tracks, per object, which predicate scores are known
+and derives the two bounds the framework (and several baselines) reason
+with:
+
+* the **maximal-possible score** ``F_max(u)`` (Eq. 3): evaluate ``F`` with
+  unknown predicate scores replaced by their upper bounds -- the last-seen
+  score ``l_i`` of predicate ``i``'s sorted list (a sorted-access side
+  effect, Section 3.2), or ``1.0`` where no sorted access constrains them;
+* the **minimal-possible score** ``F_min(u)``: unknowns replaced by ``0``
+  (used by the NRA/Stream-Combine baselines).
+
+Both are sound exactly because ``F`` is monotone. The state also computes
+the bound of the virtual ``UNSEEN`` object, ``F(l_1, ..., l_m)``, used for
+no-wild-guess processing (Section 8, Figure 10).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional
+
+from repro.scoring.functions import ScoringFunction
+from repro.sources.middleware import Middleware
+
+
+class ScoreState:
+    """Known scores and score bounds for every tracked object.
+
+    The state is fed by :meth:`record` calls as accesses complete, and
+    consults the middleware lazily for the current last-seen bounds, so
+    every bound it reports reflects all accesses performed so far.
+    """
+
+    def __init__(self, middleware: Middleware, fn: ScoringFunction):
+        if fn.arity != middleware.m:
+            raise ValueError(
+                f"scoring function arity {fn.arity} != middleware width "
+                f"{middleware.m}"
+            )
+        self._middleware = middleware
+        self._fn = fn
+        self._m = middleware.m
+        # obj -> list of known scores (None = undetermined).
+        self._known: dict[int, list[Optional[float]]] = {}
+
+    @property
+    def fn(self) -> ScoringFunction:
+        return self._fn
+
+    @property
+    def middleware(self) -> Middleware:
+        return self._middleware
+
+    # ------------------------------------------------------------------
+    # Updates
+    # ------------------------------------------------------------------
+
+    def record(self, predicate: int, obj: int, score: float) -> None:
+        """Record one delivered score, from either access type."""
+        row = self._known.get(obj)
+        if row is None:
+            row = [None] * self._m
+            self._known[obj] = row
+        row[predicate] = score
+
+    # ------------------------------------------------------------------
+    # Lookups
+    # ------------------------------------------------------------------
+
+    def known_score(self, obj: int, predicate: int) -> Optional[float]:
+        """The known score of ``obj`` on ``predicate``, or ``None``."""
+        row = self._known.get(obj)
+        if row is None:
+            return None
+        return row[predicate]
+
+    def undetermined(self, obj: int) -> list[int]:
+        """Predicates of ``obj`` whose score is still unknown."""
+        row = self._known.get(obj)
+        if row is None:
+            return list(range(self._m))
+        return [i for i in range(self._m) if row[i] is None]
+
+    def is_complete(self, obj: int) -> bool:
+        """Whether every predicate score of ``obj`` is known."""
+        row = self._known.get(obj)
+        return row is not None and all(score is not None for score in row)
+
+    def exact_score(self, obj: int) -> float:
+        """The exact overall score ``F(u)``; requires completeness."""
+        row = self._known.get(obj)
+        if row is None or any(score is None for score in row):
+            raise ValueError(f"object {obj} is not completely evaluated")
+        return self._fn(row)  # type: ignore[arg-type]
+
+    def tracked(self) -> Iterable[int]:
+        """Objects with at least one recorded score."""
+        return self._known.keys()
+
+    def tracked_count(self) -> int:
+        """Number of objects with at least one recorded score."""
+        return len(self._known)
+
+    # ------------------------------------------------------------------
+    # Bounds (Eq. 3)
+    # ------------------------------------------------------------------
+
+    def predicate_upper(self, obj: int, predicate: int) -> float:
+        """Upper bound on one predicate score of one object.
+
+        The known score if determined; otherwise the last-seen score of the
+        predicate's sorted list (1.0 where sorted access never ran or is
+        unsupported).
+        """
+        known = self.known_score(obj, predicate)
+        if known is not None:
+            return known
+        return self._middleware.last_seen(predicate)
+
+    def upper_bound(self, obj: int) -> float:
+        """Maximal-possible score ``F_max(u)`` under the accesses so far."""
+        row = self._known.get(obj)
+        if row is None:
+            return self.unseen_bound()
+        scores = [
+            row[i] if row[i] is not None else self._middleware.last_seen(i)
+            for i in range(self._m)
+        ]
+        return self._fn(scores)
+
+    def lower_bound(self, obj: int) -> float:
+        """Minimal-possible score: unknown predicate scores as ``0``."""
+        row = self._known.get(obj)
+        if row is None:
+            row = [None] * self._m
+        scores = [score if score is not None else 0.0 for score in row]
+        return self._fn(scores)
+
+    def unseen_bound(self) -> float:
+        """Bound of the virtual UNSEEN object: ``F(l_1, ..., l_m)``."""
+        return self._fn([self._middleware.last_seen(i) for i in range(self._m)])
+
+    def snapshot(self, obj: int) -> tuple[Optional[float], ...]:
+        """The known-score row of ``obj`` (``None`` for undetermined)."""
+        row = self._known.get(obj)
+        if row is None:
+            return tuple([None] * self._m)
+        return tuple(row)

@@ -1,0 +1,43 @@
+"""Score datasets and synthetic generators.
+
+A :class:`Dataset` is the ground truth an experiment runs against: an
+``n x m`` matrix of predicate scores in ``[0, 1]``. Sources
+(:mod:`repro.sources`) expose columns of a dataset through the paper's
+access model; algorithms never touch the matrix directly.
+
+Generators cover the distribution families used in middleware top-k
+evaluations: uniform, gaussian, zipf-skewed, correlated, anti-correlated,
+clustered mixtures -- plus the reconstructed travel-agent benchmark data of
+the paper's Examples 1 and 2.
+"""
+
+from repro.data.dataset import Dataset, dataset1
+from repro.data.generators import (
+    anticorrelated,
+    clustered,
+    correlated,
+    gaussian,
+    mixture,
+    uniform,
+    zipf_skewed,
+)
+from repro.data.io import load_csv, load_npz, save_csv, save_npz
+from repro.data.travel import restaurants_dataset, hotels_dataset
+
+__all__ = [
+    "Dataset",
+    "dataset1",
+    "uniform",
+    "gaussian",
+    "zipf_skewed",
+    "correlated",
+    "anticorrelated",
+    "clustered",
+    "mixture",
+    "restaurants_dataset",
+    "hotels_dataset",
+    "save_csv",
+    "load_csv",
+    "save_npz",
+    "load_npz",
+]

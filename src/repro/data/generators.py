@@ -1,0 +1,134 @@
+"""Synthetic score-distribution generators.
+
+Middleware top-k papers evaluate over a standard set of distribution
+families; these generators cover the ones the paper's synthetic scenarios
+need (uniform iid as in scenarios S1/S2) plus the families commonly used to
+stress rank-aware processing (skewed, correlated, anti-correlated,
+clustered). All generators return a :class:`~repro.data.dataset.Dataset`
+and are deterministic given a seed.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.data.dataset import Dataset
+
+
+def _rng(seed: int | np.random.Generator) -> np.random.Generator:
+    if isinstance(seed, np.random.Generator):
+        return seed
+    return np.random.default_rng(seed)
+
+
+def uniform(n: int, m: int, seed: int | np.random.Generator = 0) -> Dataset:
+    """Independent uniform scores on ``[0, 1]`` -- the paper's S1/S2 setting."""
+    rng = _rng(seed)
+    return Dataset(rng.random((n, m)))
+
+
+def gaussian(
+    n: int,
+    m: int,
+    mean: float = 0.5,
+    std: float = 0.15,
+    seed: int | np.random.Generator = 0,
+) -> Dataset:
+    """Independent clipped-gaussian scores centered at ``mean``."""
+    rng = _rng(seed)
+    return Dataset(np.clip(rng.normal(mean, std, (n, m)), 0.0, 1.0))
+
+
+def zipf_skewed(
+    n: int,
+    m: int,
+    skew: float = 2.0,
+    seed: int | np.random.Generator = 0,
+) -> Dataset:
+    """Skewed scores: most objects score low, few score high.
+
+    Implemented as ``u ** skew`` on uniform ``u``; ``skew > 1`` pushes mass
+    toward 0 (a heavy low tail, zipf-like rank/score profile), ``skew < 1``
+    toward 1.
+    """
+    if skew <= 0:
+        raise ValueError(f"skew must be > 0, got {skew}")
+    rng = _rng(seed)
+    return Dataset(rng.random((n, m)) ** skew)
+
+
+def correlated(
+    n: int,
+    m: int,
+    rho: float = 0.8,
+    seed: int | np.random.Generator = 0,
+) -> Dataset:
+    """Positively correlated predicates.
+
+    Each object draws a latent quality ``q``; every predicate score mixes
+    ``q`` with private noise: ``x_i = rho*q + (1-rho)*noise_i``. ``rho=0``
+    degenerates to independent uniform; ``rho=1`` makes all predicates
+    identical.
+    """
+    if not 0.0 <= rho <= 1.0:
+        raise ValueError(f"rho must be in [0, 1], got {rho}")
+    rng = _rng(seed)
+    latent = rng.random((n, 1))
+    noise = rng.random((n, m))
+    return Dataset(rho * latent + (1.0 - rho) * noise)
+
+
+def anticorrelated(
+    n: int,
+    m: int,
+    strength: float = 0.8,
+    seed: int | np.random.Generator = 0,
+) -> Dataset:
+    """Anti-correlated predicates: strong on one, weak on the others.
+
+    Objects lie near the simplex ``sum(x_i) ~ const`` with noise, the
+    classic hard case for top-k pruning (good overall objects are rare).
+    """
+    if not 0.0 <= strength <= 1.0:
+        raise ValueError(f"strength must be in [0, 1], got {strength}")
+    rng = _rng(seed)
+    # Dirichlet rows sum to 1; scale to make individual entries span [0, 1].
+    simplex = rng.dirichlet(np.ones(m), size=n) * min(m, 2.0) / 2.0
+    simplex = np.clip(simplex * m / min(m, 2.0) * 0.5 + 0.25, 0.0, 1.0)
+    noise = rng.random((n, m))
+    return Dataset(np.clip(strength * simplex + (1 - strength) * noise, 0.0, 1.0))
+
+
+def clustered(
+    n: int,
+    m: int,
+    clusters: int = 5,
+    spread: float = 0.05,
+    seed: int | np.random.Generator = 0,
+) -> Dataset:
+    """Cluster-mixture scores: objects concentrate around random centroids.
+
+    Models sources whose scores come in bands (e.g. star ratings mapped to
+    ``[0, 1]``).
+    """
+    if clusters < 1:
+        raise ValueError(f"clusters must be >= 1, got {clusters}")
+    rng = _rng(seed)
+    centroids = rng.random((clusters, m))
+    assignment = rng.integers(0, clusters, size=n)
+    jitter = rng.normal(0.0, spread, (n, m))
+    return Dataset(np.clip(centroids[assignment] + jitter, 0.0, 1.0))
+
+
+def mixture(
+    parts: Sequence[Dataset],
+) -> Dataset:
+    """Concatenate datasets (same width) into one, renumbering objects."""
+    if not parts:
+        raise ValueError("mixture requires at least one part")
+    widths = {part.m for part in parts}
+    if len(widths) != 1:
+        raise ValueError(f"all parts must share the same width, got {sorted(widths)}")
+    return Dataset(np.vstack([part.matrix for part in parts]))

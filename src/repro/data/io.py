@@ -1,0 +1,104 @@
+"""Dataset persistence: CSV and NPZ round-trips.
+
+Adopters bring their own score tables; these helpers load and save
+:class:`~repro.data.dataset.Dataset` objects in the two formats that
+cover most pipelines:
+
+* **CSV** -- human-readable, with an optional header row of predicate
+  names (returned alongside the data, and usable as the schema of the
+  SQL-like front end);
+* **NPZ** -- compact binary via numpy, preserving exact float values.
+
+Validation goes through the ``Dataset`` constructor, so malformed or
+out-of-range inputs fail loudly at load time.
+"""
+
+from __future__ import annotations
+
+import csv
+import pathlib
+from typing import Optional, Sequence, Union
+
+import numpy as np
+
+from repro.data.dataset import Dataset
+
+PathLike = Union[str, pathlib.Path]
+
+
+def save_csv(
+    dataset: Dataset,
+    path: PathLike,
+    predicate_names: Optional[Sequence[str]] = None,
+) -> None:
+    """Write a dataset as CSV (one row per object).
+
+    When ``predicate_names`` is given it becomes the header row and must
+    name every predicate.
+    """
+    if predicate_names is not None and len(predicate_names) != dataset.m:
+        raise ValueError(
+            f"{len(predicate_names)} names for {dataset.m} predicates"
+        )
+    with open(path, "w", newline="") as handle:
+        writer = csv.writer(handle)
+        if predicate_names is not None:
+            writer.writerow(predicate_names)
+        for row in dataset.matrix:
+            writer.writerow([repr(float(v)) for v in row])
+
+
+def load_csv(
+    path: PathLike, header: bool = True
+) -> tuple[Dataset, Optional[list[str]]]:
+    """Read a dataset from CSV; returns ``(dataset, predicate_names)``.
+
+    ``header=True`` treats the first row as predicate names (``None`` is
+    returned when ``header=False``).
+    """
+    with open(path, newline="") as handle:
+        reader = csv.reader(handle)
+        rows = [row for row in reader if row]
+    if not rows:
+        raise ValueError(f"{path}: empty CSV")
+    names: Optional[list[str]] = None
+    if header:
+        names = [cell.strip() for cell in rows[0]]
+        rows = rows[1:]
+        if not rows:
+            raise ValueError(f"{path}: header but no data rows")
+    try:
+        matrix = np.array([[float(cell) for cell in row] for row in rows])
+    except ValueError as exc:
+        raise ValueError(f"{path}: non-numeric score cell ({exc})") from exc
+    return Dataset(matrix), names
+
+
+def save_npz(
+    dataset: Dataset,
+    path: PathLike,
+    predicate_names: Optional[Sequence[str]] = None,
+) -> None:
+    """Write a dataset (and optional predicate names) as compressed NPZ."""
+    arrays = {"scores": dataset.matrix}
+    if predicate_names is not None:
+        if len(predicate_names) != dataset.m:
+            raise ValueError(
+                f"{len(predicate_names)} names for {dataset.m} predicates"
+            )
+        arrays["predicates"] = np.array(list(predicate_names))
+    np.savez_compressed(path, **arrays)
+
+
+def load_npz(path: PathLike) -> tuple[Dataset, Optional[list[str]]]:
+    """Read a dataset from NPZ; returns ``(dataset, predicate_names)``."""
+    with np.load(path, allow_pickle=False) as archive:
+        if "scores" not in archive:
+            raise ValueError(f"{path}: missing 'scores' array")
+        dataset = Dataset(archive["scores"])
+        names = (
+            [str(name) for name in archive["predicates"]]
+            if "predicates" in archive
+            else None
+        )
+    return dataset, names

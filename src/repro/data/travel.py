@@ -1,0 +1,84 @@
+"""Reconstructed travel-agent benchmark data (Examples 1 and 2).
+
+The paper benchmarks a Web travel-agent scenario over Chicago restaurants
+(Example 1 / query Q1) and hotels (Example 2 / query Q2). The live sources
+(dineme.com, superpages.com, hotels.com) are long gone and the paper does
+not publish the crawled data, so we synthesize datasets with the predicate
+*shapes* those sources produce:
+
+* ``rating`` -- scores come in bands (star ratings), modelled as a cluster
+  mixture;
+* ``close(addr)`` -- a distance predicate: objects are 2-D points around a
+  city center, the user sits at a query point, and the score decays with
+  euclidean distance (so the score distribution is skewed by area growth:
+  few very-close objects, many far ones);
+* ``cheap(budget)`` -- price fit: log-normal-ish prices mapped to ``[0, 1]``
+  against a budget.
+
+Access costs are part of the *scenario*, not the data; see
+:mod:`repro.bench.scenarios` for the reconstructed Figure 1 cost settings.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.data.dataset import Dataset
+
+
+def _distance_scores(
+    n: int, rng: np.random.Generator, user: tuple[float, float] = (0.3, 0.7)
+) -> np.ndarray:
+    """Proximity scores from uniform 2-D locations around a query point."""
+    points = rng.random((n, 2))
+    dist = np.sqrt(((points - np.asarray(user)) ** 2).sum(axis=1))
+    max_dist = float(np.sqrt(2.0))
+    return np.clip(1.0 - dist / max_dist, 0.0, 1.0)
+
+
+def _rating_scores(n: int, rng: np.random.Generator, bands: int = 9) -> np.ndarray:
+    """Banded rating scores (half-star granularity) with slight jitter."""
+    # Ratings skew high on review sites: beta(5, 2) over the bands.
+    raw = rng.beta(5.0, 2.0, size=n)
+    banded = np.round(raw * bands) / bands
+    jitter = rng.normal(0.0, 0.01, size=n)
+    return np.clip(banded + jitter, 0.0, 1.0)
+
+
+def _price_scores(
+    n: int, rng: np.random.Generator, budget: float = 150.0
+) -> np.ndarray:
+    """Budget-fit scores from log-normal nightly prices.
+
+    Score 1 at price 0 decaying linearly to 0 at twice the budget.
+    """
+    prices = rng.lognormal(mean=np.log(budget), sigma=0.5, size=n)
+    return np.clip(1.0 - prices / (2.0 * budget), 0.0, 1.0)
+
+
+def restaurants_dataset(n: int = 2000, seed: int = 11) -> Dataset:
+    """Example 1 data: restaurants with ``(rating, close)`` predicates.
+
+    Used by query Q1: ``order by min(rating(r), close(r, myaddr))``.
+    """
+    rng = np.random.default_rng(seed)
+    rating = _rating_scores(n, rng)
+    close = _distance_scores(n, rng)
+    return Dataset(np.column_stack([rating, close]))
+
+
+def hotels_dataset(n: int = 2000, seed: int = 13) -> Dataset:
+    """Example 2 data: hotels with ``(close, stars, cheap)`` predicates.
+
+    Used by query Q2: ``order by min(close(h), stars(h), cheap(h))``. The
+    ``stars`` and ``cheap`` columns are weakly anti-correlated (pricier
+    hotels have more stars), as real inventories do.
+    """
+    rng = np.random.default_rng(seed)
+    close = _distance_scores(n, rng)
+    stars_raw = rng.beta(4.0, 3.0, size=n)
+    stars = np.round(stars_raw * 8) / 8
+    # Price grows with star level plus noise; cheapness is its complement.
+    prices = 60.0 + 240.0 * stars_raw + rng.lognormal(3.0, 0.6, size=n)
+    cheap = np.clip(1.0 - prices / 400.0, 0.0, 1.0)
+    return Dataset(np.column_stack([close, np.clip(stars, 0, 1), cheap]))

@@ -1,0 +1,80 @@
+"""Exception hierarchy for the repro library.
+
+All library-specific errors derive from :class:`ReproError` so that callers
+can catch everything raised by this package with a single ``except`` clause.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for every error raised by the repro library."""
+
+
+class CapabilityError(ReproError):
+    """An access was requested that the source does not support.
+
+    Raised, for example, when an algorithm performs a sorted access on a
+    predicate whose source is random-access only (``cs_i = inf``), or when an
+    algorithm that structurally requires a capability (e.g. TA requires both
+    access types on every predicate) is run against a middleware that lacks
+    it.
+    """
+
+
+class WildGuessError(ReproError):
+    """A random access referenced an object never seen from sorted access.
+
+    Middleware algorithms operate under the *no wild guesses* assumption
+    (Section 3.2 of the paper, following Fagin et al.): an object can only be
+    probed after it has been discovered by some sorted access. The
+    middleware raises this error when the assumption is enabled and
+    violated.
+    """
+
+
+class DuplicateAccessError(ReproError):
+    """The same predicate score was fetched twice for the same object.
+
+    Random accesses are not progressive -- repeating one returns the same
+    score and only wastes cost (Section 3.2) -- so, in strict mode, the
+    middleware treats a duplicate score retrieval as a bug in the calling
+    algorithm.
+    """
+
+
+class ExhaustedSourceError(ReproError):
+    """A sorted access was performed on a source whose list is exhausted."""
+
+
+class UnanswerableQueryError(ReproError):
+    """The query cannot be answered under the given access capabilities.
+
+    For instance, when no predicate supports sorted access and wild guesses
+    are disallowed, no object can ever be discovered, so no algorithm can
+    make progress.
+    """
+
+
+class NotMonotoneError(ReproError):
+    """A scoring function violated the monotonicity contract.
+
+    Every scoring function ``F`` must satisfy ``F(x) <= F(y)`` whenever
+    ``x_i <= y_i`` for all ``i`` (Section 3.1). Upper-bound reasoning
+    (Theorem 1) is unsound otherwise.
+    """
+
+
+class OptimizationError(ReproError):
+    """The optimizer was configured inconsistently or failed to search."""
+
+
+class BudgetExceededError(ReproError):
+    """An access would push the middleware past its configured cost budget.
+
+    Budgets bound worst-case spending against paid or rate-limited
+    sources: the middleware refuses the access *before* performing it, so
+    no cost beyond the budget is ever incurred. The partial score state
+    remains valid; callers can surface partial results or re-plan with a
+    cheaper configuration.
+    """

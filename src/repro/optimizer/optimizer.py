@@ -1,0 +1,113 @@
+"""The optimizer facade: sample + scheme + schedule -> SR/G plan.
+
+:class:`NCOptimizer` packages Section 7's pipeline:
+
+1. pick an initial global schedule ``H_0`` by benefit/cost ranking;
+2. Delta-optimization: run the configured search scheme against the
+   simulation estimator under ``H_0``;
+3. H-optimization: re-optimize the schedule at the chosen depths
+   (heuristic mode keeps ``H_0``; exhaustive mode simulates permutations).
+
+This mirrors the paper's alternating approximation: "we first identify the
+optimal depth with respect to some initial schedule, then identify the
+optimal scheduling with respect to the identified depths."
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.data.dataset import Dataset
+from repro.optimizer.estimator import CostEstimator
+from repro.optimizer.plan import SRGPlan
+from repro.optimizer.schedule import ScheduleOptimizer, benefit_cost_schedule
+from repro.optimizer.search import HillClimb, SearchScheme
+from repro.scoring.functions import ScoringFunction
+from repro.sources.cost import CostModel
+
+
+class NCOptimizer:
+    """Produces a cost-optimized :class:`SRGPlan` for a query and scenario.
+
+    Args:
+        scheme: the Delta-search scheme; defaults to :class:`HillClimb`,
+            the paper's pick.
+        schedule_optimizer: how ``H`` is chosen; defaults to the
+            benefit/cost heuristic.
+    """
+
+    def __init__(
+        self,
+        scheme: Optional[SearchScheme] = None,
+        schedule_optimizer: Optional[ScheduleOptimizer] = None,
+    ):
+        self.scheme = scheme if scheme is not None else HillClimb()
+        self.schedule_optimizer = (
+            schedule_optimizer
+            if schedule_optimizer is not None
+            else ScheduleOptimizer(mode="heuristic")
+        )
+
+    def plan(
+        self,
+        sample: Dataset,
+        fn: ScoringFunction,
+        k: int,
+        n_total: int,
+        cost_model: CostModel,
+        no_wild_guesses: bool = True,
+        min_sample_k: Optional[int] = None,
+    ) -> SRGPlan:
+        """Optimize ``(Delta, H)`` for the query on the given scenario.
+
+        ``min_sample_k`` opts into bootstrap amplification of the sample
+        when proportional scaling would simulate with a tiny retrieval
+        size (see :class:`CostEstimator`).
+        """
+        estimator = CostEstimator(
+            sample,
+            fn,
+            k,
+            n_total,
+            cost_model,
+            no_wild_guesses=no_wild_guesses,
+            min_sample_k=min_sample_k,
+        )
+        initial_schedule = benefit_cost_schedule(sample, cost_model)
+        # The estimator's default schedule is the identity; thread H_0
+        # through explicitly for both phases.
+        start_runs = estimator.runs
+
+        class _Scheduled:
+            """Estimator view pinning the schedule during Delta search."""
+
+            sample = estimator.sample
+            fn = estimator.fn
+            cost_model = estimator.cost_model
+
+            @property
+            def runs(self) -> int:
+                return estimator.runs
+
+            @staticmethod
+            def estimate(depths, schedule=None):
+                return estimator.estimate(
+                    depths, schedule if schedule is not None else initial_schedule
+                )
+
+        result = self.scheme.search(_Scheduled())  # type: ignore[arg-type]
+        schedule = self.schedule_optimizer.optimize(
+            estimator, result.depths, initial=initial_schedule
+        )
+        cost = estimator.estimate(result.depths, schedule)
+        return SRGPlan(
+            depths=result.depths,
+            schedule=schedule,
+            estimated_cost=cost,
+            estimator_runs=estimator.runs - start_runs,
+            notes={
+                "scheme": self.scheme.describe(),
+                "sample_size": sample.n,
+                "sample_k": estimator.sample_k,
+            },
+        )

@@ -1,0 +1,53 @@
+"""The SR/G plan: what the optimizer outputs and the NC engine executes."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+
+@dataclass(frozen=True)
+class SRGPlan:
+    """A concrete point of the SR/G-reduced algorithm space (Section 7.1).
+
+    Attributes:
+        depths: per-predicate sorted-depth thresholds
+            ``Delta = (delta_1, ..., delta_m)`` -- keep descending list
+            ``i`` while its last-seen score exceeds ``delta_i``.
+        schedule: the global random-access predicate permutation ``H``.
+        estimated_cost: the optimizer's estimate for this plan (scaled to
+            the full database), when one was computed.
+        estimator_runs: how many simulation runs the optimizer spent --
+            the optimization-overhead metric of the scheme comparison
+            experiment.
+    """
+
+    depths: tuple[float, ...]
+    schedule: tuple[int, ...]
+    estimated_cost: Optional[float] = None
+    estimator_runs: int = 0
+    notes: dict = field(default_factory=dict, compare=False, hash=False)
+
+    def __post_init__(self) -> None:
+        m = len(self.depths)
+        for i, d in enumerate(self.depths):
+            if not 0.0 <= d <= 1.0:
+                raise ValueError(f"delta_{i} must be in [0, 1], got {d}")
+        if sorted(self.schedule) != list(range(m)):
+            raise ValueError(
+                f"schedule must be a permutation of 0..{m - 1}, got "
+                f"{self.schedule}"
+            )
+
+    @property
+    def m(self) -> int:
+        return len(self.depths)
+
+    def describe(self) -> str:
+        """Short human-readable plan label for reports."""
+        depths = ",".join(f"{d:.2f}" for d in self.depths)
+        order = ",".join(f"p{i}" for i in self.schedule)
+        cost = (
+            f", est={self.estimated_cost:.1f}" if self.estimated_cost is not None else ""
+        )
+        return f"Plan(Delta=({depths}), H=({order}){cost})"

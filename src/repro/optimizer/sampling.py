@@ -1,0 +1,156 @@
+"""Sample databases for simulation-based cost estimation (Section 7.3).
+
+Four kinds, spanning the sourcing options the paper names:
+
+* **true-distribution samples** -- row subsamples of the actual database
+  (offline samples built with full knowledge);
+* **online samples** -- collected through the metered middleware itself,
+  by probing uniformly-drawn objects ("samples can be obtained from
+  online sampling"); the collection cost is charged like any other access;
+* **histogram samples** -- synthesized from per-predicate histograms
+  ("built offline, based on a priori knowledge on predicate score
+  distribution"); marginals match, cross-predicate correlation is lost;
+* **dummy samples** -- uniform scores with no knowledge at all. The paper
+  deliberately runs its experiments on dummy samples "to validate our
+  framework in the worst case scenario": even distribution-free samples
+  let the optimizer adapt to the *cost* and *scoring-function* structure.
+
+:func:`bootstrap_sample` additionally amplifies any of them against the
+small-``k_s`` scaling distortion (see :class:`CostEstimator` and
+EXPERIMENTS.md E12).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.data.dataset import Dataset
+from repro.exceptions import CapabilityError, WildGuessError
+from repro.sources.middleware import Middleware
+
+
+def sample_from_dataset(dataset: Dataset, size: int, seed: int = 0) -> Dataset:
+    """A true-distribution sample: ``size`` rows drawn from ``dataset``."""
+    rng = np.random.default_rng(seed)
+    return dataset.sample(size, rng)
+
+
+def bootstrap_sample(sample: Dataset, size: int, seed: int = 0) -> Dataset:
+    """Bootstrap-amplify a sample to ``size`` rows (resampling with
+    replacement).
+
+    Motivation: the proportional retrieval-size scaling of Section 7.3
+    (``k_s = k * s / n``) bottoms out at ``k_s = 1`` when ``k/n`` is small,
+    and a top-1 simulation can rank plans differently than the real top-k
+    query (see EXPERIMENTS.md, E6/E12). Amplifying the sample restores a
+    faithful ``k_s`` while preserving the sampled score distribution; the
+    price is a proportionally longer simulation run.
+    """
+    if size < 1:
+        raise ValueError(f"size must be >= 1, got {size}")
+    rng = np.random.default_rng(seed)
+    rows = rng.choice(sample.n, size=size, replace=True)
+    return Dataset(sample.matrix[rows].copy())
+
+
+def dummy_uniform_sample(m: int, size: int, seed: int = 0) -> Dataset:
+    """A distribution-agnostic sample: ``size x m`` iid uniform scores."""
+    if m < 1:
+        raise ValueError(f"m must be >= 1, got {m}")
+    if size < 1:
+        raise ValueError(f"size must be >= 1, got {size}")
+    rng = np.random.default_rng(seed)
+    return Dataset(rng.random((size, m)))
+
+
+def online_sample(
+    middleware: Middleware, size: int, seed: int = 0
+) -> Dataset:
+    """Collect a sample through the middleware itself, at metered cost.
+
+    Draws ``size`` objects uniformly from the universe and fully evaluates
+    each via random accesses. This needs an enumerable universe (a
+    middleware with wild guesses allowed) and random access on every
+    predicate -- under no-wild-guesses, objects can only be reached
+    through sorted accesses, whose score-ordered prefixes are *biased*
+    samples; refuse rather than silently mislead the optimizer.
+
+    Every access is charged to the middleware's accounting, so callers
+    can weigh sampling cost against optimization benefit (and should pass
+    a *dedicated* middleware unless they want the collection charged to
+    the query itself). Objects already partially known are skipped to
+    respect strict no-duplicate metering.
+    """
+    if size < 1:
+        raise ValueError(f"size must be >= 1, got {size}")
+    if middleware.no_wild_guesses:
+        raise WildGuessError(
+            "online sampling needs an enumerable universe; sorted-access "
+            "prefixes are score-biased and would mislead the estimator"
+        )
+    missing = [
+        i for i in range(middleware.m) if not middleware.supports_random(i)
+    ]
+    if missing:
+        raise CapabilityError(
+            f"online sampling probes every predicate; missing random access "
+            f"on {missing}"
+        )
+    rng = np.random.default_rng(seed)
+    n = middleware.n_objects
+    order = rng.permutation(n)
+    rows: list[list[float]] = []
+    for obj in order:
+        obj = int(obj)
+        if any(middleware.was_delivered(i, obj) for i in range(middleware.m)):
+            continue
+        rows.append(
+            [middleware.random_access(i, obj) for i in range(middleware.m)]
+        )
+        if len(rows) >= size:
+            break
+    if not rows:
+        raise ValueError("no untouched objects available to sample")
+    return Dataset(np.array(rows))
+
+
+def histogram_of(values: np.ndarray, bins: int = 20) -> tuple[np.ndarray, np.ndarray]:
+    """Equi-width histogram of scores on [0, 1]: ``(counts, edges)``."""
+    if bins < 1:
+        raise ValueError(f"bins must be >= 1, got {bins}")
+    counts, edges = np.histogram(np.asarray(values), bins=bins, range=(0.0, 1.0))
+    return counts, edges
+
+
+def histogram_sample(
+    histograms: "list[tuple[np.ndarray, np.ndarray]]",
+    size: int,
+    seed: int = 0,
+) -> Dataset:
+    """Synthesize a sample from per-predicate histograms.
+
+    Each predicate's scores are drawn independently: pick a bin with
+    probability proportional to its count, then a uniform value within
+    it. Marginal distributions match the histograms; cross-predicate
+    correlation is (knowingly) lost -- the usual price of histogram-level
+    statistics, same as in Boolean optimizers.
+    """
+    if size < 1:
+        raise ValueError(f"size must be >= 1, got {size}")
+    if not histograms:
+        raise ValueError("need at least one predicate histogram")
+    rng = np.random.default_rng(seed)
+    columns = []
+    for counts, edges in histograms:
+        counts = np.asarray(counts, dtype=float)
+        edges = np.asarray(edges, dtype=float)
+        if len(edges) != len(counts) + 1:
+            raise ValueError("histogram edges must have len(counts)+1 entries")
+        if counts.sum() <= 0:
+            raise ValueError("histogram has no mass")
+        probabilities = counts / counts.sum()
+        bins = rng.choice(len(counts), size=size, p=probabilities)
+        low = edges[bins]
+        high = edges[bins + 1]
+        columns.append(low + rng.random(size) * (high - low))
+    return Dataset(np.clip(np.column_stack(columns), 0.0, 1.0))

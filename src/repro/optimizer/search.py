@@ -1,0 +1,260 @@
+"""Delta-search schemes (Section 7.2).
+
+The SR/G reduction turns plan search into optimization over the
+``m``-dimensional depth cube ``Delta in [0,1]^m`` (given a schedule ``H``).
+Three schemes, as in the paper:
+
+* :class:`NaiveGrid` -- mesh the cube and estimate every grid point; the
+  exhaustive baseline, exact on its own grid but exponential in ``m``;
+* :class:`Strategies` -- query-driven: a particular scoring function
+  implies a particular promising family (Example 11: *parallel* diagonal
+  configurations for ``avg``-like functions, *focused* single-predicate
+  configurations for ``min``-like ones); search only that family, then
+  refine locally;
+* :class:`HillClimb` -- generic informed search: multi-restart coordinate
+  hill climbing with a shrinking step, the scheme the paper's experiments
+  adopt as most effective.
+
+Every scheme returns a :class:`SearchResult` carrying the chosen depths,
+their estimated cost, and how many estimator runs the search consumed.
+"""
+
+from __future__ import annotations
+
+import itertools
+import random
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.exceptions import OptimizationError
+from repro.optimizer.estimator import CostEstimator
+from repro.scoring.functions import Avg, Max, Min, ScoringFunction, WeightedSum
+
+
+@dataclass(frozen=True)
+class SearchResult:
+    """Outcome of a Delta search."""
+
+    depths: tuple[float, ...]
+    cost: float
+    evaluations: int
+
+
+class SearchScheme(ABC):
+    """A strategy for exploring the depth cube."""
+
+    @abstractmethod
+    def search(self, estimator: CostEstimator) -> SearchResult:
+        """Find a low-cost depth vector under ``estimator``."""
+
+    def describe(self) -> str:
+        """Short scheme label for reports."""
+        return type(self).__name__
+
+
+def _grid(resolution: int) -> list[float]:
+    if resolution < 2:
+        raise OptimizationError(f"grid resolution must be >= 2, got {resolution}")
+    return [float(v) for v in np.linspace(0.0, 1.0, resolution)]
+
+
+class NaiveGrid(SearchScheme):
+    """Exhaustive grid search (Scheme Naive).
+
+    Estimates every point of a ``resolution^m`` mesh. ``max_points`` guards
+    against accidental blow-ups for larger ``m``; raise it deliberately
+    when an exact grid optimum is worth the cost (e.g. as the quality
+    reference in the scheme-comparison experiment).
+    """
+
+    def __init__(self, resolution: int = 5, max_points: int = 20000):
+        self.resolution = resolution
+        self.max_points = max_points
+
+    def search(self, estimator: CostEstimator) -> SearchResult:
+        m = estimator.sample.m
+        if self.resolution**m > self.max_points:
+            raise OptimizationError(
+                f"grid of {self.resolution}^{m} points exceeds max_points="
+                f"{self.max_points}; use HillClimb or Strategies for this m"
+            )
+        axis = _grid(self.resolution)
+        start_runs = estimator.runs
+        best_depths: tuple[float, ...] | None = None
+        best_cost = float("inf")
+        for point in itertools.product(axis, repeat=m):
+            cost = estimator.estimate(point)
+            if cost < best_cost:
+                best_cost = cost
+                best_depths = point
+        assert best_depths is not None
+        return SearchResult(best_depths, best_cost, estimator.runs - start_runs)
+
+    def describe(self) -> str:
+        """Short scheme label for reports."""
+        return f"Naive(grid={self.resolution})"
+
+
+class Strategies(SearchScheme):
+    """Query-driven candidate families (Scheme Strategies).
+
+    ``strategy='auto'`` inspects the scoring function: min-like functions
+    get the *focused* family (descend one predicate, probe the rest),
+    avg-like ones the *parallel* (equal-depth diagonal) family, anything
+    else both. After the family scan, one pass of local coordinate
+    refinement sharpens the winner.
+    """
+
+    def __init__(
+        self,
+        strategy: str = "auto",
+        resolution: int = 5,
+        refine_step: float = 0.1,
+    ):
+        if strategy not in ("auto", "parallel", "focused", "both"):
+            raise OptimizationError(f"unknown strategy {strategy!r}")
+        self.strategy = strategy
+        self.resolution = resolution
+        self.refine_step = refine_step
+
+    def _families(self, fn: ScoringFunction) -> list[str]:
+        if self.strategy == "auto":
+            if isinstance(fn, (Min, Max)):
+                return ["focused"]
+            if isinstance(fn, (Avg, WeightedSum)):
+                return ["parallel"]
+            return ["parallel", "focused"]
+        if self.strategy == "both":
+            return ["parallel", "focused"]
+        return [self.strategy]
+
+    def _candidates(self, m: int, families: list[str]) -> list[tuple[float, ...]]:
+        axis = _grid(self.resolution)
+        points: list[tuple[float, ...]] = []
+        if "parallel" in families:
+            points.extend(tuple([d] * m) for d in axis)
+        if "focused" in families:
+            for i in range(m):
+                for d in axis:
+                    point = [1.0] * m
+                    point[i] = d
+                    points.append(tuple(point))
+        # Always include the two capability corners as sanity anchors.
+        points.append(tuple([0.0] * m))
+        points.append(tuple([1.0] * m))
+        return list(dict.fromkeys(points))
+
+    def search(self, estimator: CostEstimator) -> SearchResult:
+        m = estimator.sample.m
+        families = self._families(estimator.fn)
+        start_runs = estimator.runs
+        best_depths: tuple[float, ...] | None = None
+        best_cost = float("inf")
+        for point in self._candidates(m, families):
+            cost = estimator.estimate(point)
+            if cost < best_cost:
+                best_cost, best_depths = cost, point
+        assert best_depths is not None
+        # One local refinement pass around the family winner.
+        improved = True
+        while improved:
+            improved = False
+            for i in range(m):
+                for direction in (-self.refine_step, self.refine_step):
+                    candidate = list(best_depths)
+                    candidate[i] = min(1.0, max(0.0, candidate[i] + direction))
+                    cost = estimator.estimate(candidate)
+                    if cost < best_cost:
+                        best_cost, best_depths = cost, tuple(candidate)
+                        improved = True
+        return SearchResult(best_depths, best_cost, estimator.runs - start_runs)
+
+    def describe(self) -> str:
+        """Short scheme label for reports."""
+        return f"Strategies({self.strategy})"
+
+
+class HillClimb(SearchScheme):
+    """Multi-restart coordinate hill climbing (Scheme HClimb).
+
+    From each start point, repeatedly move to the best improving neighbour
+    along one coordinate (+-step); when stuck, halve the step until it
+    falls below ``min_step``. Starts combine the diagonal midpoint, the
+    all-ones corner (probe-only), the all-zeros corner (scan-only), and
+    ``restarts`` random points -- the paper's remedy against local minima.
+    """
+
+    def __init__(
+        self,
+        restarts: int = 3,
+        step: float = 0.25,
+        min_step: float = 0.04,
+        seed: int = 0,
+    ):
+        if restarts < 0:
+            raise OptimizationError("restarts must be >= 0")
+        if not 0 < min_step <= step <= 1:
+            raise OptimizationError("need 0 < min_step <= step <= 1")
+        self.restarts = restarts
+        self.step = step
+        self.min_step = min_step
+        self.seed = seed
+
+    def _starts(self, m: int) -> list[tuple[float, ...]]:
+        rng = random.Random(self.seed)
+        starts = [
+            tuple([0.5] * m),
+            tuple([1.0] * m),
+            tuple([0.0] * m),
+        ]
+        for _ in range(self.restarts):
+            starts.append(tuple(rng.random() for _ in range(m)))
+        return starts
+
+    def _climb(
+        self, estimator: CostEstimator, start: tuple[float, ...]
+    ) -> tuple[tuple[float, ...], float]:
+        m = len(start)
+        current = start
+        current_cost = estimator.estimate(current)
+        step = self.step
+        while step >= self.min_step:
+            moved = True
+            while moved:
+                moved = False
+                best_neighbour = None
+                best_cost = current_cost
+                for i in range(m):
+                    for direction in (-step, step):
+                        value = min(1.0, max(0.0, current[i] + direction))
+                        if value == current[i]:
+                            continue
+                        candidate = list(current)
+                        candidate[i] = value
+                        cost = estimator.estimate(candidate)
+                        if cost < best_cost:
+                            best_cost = cost
+                            best_neighbour = tuple(candidate)
+                if best_neighbour is not None:
+                    current, current_cost = best_neighbour, best_cost
+                    moved = True
+            step /= 2.0
+        return current, current_cost
+
+    def search(self, estimator: CostEstimator) -> SearchResult:
+        m = estimator.sample.m
+        start_runs = estimator.runs
+        best_depths: tuple[float, ...] | None = None
+        best_cost = float("inf")
+        for start in self._starts(m):
+            depths, cost = self._climb(estimator, start)
+            if cost < best_cost:
+                best_cost, best_depths = cost, depths
+        assert best_depths is not None
+        return SearchResult(best_depths, best_cost, estimator.runs - start_runs)
+
+    def describe(self) -> str:
+        """Short scheme label for reports."""
+        return f"HClimb(restarts={self.restarts})"

@@ -1,0 +1,16 @@
+"""Bounded-concurrency execution over NC plans (Section 9.1.1).
+
+Total access cost measures resource usage; web sources additionally allow
+concurrent accesses, trading elapsed time against server load. The paper
+models concurrency as *bounded* and builds parallelization on top of the
+sequential access-minimizing plan. :class:`ParallelExecutor` implements
+that: it speculatively batches up to ``c`` compatible accesses that the
+sequential NC schedule would want, executes them under a virtual clock,
+and reports both the (essentially unchanged) total cost and the reduced
+elapsed time (makespan).
+"""
+
+from repro.parallel.clock import VirtualClock
+from repro.parallel.executor import ParallelExecutor, ParallelResult
+
+__all__ = ["ParallelExecutor", "ParallelResult", "VirtualClock"]

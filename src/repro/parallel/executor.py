@@ -1,0 +1,198 @@
+"""The bounded-concurrency executor over NC plans.
+
+Strategy (Section 9.1.1): parallelization *builds on* the sequential
+access-minimization framework rather than replacing it. Each wave, the
+executor collects up to ``c`` distinct compatible accesses that the
+sequential NC schedule wants next -- the policy-selected necessary choices
+of the current top-k's incomplete objects (a sorted stream can be advanced
+only once per wave) -- then issues the wave concurrently under a virtual
+clock and folds in all results at the barrier.
+
+Two speculation modes trade elapsed time against total cost:
+
+* ``"none"`` (default): a target joins a wave only with the exact access
+  the sequential policy picks for it. Total cost stays essentially equal
+  to the sequential plan's; the speedup is bounded by the plan's natural
+  width (concurrent streams plus independent probes).
+* ``"eager"``: leftover slots are packed with second-choice accesses of
+  the same targets. Elapsed time keeps dropping with ``c``, at the price
+  of accesses the sequential plan may prove unnecessary.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.core.choices import necessary_choices
+from repro.core.framework import FrameworkNC
+from repro.core.policies import SelectContext, SelectPolicy
+from repro.core.tasks import UNSEEN
+from repro.parallel.clock import VirtualClock
+from repro.scoring.functions import ScoringFunction
+from repro.sources.latency import ConstantLatency, LatencyModel
+from repro.sources.middleware import Middleware
+from repro.types import Access, QueryResult
+
+
+@dataclass
+class ParallelResult:
+    """Outcome of a bounded-concurrency run.
+
+    Attributes:
+        result: the (exact) query answer with total-cost accounting.
+        elapsed: virtual elapsed time (sum of wave makespans).
+        waves: number of concurrent waves issued.
+        concurrency: the bound ``c`` the run respected.
+    """
+
+    result: QueryResult
+    elapsed: float
+    waves: int
+    concurrency: int
+
+    @property
+    def total_cost(self) -> float:
+        return self.result.total_cost()
+
+
+class ParallelExecutor(FrameworkNC):
+    """NC engine variant issuing accesses in bounded concurrent waves."""
+
+    def __init__(
+        self,
+        middleware: Middleware,
+        fn: ScoringFunction,
+        k: int,
+        policy: SelectPolicy,
+        concurrency: int,
+        latency_model: Optional[LatencyModel] = None,
+        speculation: str = "none",
+    ):
+        super().__init__(middleware, fn, k, policy)
+        if concurrency < 1:
+            raise ValueError(f"concurrency must be >= 1, got {concurrency}")
+        if speculation not in ("none", "eager"):
+            raise ValueError(f"speculation must be 'none' or 'eager', got {speculation!r}")
+        self.concurrency = concurrency
+        self.speculation = speculation
+        self.latency_model = (
+            latency_model
+            if latency_model is not None
+            else ConstantLatency(middleware.cost_model)
+        )
+        self.clock = VirtualClock()
+        self.waves = 0
+
+    def _plan_wave(self, popped: list[tuple[int, float]]) -> list[Access]:
+        """Choose up to ``c`` distinct compatible accesses for this wave.
+
+        Each incomplete top-k object contributes at most one access -- the
+        one the sequential policy would pick for it. Every access in the
+        wave is therefore individually justified by Theorem 1 (its target's
+        task must be worked on eventually); the only speculation is
+        ordering, which keeps the total-cost overhead of concurrency small.
+        """
+        targets = [
+            obj
+            for obj, _bound in popped
+            if obj == UNSEEN or not self.state.is_complete(obj)
+        ]
+        batch: list[Access] = []
+        used_sorted: set[int] = set()
+        used: set[Access] = set()
+        for target in targets:
+            if len(batch) >= self.concurrency:
+                break
+            alternatives = necessary_choices(self.state, target)
+            ctx = SelectContext(
+                state=self.state, middleware=self.middleware, target=target
+            )
+            access = self.policy.select(alternatives, ctx)
+            if access in used or (
+                access.is_sorted and access.predicate in used_sorted
+            ):
+                # The access this target actually wants is already in the
+                # wave (a shared sorted stream, typically). Issuing its
+                # second choice instead would be speculation the sequential
+                # plan never performs; skip the target until the next wave.
+                continue
+            batch.append(access)
+            used.add(access)
+            if access.is_sorted:
+                used_sorted.add(access.predicate)
+        if self.speculation == "eager":
+            self._fill_speculatively(targets, batch, used, used_sorted)
+        return batch
+
+    def _fill_speculatively(
+        self,
+        targets: list[int],
+        batch: list[Access],
+        used: set[Access],
+        used_sorted: set[int],
+    ) -> None:
+        """Eager mode: pack remaining slots with second-choice accesses.
+
+        Trades extra total cost (accesses the sequential plan may prove
+        unnecessary) for lower elapsed time at high concurrency bounds --
+        the knob the parallel experiment ablates.
+        """
+        progressed = True
+        while len(batch) < self.concurrency and progressed:
+            progressed = False
+            for target in targets:
+                if len(batch) >= self.concurrency:
+                    break
+                alternatives = [
+                    acc
+                    for acc in necessary_choices(self.state, target)
+                    if acc not in used
+                    and not (acc.is_sorted and acc.predicate in used_sorted)
+                ]
+                if not alternatives:
+                    continue
+                ctx = SelectContext(
+                    state=self.state, middleware=self.middleware, target=target
+                )
+                access = self.policy.select(alternatives, ctx)
+                batch.append(access)
+                used.add(access)
+                if access.is_sorted:
+                    used_sorted.add(access.predicate)
+                progressed = True
+
+    def execute(self) -> ParallelResult:
+        """Run the query to completion under the concurrency bound."""
+        self._prepare()
+        while True:
+            popped = self._collect_topk()
+            if self._first_incomplete(popped) is None:
+                result = self._finish(popped, self._label())
+                result.metadata["waves"] = self.waves
+                result.metadata["concurrency"] = self.concurrency
+                return ParallelResult(
+                    result=result,
+                    elapsed=self.clock.now,
+                    waves=self.waves,
+                    concurrency=self.concurrency,
+                )
+            batch = self._plan_wave(popped)
+            assert batch, "incomplete top-k objects always admit an access"
+            durations = [self.latency_model.duration(acc) for acc in batch]
+            # Fold results in randoms-first: a concurrent sa_i may deliver an
+            # object the same wave also probed on i, and applying the probe
+            # after the delivery would look like a duplicate fetch.
+            for access in sorted(batch, key=lambda acc: acc.is_sorted):
+                self._apply(access)
+            self.clock.run_wave(durations, self.concurrency)
+            self.waves += 1
+            self._check_budget()
+            self._push_back(popped)
+
+    def run(self) -> QueryResult:
+        """TopK-style entry point returning just the query result."""
+        return self.execute().result
+
+    def _label(self) -> str:
+        return f"NC-parallel[c={self.concurrency},{self.speculation}]"

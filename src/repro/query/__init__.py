@@ -1,0 +1,53 @@
+"""SQL-like top-k query front end (the paper's Examples 1-2 syntax).
+
+The paper writes ranked queries as::
+
+    SELECT name FROM restaurants
+    ORDER BY min(rating, close)
+    STOP AFTER 5
+
+This package parses that surface syntax into a
+:class:`~repro.query.ast.ParsedQuery` -- a monotone scoring function over
+named predicates plus a retrieval size -- and executes it against a
+middleware whose predicates carry those names:
+
+    >>> from repro.query import parse_query, run_query
+    >>> q = parse_query(
+    ...     "SELECT * FROM r ORDER BY min(rating, close) STOP AFTER 5"
+    ... )
+    >>> result = run_query(q, middleware, schema=["rating", "close"])
+
+Supported scoring expressions (all monotone by construction):
+
+* aggregate calls: ``min(...)``, ``max(...)``, ``avg(...)``, ``prod(...)``,
+  ``geo(...)``, ``median(...)`` over subexpressions;
+* weighted sums: ``0.3*rating + 0.7*close`` (nonnegative weights summing
+  to at most 1, keeping scores in ``[0, 1]``);
+* bare predicate references.
+
+``LIMIT k`` is accepted as a synonym for ``STOP AFTER k``.
+"""
+
+from repro.query.ast import (
+    Aggregate,
+    Expr,
+    ParsedQuery,
+    PredicateRef,
+    QueryError,
+    WeightedSum as WeightedSumExpr,
+)
+from repro.query.compiler import compile_expression
+from repro.query.parser import parse_query
+from repro.query.runner import run_query
+
+__all__ = [
+    "parse_query",
+    "run_query",
+    "compile_expression",
+    "ParsedQuery",
+    "QueryError",
+    "Expr",
+    "PredicateRef",
+    "Aggregate",
+    "WeightedSumExpr",
+]

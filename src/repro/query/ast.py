@@ -1,0 +1,179 @@
+"""AST nodes and the parsed-query record for the SQL-like front end."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+from repro.exceptions import ReproError
+
+
+class QueryError(ReproError):
+    """Malformed query text or an expression violating the contracts
+    (unknown aggregate, negative weight, weights exceeding 1, ...)."""
+
+
+class Expr:
+    """Base class of scoring-expression nodes.
+
+    Every node evaluates monotonically over an environment mapping
+    predicate names to scores in ``[0, 1]``; :meth:`predicates` lists the
+    names a node references, in first-appearance order.
+    """
+
+    def evaluate(self, env: dict[str, float]) -> float:
+        """Evaluate under an environment of predicate scores."""
+        raise NotImplementedError
+
+    def predicates(self) -> list[str]:
+        """Referenced predicate names, first-appearance order."""
+        raise NotImplementedError
+
+
+@dataclass(frozen=True)
+class PredicateRef(Expr):
+    """A reference to a named predicate, e.g. ``rating``."""
+
+    name: str
+
+    def evaluate(self, env: dict[str, float]) -> float:
+        return env[self.name]
+
+    def predicates(self) -> list[str]:
+        return [self.name]
+
+    def __str__(self) -> str:
+        return self.name
+
+
+@dataclass(frozen=True)
+class Aggregate(Expr):
+    """A monotone aggregate call, e.g. ``min(rating, close)``."""
+
+    #: aggregate name -> (reducer over the evaluated argument list)
+    SUPPORTED = ("min", "max", "avg", "prod", "geo", "median")
+
+    name: str
+    args: tuple[Expr, ...]
+
+    def __post_init__(self) -> None:
+        if self.name not in self.SUPPORTED:
+            raise QueryError(
+                f"unknown aggregate {self.name!r}; supported: "
+                f"{', '.join(self.SUPPORTED)}"
+            )
+        if not self.args:
+            raise QueryError(f"aggregate {self.name} needs at least one argument")
+
+    def evaluate(self, env: dict[str, float]) -> float:
+        values = [arg.evaluate(env) for arg in self.args]
+        if self.name == "min":
+            return min(values)
+        if self.name == "max":
+            return max(values)
+        if self.name == "avg":
+            return sum(values) / len(values)
+        if self.name == "prod":
+            out = 1.0
+            for v in values:
+                out *= v
+            return out
+        if self.name == "geo":
+            out = 1.0
+            for v in values:
+                out *= v
+            return out ** (1.0 / len(values))
+        # median (lower median for even arity)
+        ordered = sorted(values)
+        return ordered[(len(ordered) - 1) // 2]
+
+    def predicates(self) -> list[str]:
+        seen: dict[str, None] = {}
+        for arg in self.args:
+            for name in arg.predicates():
+                seen.setdefault(name)
+        return list(seen)
+
+    def __str__(self) -> str:
+        return f"{self.name}({', '.join(str(a) for a in self.args)})"
+
+
+@dataclass(frozen=True)
+class WeightedSum(Expr):
+    """A nonnegative weighted sum, e.g. ``0.3*rating + 0.7*close``.
+
+    Weights must sum to at most 1 so the expression stays within
+    ``[0, 1]`` (write ``avg(...)`` or explicit normalized weights
+    otherwise).
+    """
+
+    terms: tuple[tuple[float, Expr], ...]
+
+    def __post_init__(self) -> None:
+        if not self.terms:
+            raise QueryError("a sum needs at least one term")
+        total = 0.0
+        for weight, _expr in self.terms:
+            if weight < 0:
+                raise QueryError(f"negative weight {weight} breaks monotonicity")
+            total += weight
+        if total > 1.0 + 1e-9:
+            raise QueryError(
+                f"sum weights add to {total:g} > 1; normalize them to keep "
+                "scores in [0, 1]"
+            )
+
+    def evaluate(self, env: dict[str, float]) -> float:
+        return sum(weight * expr.evaluate(env) for weight, expr in self.terms)
+
+    def predicates(self) -> list[str]:
+        seen: dict[str, None] = {}
+        for _weight, expr in self.terms:
+            for name in expr.predicates():
+                seen.setdefault(name)
+        return list(seen)
+
+    def __str__(self) -> str:
+        parts = []
+        for weight, expr in self.terms:
+            text = str(expr)
+            if isinstance(expr, WeightedSum):
+                # A nested sum must be parenthesized or the rendering is
+                # ambiguous ("0.5*0.3*a + ..." reads as a double weight).
+                text = f"({text})"
+            parts.append(f"{weight:g}*{text}")
+        return " + ".join(parts)
+
+
+@dataclass(frozen=True)
+class ParsedQuery:
+    """The outcome of parsing: the paper's ``Q = (F, k)`` plus metadata.
+
+    Attributes:
+        select: projected column names (``["*"]`` for all).
+        source: the FROM identifier (informational; the middleware is the
+            actual source binding).
+        expr: the scoring expression AST.
+        k: the retrieval size from STOP AFTER / LIMIT.
+        predicates: referenced predicate names, first-appearance order.
+    """
+
+    select: tuple[str, ...]
+    source: str
+    expr: Expr
+    k: int
+    predicates: tuple[str, ...] = field(init=False)
+
+    def __post_init__(self) -> None:
+        if self.k < 1:
+            raise QueryError(f"retrieval size must be >= 1, got {self.k}")
+        object.__setattr__(self, "predicates", tuple(self.expr.predicates()))
+        if not self.predicates:
+            raise QueryError("the ORDER BY expression references no predicates")
+
+    def __str__(self) -> str:
+        cols = ", ".join(self.select)
+        return (
+            f"SELECT {cols} FROM {self.source} "
+            f"ORDER BY {self.expr} STOP AFTER {self.k}"
+        )

@@ -1,0 +1,47 @@
+"""Compile scoring-expression ASTs into ScoringFunction objects."""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from repro.query.ast import Expr, QueryError
+from repro.scoring.functions import Monotone, ScoringFunction
+
+
+def compile_expression(
+    expr: Expr, schema: Optional[Sequence[str]] = None
+) -> tuple[ScoringFunction, tuple[str, ...]]:
+    """Compile an expression into ``(fn, predicate_order)``.
+
+    ``fn`` takes a score vector aligned with ``predicate_order``. When a
+    ``schema`` is given, the vector is aligned with the schema instead
+    (the middleware's predicate order); every referenced predicate must
+    then appear in the schema. Schema predicates the expression never
+    references are legal -- they simply do not influence the score (and a
+    cost-based plan will learn not to access them).
+
+    All AST node types are monotone by construction, so the compiled
+    function honours the Section 3.1 contract.
+    """
+    referenced = tuple(expr.predicates())
+    if schema is None:
+        order = referenced
+    else:
+        order = tuple(schema)
+        missing = [name for name in referenced if name not in order]
+        if missing:
+            raise QueryError(
+                f"predicates {missing} are not in the schema {list(order)}"
+            )
+        duplicates = {name for name in order if list(order).count(name) > 1}
+        if duplicates:
+            raise QueryError(f"schema has duplicate predicates {sorted(duplicates)}")
+
+    index = {name: i for i, name in enumerate(order)}
+
+    def evaluate(scores: Sequence[float]) -> float:
+        env = {name: scores[index[name]] for name in referenced}
+        return expr.evaluate(env)
+
+    fn = Monotone(evaluate, arity=len(order), name=str(expr))
+    return fn, order

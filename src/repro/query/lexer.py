@@ -1,0 +1,68 @@
+"""Tokenizer for the SQL-like query syntax."""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from typing import Iterator
+
+from repro.query.ast import QueryError
+
+#: Keywords are case-insensitive; identifiers are case-sensitive.
+KEYWORDS = frozenset(
+    {"select", "from", "order", "by", "stop", "after", "limit"}
+)
+
+_TOKEN_RE = re.compile(
+    r"""
+    (?P<ws>\s+)
+  | (?P<number>(?:\d+(?:\.\d+)?|\.\d+)(?:[eE][+-]?\d+)?)
+  | (?P<ident>[A-Za-z_][A-Za-z_0-9]*)
+  | (?P<star>\*)
+  | (?P<plus>\+)
+  | (?P<lparen>\()
+  | (?P<rparen>\))
+  | (?P<comma>,)
+    """,
+    re.VERBOSE,
+)
+
+
+@dataclass(frozen=True)
+class Token:
+    """One lexical token with its source position (for error messages)."""
+
+    kind: str  # keyword | ident | number | star | plus | lparen | rparen | comma | eof
+    text: str
+    position: int
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{self.kind}({self.text!r})@{self.position}"
+
+
+def tokenize(text: str) -> list[Token]:
+    """Tokenize query text, raising :class:`QueryError` on foreign chars."""
+    tokens: list[Token] = []
+    position = 0
+    while position < len(text):
+        match = _TOKEN_RE.match(text, position)
+        if match is None:
+            raise QueryError(
+                f"unexpected character {text[position]!r} at offset {position}"
+            )
+        kind = match.lastgroup
+        assert kind is not None
+        value = match.group()
+        if kind != "ws":
+            if kind == "ident" and value.lower() in KEYWORDS:
+                tokens.append(Token("keyword", value.lower(), position))
+            else:
+                tokens.append(Token(kind, value, position))
+        position = match.end()
+    tokens.append(Token("eof", "", len(text)))
+    return tokens
+
+
+def iter_tokens(text: str) -> Iterator[Token]:
+    """Generator form of :func:`tokenize`."""
+    yield from tokenize(text)

@@ -1,0 +1,44 @@
+"""Execute parsed queries against a middleware."""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from repro.algorithms.base import TopKAlgorithm
+from repro.algorithms.nc import NC
+from repro.query.ast import ParsedQuery, QueryError
+from repro.query.compiler import compile_expression
+from repro.sources.middleware import Middleware
+from repro.types import QueryResult
+
+
+def run_query(
+    query: ParsedQuery,
+    middleware: Middleware,
+    schema: Sequence[str],
+    algorithm: Optional[TopKAlgorithm] = None,
+) -> QueryResult:
+    """Execute a parsed query over ``middleware``.
+
+    Args:
+        query: the parsed query (``Q = (F, k)`` plus metadata).
+        middleware: the metered access layer; its predicate ``i`` serves
+            the score of ``schema[i]``.
+        schema: predicate names aligned with the middleware's predicates.
+        algorithm: the processing algorithm; defaults to cost-based
+            :class:`~repro.algorithms.nc.NC` (the paper's system).
+
+    Returns the usual :class:`QueryResult`; the query text and predicate
+    binding are recorded in its metadata.
+    """
+    if len(schema) != middleware.m:
+        raise QueryError(
+            f"schema names {len(schema)} predicates but the middleware "
+            f"serves {middleware.m}"
+        )
+    fn, order = compile_expression(query.expr, schema=schema)
+    runner = algorithm if algorithm is not None else NC()
+    result = runner.run(middleware, fn, query.k)
+    result.metadata["query"] = str(query)
+    result.metadata["schema"] = tuple(order)
+    return result

@@ -1,0 +1,34 @@
+"""Monotone scoring functions for top-k queries (Section 3.1).
+
+A top-k query ``Q = (F, k)`` aggregates per-predicate scores in ``[0, 1]``
+with a monotone scoring function ``F``. This package provides the standard
+aggregates used throughout the paper (``min``, ``avg``, weighted sums, ...)
+plus a wrapper for arbitrary user-supplied monotone functions and a
+randomized monotonicity checker.
+"""
+
+from repro.scoring.functions import (
+    Avg,
+    Geometric,
+    Max,
+    Median,
+    Min,
+    Monotone,
+    Product,
+    ScoringFunction,
+    WeightedSum,
+)
+from repro.scoring.monotonicity import check_monotone
+
+__all__ = [
+    "ScoringFunction",
+    "Min",
+    "Max",
+    "Avg",
+    "WeightedSum",
+    "Product",
+    "Geometric",
+    "Median",
+    "Monotone",
+    "check_monotone",
+]

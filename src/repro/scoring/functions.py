@@ -1,0 +1,230 @@
+"""Scoring function implementations.
+
+The framework only ever relies on two properties of a scoring function
+(Section 3.1):
+
+* it maps an ``m``-vector of predicate scores in ``[0, 1]`` to a single
+  score, and
+* it is monotone: raising any input cannot lower the output. Monotonicity
+  is what makes maximal-possible-score reasoning (Eq. 3, Theorem 1) sound.
+
+Functions additionally expose a numeric partial derivative used by the
+Quick-Combine / Stream-Combine baselines' access indicator; the paper notes
+that derivative-based heuristics break down for non-smooth functions like
+``min``, which is exactly the behaviour the benchmarks exercise.
+"""
+
+from __future__ import annotations
+
+import math
+from abc import ABC, abstractmethod
+from typing import Callable, Sequence
+
+
+class ScoringFunction(ABC):
+    """A monotone aggregate ``F: [0,1]^m -> [0,1]``.
+
+    Subclasses implement :meth:`evaluate`; the base class provides input
+    validation, callable sugar, and a numeric partial derivative fallback.
+
+    Attributes:
+        arity: the number of predicate inputs ``m``.
+        name: a short human-readable label used in reports.
+    """
+
+    def __init__(self, arity: int, name: str):
+        if arity < 1:
+            raise ValueError(f"scoring function arity must be >= 1, got {arity}")
+        self.arity = arity
+        self.name = name
+
+    @abstractmethod
+    def evaluate(self, scores: Sequence[float]) -> float:
+        """Aggregate a full vector of ``m`` predicate scores."""
+
+    def __call__(self, scores: Sequence[float]) -> float:
+        if len(scores) != self.arity:
+            raise ValueError(
+                f"{self.name} expects {self.arity} scores, got {len(scores)}"
+            )
+        return self.evaluate(scores)
+
+    def partial_derivative(
+        self, index: int, point: Sequence[float], eps: float = 1e-6
+    ) -> float:
+        """Partial derivative ``dF/dx_index`` at ``point``.
+
+        Validates the index, then dispatches to :meth:`_partial`, whose
+        default is a one-sided numeric difference clipped to the unit
+        cube; subclasses with a closed form (weighted sums, min/max
+        subgradients) override ``_partial``.
+        """
+        if not 0 <= index < self.arity:
+            raise IndexError(f"predicate index {index} out of range")
+        return self._partial(index, point, eps)
+
+    def _partial(
+        self, index: int, point: Sequence[float], eps: float = 1e-6
+    ) -> float:
+        lo = list(point)
+        hi = list(point)
+        hi[index] = min(1.0, hi[index] + eps)
+        lo[index] = max(0.0, lo[index] - eps)
+        span = hi[index] - lo[index]
+        if span <= 0.0:
+            return 0.0
+        return (self.evaluate(hi) - self.evaluate(lo)) / span
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{type(self).__name__}(arity={self.arity})"
+
+    def __str__(self) -> str:
+        return self.name
+
+
+class Min(ScoringFunction):
+    """``F = min(x_1, ..., x_m)`` -- the fuzzy conjunction of the paper's Q1."""
+
+    def __init__(self, arity: int):
+        super().__init__(arity, f"min[{arity}]")
+
+    def evaluate(self, scores: Sequence[float]) -> float:
+        return min(scores)
+
+    def _partial(
+        self, index: int, point: Sequence[float], eps: float = 1e-6
+    ) -> float:
+        # Subgradient: 1 on the (unique) argmin coordinate, else 0. On ties
+        # we charge the first argmin, matching the numeric fallback's bias.
+        argmin = min(range(self.arity), key=lambda i: point[i])
+        return 1.0 if index == argmin else 0.0
+
+
+class Max(ScoringFunction):
+    """``F = max(x_1, ..., x_m)`` -- fuzzy disjunction."""
+
+    def __init__(self, arity: int):
+        super().__init__(arity, f"max[{arity}]")
+
+    def evaluate(self, scores: Sequence[float]) -> float:
+        return max(scores)
+
+    def _partial(
+        self, index: int, point: Sequence[float], eps: float = 1e-6
+    ) -> float:
+        argmax = max(range(self.arity), key=lambda i: point[i])
+        return 1.0 if index == argmax else 0.0
+
+
+class Avg(ScoringFunction):
+    """``F = (x_1 + ... + x_m) / m`` -- the paper's symmetric scenario S1."""
+
+    def __init__(self, arity: int):
+        super().__init__(arity, f"avg[{arity}]")
+
+    def evaluate(self, scores: Sequence[float]) -> float:
+        return math.fsum(scores) / self.arity
+
+    def _partial(
+        self, index: int, point: Sequence[float], eps: float = 1e-6
+    ) -> float:
+        return 1.0 / self.arity
+
+
+class WeightedSum(ScoringFunction):
+    """``F = sum(w_i * x_i)`` with nonnegative weights summing to 1.
+
+    Weights are normalized on construction so the output stays in
+    ``[0, 1]``.
+    """
+
+    def __init__(self, weights: Sequence[float]):
+        if not weights:
+            raise ValueError("WeightedSum requires at least one weight")
+        if any(w < 0 for w in weights):
+            raise ValueError("WeightedSum weights must be nonnegative")
+        total = math.fsum(weights)
+        if total <= 0:
+            raise ValueError("WeightedSum weights must not all be zero")
+        self.weights = tuple(w / total for w in weights)
+        label = ",".join(f"{w:.2f}" for w in self.weights)
+        super().__init__(len(weights), f"wsum[{label}]")
+
+    def evaluate(self, scores: Sequence[float]) -> float:
+        return math.fsum(w * s for w, s in zip(self.weights, scores))
+
+    def _partial(
+        self, index: int, point: Sequence[float], eps: float = 1e-6
+    ) -> float:
+        return self.weights[index]
+
+
+class Product(ScoringFunction):
+    """``F = x_1 * ... * x_m`` -- probabilistic conjunction."""
+
+    def __init__(self, arity: int):
+        super().__init__(arity, f"prod[{arity}]")
+
+    def evaluate(self, scores: Sequence[float]) -> float:
+        out = 1.0
+        for s in scores:
+            out *= s
+        return out
+
+    def _partial(
+        self, index: int, point: Sequence[float], eps: float = 1e-6
+    ) -> float:
+        out = 1.0
+        for i, s in enumerate(point):
+            if i != index:
+                out *= s
+        return out
+
+
+class Geometric(ScoringFunction):
+    """``F = (x_1 * ... * x_m) ** (1/m)`` -- the geometric mean."""
+
+    def __init__(self, arity: int):
+        super().__init__(arity, f"geo[{arity}]")
+
+    def evaluate(self, scores: Sequence[float]) -> float:
+        out = 1.0
+        for s in scores:
+            out *= s
+        return out ** (1.0 / self.arity)
+
+
+class Median(ScoringFunction):
+    """``F = median(x_1, ..., x_m)`` (lower median for even arity).
+
+    Monotone but neither smooth nor strictly increasing -- a useful stress
+    case for derivative-based baselines.
+    """
+
+    def __init__(self, arity: int):
+        super().__init__(arity, f"median[{arity}]")
+
+    def evaluate(self, scores: Sequence[float]) -> float:
+        ordered = sorted(scores)
+        return ordered[(self.arity - 1) // 2]
+
+
+class Monotone(ScoringFunction):
+    """Wrap an arbitrary user callable as a scoring function.
+
+    The wrapper does not (and cannot exhaustively) verify monotonicity; use
+    :func:`repro.scoring.check_monotone` to randomized-test a candidate
+    before trusting it in a query.
+    """
+
+    def __init__(
+        self,
+        fn: Callable[[Sequence[float]], float],
+        arity: int,
+        name: str = "custom",
+    ):
+        super().__init__(arity, name)
+        self._fn = fn
+
+    def evaluate(self, scores: Sequence[float]) -> float:
+        return self._fn(scores)

@@ -1,0 +1,49 @@
+"""Randomized monotonicity checking for scoring functions.
+
+The whole optimization framework is sound only for monotone ``F``
+(Section 3.1): the maximal-possible score of Eq. 3 substitutes upper bounds
+for unknown predicate scores, which over-approximates the true score *only
+if* ``F`` is monotone. This module provides a cheap randomized check used by
+the engines' constructors (and available to users wrapping custom
+callables).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Optional
+
+from repro.exceptions import NotMonotoneError
+from repro.scoring.functions import ScoringFunction
+
+
+def check_monotone(
+    fn: ScoringFunction,
+    trials: int = 200,
+    seed: int = 0,
+    raise_on_failure: bool = True,
+) -> Optional[tuple[tuple[float, ...], tuple[float, ...]]]:
+    """Randomized-test that ``fn`` is monotone on the unit cube.
+
+    Draws random pairs ``x <= y`` (componentwise) and checks
+    ``fn(x) <= fn(y)``. Returns ``None`` when no violation is found;
+    otherwise returns the violating pair ``(x, y)``, or raises
+    :class:`NotMonotoneError` when ``raise_on_failure`` is set.
+
+    This is a falsifier, not a prover: passing it does not certify
+    monotonicity, but it reliably catches the common mistakes (negated
+    inputs, differences, distances used as raw scores).
+    """
+    rng = random.Random(seed)
+    m = fn.arity
+    for _ in range(trials):
+        lo = [rng.random() for _ in range(m)]
+        hi = [min(1.0, v + rng.random() * (1.0 - v)) for v in lo]
+        if fn(lo) > fn(hi) + 1e-12:
+            pair = (tuple(lo), tuple(hi))
+            if raise_on_failure:
+                raise NotMonotoneError(
+                    f"{fn.name} is not monotone: F({pair[0]}) > F({pair[1]})"
+                )
+            return pair
+    return None

@@ -1,0 +1,127 @@
+"""JSON (de)serialization for plans, cost models and query results.
+
+A deployed middleware wants to persist what the optimizer decided (reuse
+a plan across sessions), exchange cost scenarios between services, and
+log query outcomes. Everything here round-trips through plain JSON-safe
+dictionaries; infinities (unsupported accesses) are encoded as the
+string ``"inf"`` so the output stays valid strict JSON.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from typing import Any
+
+from repro.optimizer.plan import SRGPlan
+from repro.sources.cost import CostModel
+from repro.types import QueryResult, RankedObject
+
+
+def _encode_cost(value: float) -> Any:
+    return "inf" if math.isinf(value) else value
+
+
+def _decode_cost(value: Any) -> float:
+    if value == "inf":
+        return math.inf
+    return float(value)
+
+
+# ----------------------------------------------------------------------
+# CostModel
+# ----------------------------------------------------------------------
+
+def cost_model_to_dict(model: CostModel) -> dict:
+    """Encode a cost model as a JSON-safe dict."""
+    return {
+        "cs": [_encode_cost(c) for c in model.cs],
+        "cr": [_encode_cost(c) for c in model.cr],
+    }
+
+
+def cost_model_from_dict(data: dict) -> CostModel:
+    """Decode a cost model; validates via the CostModel constructor."""
+    return CostModel(
+        tuple(_decode_cost(c) for c in data["cs"]),
+        tuple(_decode_cost(c) for c in data["cr"]),
+    )
+
+
+# ----------------------------------------------------------------------
+# SRGPlan
+# ----------------------------------------------------------------------
+
+def plan_to_dict(plan: SRGPlan) -> dict:
+    """Encode an SR/G plan (notes must already be JSON-safe)."""
+    return {
+        "depths": list(plan.depths),
+        "schedule": list(plan.schedule),
+        "estimated_cost": plan.estimated_cost,
+        "estimator_runs": plan.estimator_runs,
+        "notes": dict(plan.notes),
+    }
+
+
+def plan_from_dict(data: dict) -> SRGPlan:
+    """Decode an SR/G plan; validates via the SRGPlan constructor."""
+    return SRGPlan(
+        depths=tuple(float(d) for d in data["depths"]),
+        schedule=tuple(int(i) for i in data["schedule"]),
+        estimated_cost=(
+            None
+            if data.get("estimated_cost") is None
+            else float(data["estimated_cost"])
+        ),
+        estimator_runs=int(data.get("estimator_runs", 0)),
+        notes=dict(data.get("notes", {})),
+    )
+
+
+def plan_to_json(plan: SRGPlan) -> str:
+    """Encode an SR/G plan as a JSON string."""
+    return json.dumps(plan_to_dict(plan), sort_keys=True)
+
+
+def plan_from_json(text: str) -> SRGPlan:
+    """Decode an SR/G plan from a JSON string."""
+    return plan_from_dict(json.loads(text))
+
+
+# ----------------------------------------------------------------------
+# QueryResult (one-way: results reference live stats objects)
+# ----------------------------------------------------------------------
+
+def result_to_dict(result: QueryResult) -> dict:
+    """Encode a query result's durable facts (ranking + accounting).
+
+    One-way by design: a result references the live middleware stats; the
+    encoding captures the numbers worth logging, not the object graph.
+    Metadata entries that are not JSON-serializable are stringified.
+    """
+
+    def safe(value):
+        try:
+            json.dumps(value)
+            return value
+        except TypeError:
+            return str(value)
+
+    return {
+        "algorithm": result.algorithm,
+        "ranking": [
+            {"obj": entry.obj, "score": entry.score} for entry in result.ranking
+        ],
+        "sorted_counts": list(result.stats.sorted_counts),
+        "random_counts": list(result.stats.random_counts),
+        "total_cost": result.stats.total_cost(),
+        "metadata": {key: safe(value) for key, value in result.metadata.items()},
+    }
+
+
+def ranking_from_dict(data: dict) -> list[RankedObject]:
+    """Rebuild just the ranking from an encoded result."""
+    return [
+        RankedObject(int(entry["obj"]), float(entry["score"]))
+        for entry in data["ranking"]
+    ]

@@ -1,0 +1,39 @@
+"""The web-source substrate: access interfaces, costs, and accounting.
+
+This package implements everything "below" the algorithms:
+
+* :class:`Source` / :class:`SimulatedSource` -- the per-predicate access
+  interface of Section 3.2 (sorted access ``sa_i`` and random access
+  ``ra_i(u)``), simulated over a :class:`~repro.data.Dataset` column;
+* :class:`CostModel` -- per-predicate unit costs ``cs_i`` / ``cr_i``, with
+  ``inf`` encoding an unsupported capability (the Figure 2 matrix axes);
+* :class:`AccessStats` -- exact Eq. 1 accounting of every access performed;
+* :class:`Middleware` -- the single access layer every algorithm runs
+  against: it meters cost, enforces no-wild-guesses, and rejects duplicate
+  score retrievals;
+* :class:`LatencyModel` -- per-access latencies for the parallel
+  (Section 9.1.1) experiments.
+"""
+
+from repro.sources.base import Source
+from repro.sources.callback import CallbackSource
+from repro.sources.cost import CostModel
+from repro.sources.latency import ConstantLatency, LatencyModel, NoisyLatency
+from repro.sources.middleware import Middleware
+from repro.sources.monitor import CostMonitor
+from repro.sources.simulated import SimulatedSource, sources_for
+from repro.sources.stats import AccessStats
+
+__all__ = [
+    "Source",
+    "CallbackSource",
+    "SimulatedSource",
+    "sources_for",
+    "CostModel",
+    "AccessStats",
+    "Middleware",
+    "CostMonitor",
+    "LatencyModel",
+    "ConstantLatency",
+    "NoisyLatency",
+]

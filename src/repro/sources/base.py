@@ -1,0 +1,76 @@
+"""Abstract source interface (the access model of Section 3.2).
+
+A source serves one predicate ``p_i``. It may support sorted access
+(returning objects in descending ``p_i`` order, one per call) and/or random
+access (returning the exact ``p_i`` score of a named object). The two
+access types differ fundamentally (Section 3.2):
+
+* **side effects** -- each sorted access tightens the last-seen score
+  ``l_i``, bounding *every* unseen object's ``p_i`` from above;
+* **progressiveness** -- repeated sorted accesses keep yielding new
+  information, whereas repeating a random access is pure waste.
+
+Sources know nothing about costs; unit costs live in
+:class:`~repro.sources.cost.CostModel` and accounting in the middleware, so
+the same source can be replayed under different cost scenarios.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Optional
+
+
+class Source(ABC):
+    """Access interface of one predicate's web source."""
+
+    @property
+    @abstractmethod
+    def supports_sorted(self) -> bool:
+        """Whether this source implements sorted access at all."""
+
+    @property
+    @abstractmethod
+    def supports_random(self) -> bool:
+        """Whether this source implements random access at all."""
+
+    @abstractmethod
+    def sorted_access(self) -> Optional[tuple[int, float]]:
+        """Return the next ``(obj, score)`` in descending score order.
+
+        Returns ``None`` when the list is exhausted. Raises
+        :class:`~repro.exceptions.CapabilityError` if sorted access is
+        unsupported.
+        """
+
+    @abstractmethod
+    def random_access(self, obj: int) -> float:
+        """Return the exact score of ``obj`` on this predicate.
+
+        Raises :class:`~repro.exceptions.CapabilityError` if random access
+        is unsupported.
+        """
+
+    @property
+    @abstractmethod
+    def last_seen(self) -> float:
+        """The current last-seen score ``l_i`` bounding unseen objects.
+
+        Starts at ``1.0`` before any sorted access; becomes ``0.0`` once the
+        list is exhausted (no unseen object remains, so any bound is
+        vacuous but ``0.0`` keeps bound arithmetic tight).
+        """
+
+    @property
+    @abstractmethod
+    def depth(self) -> int:
+        """Number of sorted accesses performed so far."""
+
+    @property
+    @abstractmethod
+    def exhausted(self) -> bool:
+        """Whether the sorted list has been fully consumed."""
+
+    @abstractmethod
+    def reset(self) -> None:
+        """Rewind the source to its initial state (fresh sorted cursor)."""

@@ -1,0 +1,130 @@
+"""CallbackSource: adapt arbitrary user code to the Source interface.
+
+:class:`~repro.sources.simulated.SimulatedSource` serves a dataset; real
+deployments wrap *services* -- a REST endpoint, a database cursor, a
+search-engine client. :class:`CallbackSource` adapts two plain callables
+to the Section 3.2 contract and takes care of the bookkeeping the
+framework relies on (last-seen bounds, depth, exhaustion, validation):
+
+    source = CallbackSource(
+        sorted_factory=lambda: iter_restaurants_by_rating(),
+        random_fn=lambda obj: fetch_rating(obj),
+    )
+
+The sorted iterator must yield ``(obj, score)`` in nonincreasing score
+order with unique objects and scores in ``[0, 1]``; violations raise
+immediately (a misbehaving upstream would otherwise silently corrupt
+bound reasoning). Pass ``sorted_factory=None`` or ``random_fn=None`` for
+sources lacking a capability.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterator, Optional
+
+from repro.exceptions import CapabilityError
+from repro.sources.base import Source
+
+SortedFactory = Callable[[], Iterator[tuple[int, float]]]
+RandomFn = Callable[[int], float]
+
+
+class CallbackSource(Source):
+    """A Source backed by user-supplied callables."""
+
+    def __init__(
+        self,
+        sorted_factory: Optional[SortedFactory] = None,
+        random_fn: Optional[RandomFn] = None,
+        name: str = "callback",
+    ):
+        if sorted_factory is None and random_fn is None:
+            raise ValueError("a source must support at least one access type")
+        self._sorted_factory = sorted_factory
+        self._random_fn = random_fn
+        self._name = name
+        self._iterator: Optional[Iterator[tuple[int, float]]] = None
+        self._last_seen = 1.0
+        self._depth = 0
+        self._exhausted = False
+        self._delivered: set[int] = set()
+
+    @property
+    def supports_sorted(self) -> bool:
+        """Whether a sorted iterator factory was supplied."""
+        return self._sorted_factory is not None
+
+    @property
+    def supports_random(self) -> bool:
+        """Whether a random-access callable was supplied."""
+        return self._random_fn is not None
+
+    def sorted_access(self) -> Optional[tuple[int, float]]:
+        """Pull the next entry from the user iterator, validated."""
+        if self._sorted_factory is None:
+            raise CapabilityError(f"{self._name}: sorted access unsupported")
+        if self._exhausted:
+            return None
+        if self._iterator is None:
+            self._iterator = self._sorted_factory()
+        try:
+            obj, score = next(self._iterator)
+        except StopIteration:
+            self._exhausted = True
+            self._last_seen = 0.0
+            return None
+        obj = int(obj)
+        score = float(score)
+        if not 0.0 <= score <= 1.0:
+            raise ValueError(
+                f"{self._name}: sorted iterator yielded score {score} "
+                "outside [0, 1]"
+            )
+        if score > self._last_seen + 1e-12:
+            raise ValueError(
+                f"{self._name}: sorted iterator is not nonincreasing "
+                f"({score} after {self._last_seen})"
+            )
+        if obj in self._delivered:
+            raise ValueError(
+                f"{self._name}: sorted iterator repeated object {obj}"
+            )
+        self._delivered.add(obj)
+        self._depth += 1
+        self._last_seen = min(self._last_seen, score)
+        return obj, score
+
+    def random_access(self, obj: int) -> float:
+        """Delegate to the user callable, validating the score range."""
+        if self._random_fn is None:
+            raise CapabilityError(f"{self._name}: random access unsupported")
+        score = float(self._random_fn(obj))
+        if not 0.0 <= score <= 1.0:
+            raise ValueError(
+                f"{self._name}: random access returned score {score} "
+                "outside [0, 1]"
+            )
+        return score
+
+    @property
+    def last_seen(self) -> float:
+        """Current last-seen bound (1.0 before any sorted access)."""
+        return self._last_seen
+
+    @property
+    def depth(self) -> int:
+        """Sorted accesses performed so far."""
+        return self._depth
+
+    @property
+    def exhausted(self) -> bool:
+        """Whether the user iterator has been fully consumed."""
+        return self._exhausted
+
+    def reset(self) -> None:
+        """Restart with a fresh iterator from the factory."""
+        self._iterator = None
+        self._last_seen = 1.0
+        self._depth = 0
+        self._exhausted = False
+        self._delivered.clear()

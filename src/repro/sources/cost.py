@@ -1,0 +1,138 @@
+"""Per-predicate access cost model (Eq. 1 of Section 3.2).
+
+A :class:`CostModel` records the unit cost of a sorted access (``cs_i``)
+and a random access (``cr_i``) for every predicate. ``math.inf`` encodes an
+*unsupported* access type, which is how the Figure 2 scenario matrix's
+"impossible" rows/columns are expressed; the convenience constructors below
+build the matrix's named cells.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.types import Access, AccessType
+
+
+@dataclass(frozen=True)
+class CostModel:
+    """Unit access costs for ``m`` predicates.
+
+    Attributes:
+        cs: per-predicate sorted access unit costs; ``inf`` = unsupported.
+        cr: per-predicate random access unit costs; ``inf`` = unsupported.
+    """
+
+    cs: tuple[float, ...]
+    cr: tuple[float, ...]
+
+    def __post_init__(self) -> None:
+        if len(self.cs) != len(self.cr):
+            raise ValueError("cs and cr must have the same length")
+        if not self.cs:
+            raise ValueError("cost model must cover at least one predicate")
+        for label, costs in (("cs", self.cs), ("cr", self.cr)):
+            for i, c in enumerate(costs):
+                if math.isnan(c) or c < 0:
+                    raise ValueError(f"{label}[{i}] must be >= 0 or inf, got {c}")
+        for i in range(len(self.cs)):
+            if math.isinf(self.cs[i]) and math.isinf(self.cr[i]):
+                raise ValueError(
+                    f"predicate {i} supports neither access type; it can never "
+                    "be evaluated"
+                )
+
+    @property
+    def m(self) -> int:
+        """Number of predicates covered."""
+        return len(self.cs)
+
+    def sorted_cost(self, predicate: int) -> float:
+        """Unit cost ``cs_i``; ``inf`` when sorted access is unsupported."""
+        return self.cs[predicate]
+
+    def random_cost(self, predicate: int) -> float:
+        """Unit cost ``cr_i``; ``inf`` when random access is unsupported."""
+        return self.cr[predicate]
+
+    def access_cost(self, access: Access) -> float:
+        """Unit cost of a concrete access descriptor."""
+        if access.kind is AccessType.SORTED:
+            return self.sorted_cost(access.predicate)
+        return self.random_cost(access.predicate)
+
+    def supports_sorted(self, predicate: int) -> bool:
+        """Whether sorted access is available on ``predicate``."""
+        return not math.isinf(self.cs[predicate])
+
+    def supports_random(self, predicate: int) -> bool:
+        """Whether random access is available on ``predicate``."""
+        return not math.isinf(self.cr[predicate])
+
+    @property
+    def sorted_capabilities(self) -> list[bool]:
+        """Per-predicate sorted-access support flags."""
+        return [self.supports_sorted(i) for i in range(self.m)]
+
+    @property
+    def random_capabilities(self) -> list[bool]:
+        """Per-predicate random-access support flags."""
+        return [self.supports_random(i) for i in range(self.m)]
+
+    # ------------------------------------------------------------------
+    # Named constructors for the Figure 2 scenario matrix.
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def uniform(cls, m: int, cs: float = 1.0, cr: float = 1.0) -> "CostModel":
+        """Same costs on every predicate (the matrix diagonal: TA's home)."""
+        return cls(tuple([cs] * m), tuple([cr] * m))
+
+    @classmethod
+    def per_predicate(
+        cls, cs: Sequence[float], cr: Sequence[float]
+    ) -> "CostModel":
+        """Explicit per-predicate costs."""
+        return cls(tuple(float(c) for c in cs), tuple(float(c) for c in cr))
+
+    @classmethod
+    def expensive_random(cls, m: int, cs: float = 1.0, ratio: float = 10.0) -> "CostModel":
+        """Random access ``ratio`` times pricier than sorted (CA's home)."""
+        return cls.uniform(m, cs=cs, cr=cs * ratio)
+
+    @classmethod
+    def cheap_random(cls, m: int, cs: float = 1.0, ratio: float = 10.0) -> "CostModel":
+        """Sorted access pricier than random -- the matrix's unexplored
+        ``?`` cell (Example 2 pushes this to ``cr = 0``)."""
+        return cls.uniform(m, cs=cs, cr=cs / ratio)
+
+    @classmethod
+    def no_random(cls, m: int, cs: float = 1.0) -> "CostModel":
+        """Random access impossible (NRA / Stream-Combine's home)."""
+        return cls(tuple([cs] * m), tuple([math.inf] * m))
+
+    @classmethod
+    def no_sorted(cls, m: int, cr: float = 1.0) -> "CostModel":
+        """Sorted access impossible (MPro / Upper's home)."""
+        return cls(tuple([math.inf] * m), tuple([cr] * m))
+
+    def scale(self, factor: float) -> "CostModel":
+        """A copy with every finite cost multiplied by ``factor``."""
+        if factor < 0:
+            raise ValueError("scale factor must be >= 0")
+        return CostModel(
+            tuple(c * factor for c in self.cs),
+            tuple(c * factor for c in self.cr),
+        )
+
+    def describe(self) -> str:
+        """Short human-readable summary for reports."""
+
+        def fmt(c: float) -> str:
+            return "--" if math.isinf(c) else f"{c:g}"
+
+        cs = ",".join(fmt(c) for c in self.cs)
+        cr = ",".join(fmt(c) for c in self.cr)
+        return f"cs=({cs}) cr=({cr})"

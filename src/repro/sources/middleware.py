@@ -1,0 +1,330 @@
+"""The middleware access layer every algorithm runs against.
+
+:class:`Middleware` is the single gate between algorithms and sources. It
+
+* prices and counts every access (Eq. 1 accounting via
+  :class:`~repro.sources.stats.AccessStats`);
+* enforces the **no wild guesses** rule (Section 3.2, footnote 1): a random
+  access may only target an object previously seen from some sorted access;
+* rejects **duplicate score retrievals** in strict mode -- random accesses
+  are not progressive, so refetching a known score is an algorithm bug;
+* exposes the sorted-access side-effect state (last-seen scores ``l_i``,
+  depths, exhaustion) that bound reasoning builds on.
+
+Running every algorithm -- the NC framework and all baselines -- through
+this one layer is what makes the paper's cross-algorithm cost comparisons
+exact and the unification claims directly testable.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from repro.data.dataset import Dataset
+from repro.exceptions import (
+    BudgetExceededError,
+    CapabilityError,
+    DuplicateAccessError,
+    ExhaustedSourceError,
+    WildGuessError,
+)
+from repro.sources.base import Source
+from repro.sources.cost import CostModel
+from repro.sources.simulated import SimulatedSource, sources_for
+from repro.sources.stats import AccessStats
+from repro.types import Access, AccessType
+
+
+class Middleware:
+    """Metered, rule-enforcing access layer over a set of sources.
+
+    Args:
+        sources: one source per predicate.
+        cost_model: per-predicate unit costs; its capability pattern must
+            match the sources'.
+        n_objects: size of the object universe. Derived automatically from
+            simulated sources; must be given for custom sources.
+        no_wild_guesses: enforce the seen-before-probe rule. Disable only
+            for scenarios where the object universe is known up front (e.g.
+            probe-only MPro settings).
+        strict: raise on duplicate score retrievals and accesses to
+            exhausted lists. Disable to get permissive (but still metered)
+            behaviour.
+        record_log: keep the full chronological access log on the stats.
+        budget: optional hard cap on total access cost (Eq. 1). An access
+            that would exceed it raises
+            :class:`~repro.exceptions.BudgetExceededError` *before* being
+            performed, so spending never passes the cap.
+    """
+
+    def __init__(
+        self,
+        sources: Sequence[Source],
+        cost_model: CostModel,
+        n_objects: Optional[int] = None,
+        no_wild_guesses: bool = True,
+        strict: bool = True,
+        record_log: bool = False,
+        budget: Optional[float] = None,
+    ):
+        if len(sources) != cost_model.m:
+            raise ValueError(
+                f"{len(sources)} sources but cost model covers {cost_model.m} "
+                "predicates"
+            )
+        for i, source in enumerate(sources):
+            if cost_model.supports_sorted(i) and not source.supports_sorted:
+                raise CapabilityError(
+                    f"cost model prices sorted access on predicate {i} but the "
+                    "source does not support it"
+                )
+            if cost_model.supports_random(i) and not source.supports_random:
+                raise CapabilityError(
+                    f"cost model prices random access on predicate {i} but the "
+                    "source does not support it"
+                )
+        if n_objects is None:
+            sizes = {
+                source.size for source in sources if isinstance(source, SimulatedSource)
+            }
+            if len(sizes) != 1:
+                raise ValueError(
+                    "n_objects could not be derived; pass it explicitly"
+                )
+            n_objects = sizes.pop()
+        if n_objects < 1:
+            raise ValueError("n_objects must be >= 1")
+        if budget is not None and budget < 0:
+            raise ValueError(f"budget must be >= 0, got {budget}")
+        self._budget = budget
+        self._sources = list(sources)
+        self._cost_model = cost_model
+        self._n = n_objects
+        self._no_wild_guesses = no_wild_guesses
+        self._strict = strict
+        self._record_log = record_log
+        self._stats = AccessStats(cost_model, record_log=record_log)
+        self._seen: set[int] = set()
+        self._delivered: set[tuple[int, int]] = set()
+
+    # ------------------------------------------------------------------
+    # Construction helpers
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def over(
+        cls,
+        dataset: Dataset,
+        cost_model: CostModel,
+        no_wild_guesses: bool = True,
+        strict: bool = True,
+        record_log: bool = False,
+        budget: Optional[float] = None,
+    ) -> "Middleware":
+        """Build a middleware over simulated sources for ``dataset``.
+
+        Source capabilities are derived from the cost model (``inf`` cost =
+        unsupported), so a single :class:`CostModel` fully specifies a
+        scenario.
+        """
+        if cost_model.m != dataset.m:
+            raise ValueError(
+                f"cost model covers {cost_model.m} predicates but dataset has "
+                f"{dataset.m}"
+            )
+        sources = sources_for(
+            dataset,
+            sorted_capable=cost_model.sorted_capabilities,
+            random_capable=cost_model.random_capabilities,
+        )
+        return cls(
+            sources,
+            cost_model,
+            n_objects=dataset.n,
+            no_wild_guesses=no_wild_guesses,
+            strict=strict,
+            record_log=record_log,
+            budget=budget,
+        )
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+
+    @property
+    def m(self) -> int:
+        """Number of predicates."""
+        return len(self._sources)
+
+    @property
+    def n_objects(self) -> int:
+        """Size of the object universe."""
+        return self._n
+
+    @property
+    def cost_model(self) -> CostModel:
+        return self._cost_model
+
+    @property
+    def stats(self) -> AccessStats:
+        """The live access accounting of this middleware."""
+        return self._stats
+
+    @property
+    def no_wild_guesses(self) -> bool:
+        return self._no_wild_guesses
+
+    @property
+    def budget(self) -> Optional[float]:
+        """The configured cost cap, or ``None`` for unbounded."""
+        return self._budget
+
+    def remaining_budget(self) -> Optional[float]:
+        """Budget left to spend (``None`` when unbounded)."""
+        if self._budget is None:
+            return None
+        return self._budget - self._stats.total_cost()
+
+    def _charge(self, cost: float) -> None:
+        """Refuse an access whose cost would overrun the budget."""
+        if self._budget is None:
+            return
+        if self._stats.total_cost() + cost > self._budget + 1e-12:
+            raise BudgetExceededError(
+                f"access costing {cost:g} would exceed the remaining budget "
+                f"of {self.remaining_budget():g} (cap {self._budget:g})"
+            )
+
+    @property
+    def seen(self) -> frozenset[int]:
+        """Objects discovered by sorted access so far."""
+        return frozenset(self._seen)
+
+    def is_seen(self, obj: int) -> bool:
+        """Whether ``obj`` has been discovered by a sorted access."""
+        return obj in self._seen
+
+    def last_seen(self, predicate: int) -> float:
+        """Current last-seen bound ``l_i`` of one predicate."""
+        return self._sources[predicate].last_seen
+
+    def depth(self, predicate: int) -> int:
+        """Sorted accesses performed on one predicate."""
+        return self._sources[predicate].depth
+
+    def exhausted(self, predicate: int) -> bool:
+        """Whether a predicate's sorted list is fully consumed."""
+        source = self._sources[predicate]
+        return source.supports_sorted and source.exhausted
+
+    def supports_sorted(self, predicate: int) -> bool:
+        """Whether sorted access is available on ``predicate``."""
+        return self._cost_model.supports_sorted(predicate)
+
+    def supports_random(self, predicate: int) -> bool:
+        """Whether random access is available on ``predicate``."""
+        return self._cost_model.supports_random(predicate)
+
+    def sorted_predicates(self) -> list[int]:
+        """Predicates with sorted access available."""
+        return [i for i in range(self.m) if self.supports_sorted(i)]
+
+    def random_predicates(self) -> list[int]:
+        """Predicates with random access available."""
+        return [i for i in range(self.m) if self.supports_random(i)]
+
+    def object_ids(self) -> range:
+        """The full object universe.
+
+        Only available when wild guesses are allowed -- under the
+        no-wild-guess assumption a middleware cannot enumerate objects it
+        has not discovered.
+        """
+        if self._no_wild_guesses:
+            raise WildGuessError(
+                "the object universe is not enumerable under no-wild-guesses"
+            )
+        return range(self._n)
+
+    def was_delivered(self, predicate: int, obj: int) -> bool:
+        """Whether the score of ``obj`` on ``predicate`` was already fetched."""
+        return (predicate, obj) in self._delivered
+
+    # ------------------------------------------------------------------
+    # Accesses
+    # ------------------------------------------------------------------
+
+    def sorted_access(self, predicate: int) -> Optional[tuple[int, float]]:
+        """Perform ``sa_i``: fetch the next object of predicate ``i``.
+
+        Charges ``cs_i`` and returns ``(obj, score)``. Accessing an
+        exhausted list raises in strict mode (it can never help) and
+        otherwise charges the access and returns ``None``.
+        """
+        if not self.supports_sorted(predicate):
+            raise CapabilityError(
+                f"predicate {predicate}: sorted access not in cost model"
+            )
+        self._charge(self._cost_model.sorted_cost(predicate))
+        source = self._sources[predicate]
+        if source.exhausted:
+            if self._strict:
+                raise ExhaustedSourceError(
+                    f"predicate {predicate}: sorted list exhausted"
+                )
+            self._stats.record(Access.sorted(predicate))
+            return None
+        result = source.sorted_access()
+        self._stats.record(Access.sorted(predicate))
+        if result is None:  # pragma: no cover - guarded by exhaustion check
+            return None
+        obj, score = result
+        self._seen.add(obj)
+        self._delivered.add((predicate, obj))
+        return obj, score
+
+    def random_access(self, predicate: int, obj: int) -> float:
+        """Perform ``ra_i(u)``: fetch the exact score of ``u`` on ``i``.
+
+        Charges ``cr_i``. Enforces no-wild-guesses and, in strict mode,
+        rejects refetching a score already delivered (by either access
+        type).
+        """
+        if not self.supports_random(predicate):
+            raise CapabilityError(
+                f"predicate {predicate}: random access not in cost model"
+            )
+        if self._no_wild_guesses and obj not in self._seen:
+            raise WildGuessError(
+                f"random access to object {obj} before it was seen from any "
+                "sorted access"
+            )
+        if self._strict and (predicate, obj) in self._delivered:
+            raise DuplicateAccessError(
+                f"score of object {obj} on predicate {predicate} was already "
+                "retrieved; random accesses must not be repeated"
+            )
+        self._charge(self._cost_model.random_cost(predicate))
+        score = self._sources[predicate].random_access(obj)
+        self._stats.record(Access.random(predicate, obj))
+        self._delivered.add((predicate, obj))
+        return score
+
+    def perform(self, access: Access):
+        """Dispatch a descriptor to the right access method.
+
+        Returns whatever the underlying access returns: ``(obj, score)`` or
+        ``None`` for sorted accesses, a ``float`` score for random ones.
+        """
+        if access.kind is AccessType.SORTED:
+            return self.sorted_access(access.predicate)
+        assert access.obj is not None
+        return self.random_access(access.predicate, access.obj)
+
+    def reset(self) -> None:
+        """Rewind sources and zero all accounting for a fresh run."""
+        for source in self._sources:
+            source.reset()
+        self._stats = AccessStats(self._cost_model, record_log=self._record_log)
+        self._seen.clear()
+        self._delivered.clear()

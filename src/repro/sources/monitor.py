@@ -1,0 +1,133 @@
+"""Cost monitoring: detect when assumed unit costs drift from reality.
+
+The paper motivates *runtime* optimization with the Web's dynamism:
+"cost scenarios change over time, depending on source load and
+availability". A plan optimized against yesterday's latencies can be
+arbitrarily bad today (E18 quantifies this). :class:`CostMonitor` is the
+detection half of that loop: feed it the observed duration of every
+access, and it maintains per-predicate running means that can be compared
+against the assumed :class:`~repro.sources.cost.CostModel`:
+
+    monitor = CostMonitor(assumed_model)
+    ...
+    monitor.observe(access, measured_duration)
+    if monitor.drifted(tolerance=2.0):
+        model = monitor.estimated_model()     # re-plan against reality
+
+Estimates require a minimum number of observations per (predicate,
+access-kind) cell before they are trusted; unobserved cells fall back to
+the assumed costs.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.sources.cost import CostModel
+from repro.types import Access, AccessType
+
+
+class _RunningMean:
+    """Incremental mean with an observation count."""
+
+    __slots__ = ("count", "mean")
+
+    def __init__(self) -> None:
+        self.count = 0
+        self.mean = 0.0
+
+    def add(self, value: float) -> None:
+        self.count += 1
+        self.mean += (value - self.mean) / self.count
+
+
+class CostMonitor:
+    """Tracks observed access durations against an assumed cost model."""
+
+    def __init__(self, assumed: CostModel, min_observations: int = 5):
+        if min_observations < 1:
+            raise ValueError("min_observations must be >= 1")
+        self.assumed = assumed
+        self.min_observations = min_observations
+        self._sorted = [_RunningMean() for _ in range(assumed.m)]
+        self._random = [_RunningMean() for _ in range(assumed.m)]
+
+    def observe(self, access: Access, duration: float) -> None:
+        """Record one access's measured duration (>= 0)."""
+        if duration < 0:
+            raise ValueError(f"duration must be >= 0, got {duration}")
+        cell = (
+            self._sorted
+            if access.kind is AccessType.SORTED
+            else self._random
+        )
+        cell[access.predicate].add(duration)
+
+    def observations(self, predicate: int, kind: AccessType) -> int:
+        """How many durations were recorded for one cell."""
+        cell = self._sorted if kind is AccessType.SORTED else self._random
+        return cell[predicate].count
+
+    def estimated_cost(
+        self, predicate: int, kind: AccessType
+    ) -> Optional[float]:
+        """The observed mean for one cell, or ``None`` if under-observed."""
+        cell = self._sorted if kind is AccessType.SORTED else self._random
+        stat = cell[predicate]
+        if stat.count < self.min_observations:
+            return None
+        return stat.mean
+
+    def estimated_model(self) -> CostModel:
+        """A cost model from observed means, assumed costs as fallback.
+
+        Capability structure is inherited from the assumed model:
+        unsupported accesses stay unsupported (there is nothing to
+        observe for them anyway).
+        """
+        cs = []
+        cr = []
+        for i in range(self.assumed.m):
+            observed_s = self.estimated_cost(i, AccessType.SORTED)
+            observed_r = self.estimated_cost(i, AccessType.RANDOM)
+            cs.append(
+                self.assumed.sorted_cost(i) if observed_s is None else observed_s
+            )
+            cr.append(
+                self.assumed.random_cost(i) if observed_r is None else observed_r
+            )
+        return CostModel(tuple(cs), tuple(cr))
+
+    def drift_ratios(self) -> dict[tuple[int, str], float]:
+        """Observed/assumed ratio per sufficiently-observed cell.
+
+        Cells with an assumed cost of 0 report ``inf`` when any positive
+        duration was observed (a free access that started costing).
+        """
+        ratios: dict[tuple[int, str], float] = {}
+        for i in range(self.assumed.m):
+            for kind, label, assumed in (
+                (AccessType.SORTED, "sorted", self.assumed.sorted_cost(i)),
+                (AccessType.RANDOM, "random", self.assumed.random_cost(i)),
+            ):
+                observed = self.estimated_cost(i, kind)
+                if observed is None:
+                    continue
+                if assumed == 0.0:
+                    ratios[(i, label)] = float("inf") if observed > 0 else 1.0
+                else:
+                    ratios[(i, label)] = observed / assumed
+        return ratios
+
+    def drifted(self, tolerance: float = 2.0) -> bool:
+        """Whether any observed cell deviates beyond ``tolerance``.
+
+        ``tolerance`` is a multiplicative band: drift means some ratio is
+        above ``tolerance`` or below ``1/tolerance``.
+        """
+        if tolerance < 1.0:
+            raise ValueError("tolerance must be >= 1.0")
+        for ratio in self.drift_ratios().values():
+            if ratio > tolerance or ratio < 1.0 / tolerance:
+                return True
+        return False

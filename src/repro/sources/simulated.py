@@ -1,0 +1,138 @@
+"""Simulated web sources over dataset columns.
+
+The paper's live sources (superpages.com, dineme.com, hotels.com) are
+replaced by :class:`SimulatedSource`, which serves one dataset column
+through exactly the Section 3.2 interface. Because every algorithm in this
+library interacts with sources only through
+:class:`~repro.sources.middleware.Middleware`, the simulation exercises the
+same code paths a live deployment would; only the transport is synthetic.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.data.dataset import Dataset
+from repro.exceptions import CapabilityError
+from repro.sources.base import Source
+
+
+class SimulatedSource(Source):
+    """One predicate's source, backed by a dataset column.
+
+    Args:
+        dataset: the ground-truth score matrix.
+        predicate: which column this source serves.
+        sorted_capable: whether to expose sorted access.
+        random_capable: whether to expose random access.
+
+    The sorted order is precomputed with the deterministic tie-breaker
+    (score descending, then object id descending) so that runs are
+    reproducible.
+    """
+
+    def __init__(
+        self,
+        dataset: Dataset,
+        predicate: int,
+        sorted_capable: bool = True,
+        random_capable: bool = True,
+    ):
+        if not 0 <= predicate < dataset.m:
+            raise ValueError(
+                f"predicate {predicate} out of range for dataset width {dataset.m}"
+            )
+        if not (sorted_capable or random_capable):
+            raise ValueError("a source must support at least one access type")
+        self._dataset = dataset
+        self._predicate = predicate
+        self._sorted_capable = sorted_capable
+        self._random_capable = random_capable
+        self._order: Optional[np.ndarray] = (
+            dataset.sorted_order(predicate) if sorted_capable else None
+        )
+        self._cursor = 0
+        self._last_seen = 1.0
+
+    @property
+    def predicate(self) -> int:
+        """The predicate index this source serves."""
+        return self._predicate
+
+    @property
+    def supports_sorted(self) -> bool:
+        return self._sorted_capable
+
+    @property
+    def supports_random(self) -> bool:
+        return self._random_capable
+
+    @property
+    def size(self) -> int:
+        """Number of objects in this source's list."""
+        return self._dataset.n
+
+    def sorted_access(self) -> Optional[tuple[int, float]]:
+        if not self._sorted_capable:
+            raise CapabilityError(
+                f"predicate {self._predicate}: sorted access unsupported"
+            )
+        assert self._order is not None
+        if self._cursor >= len(self._order):
+            self._last_seen = 0.0
+            return None
+        obj = int(self._order[self._cursor])
+        self._cursor += 1
+        score = self._dataset.score(obj, self._predicate)
+        # Exhausting the list removes all unseen objects; drop the bound to 0
+        # so that bound arithmetic never cites a stale last-seen score.
+        self._last_seen = score if self._cursor < len(self._order) else 0.0
+        return obj, score
+
+    def random_access(self, obj: int) -> float:
+        if not self._random_capable:
+            raise CapabilityError(
+                f"predicate {self._predicate}: random access unsupported"
+            )
+        if not 0 <= obj < self._dataset.n:
+            raise ValueError(f"object {obj} out of range")
+        return self._dataset.score(obj, self._predicate)
+
+    @property
+    def last_seen(self) -> float:
+        return self._last_seen
+
+    @property
+    def depth(self) -> int:
+        return self._cursor
+
+    @property
+    def exhausted(self) -> bool:
+        return self._sorted_capable and self._cursor >= self.size
+
+    def reset(self) -> None:
+        self._cursor = 0
+        self._last_seen = 1.0
+
+
+def sources_for(
+    dataset: Dataset,
+    sorted_capable: Optional[list[bool]] = None,
+    random_capable: Optional[list[bool]] = None,
+) -> list[SimulatedSource]:
+    """Build one simulated source per dataset predicate.
+
+    Capability lists default to fully capable sources; pass per-predicate
+    booleans to model restricted scenarios (the Figure 2 matrix cells).
+    """
+    m = dataset.m
+    s_caps = sorted_capable if sorted_capable is not None else [True] * m
+    r_caps = random_capable if random_capable is not None else [True] * m
+    if len(s_caps) != m or len(r_caps) != m:
+        raise ValueError("capability lists must have one entry per predicate")
+    return [
+        SimulatedSource(dataset, i, sorted_capable=s_caps[i], random_capable=r_caps[i])
+        for i in range(m)
+    ]

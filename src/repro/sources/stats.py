@@ -1,0 +1,121 @@
+"""Access accounting: the Eq. 1 cost function made concrete.
+
+:class:`AccessStats` counts, per predicate, the sorted and random accesses
+an algorithm performed and aggregates them against a
+:class:`~repro.sources.cost.CostModel`:
+
+    total cost = sum_i ns_i * cs_i  +  sum_i nr_i * cr_i        (Eq. 1)
+
+Optionally it records the full access log, which the tests use to recompute
+costs independently and which powers trace-style output in the examples.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.sources.cost import CostModel
+from repro.types import Access, AccessType
+
+
+class AccessStats:
+    """Counts and (optionally) logs every access of a run."""
+
+    def __init__(self, cost_model: CostModel, record_log: bool = False):
+        self._cost_model = cost_model
+        self._ns = [0] * cost_model.m
+        self._nr = [0] * cost_model.m
+        self._log: Optional[list[Access]] = [] if record_log else None
+
+    @property
+    def cost_model(self) -> CostModel:
+        """The cost model accesses are priced against."""
+        return self._cost_model
+
+    @property
+    def m(self) -> int:
+        return self._cost_model.m
+
+    def record(self, access: Access) -> None:
+        """Count one access (and log it when logging is enabled)."""
+        if access.kind is AccessType.SORTED:
+            self._ns[access.predicate] += 1
+        else:
+            self._nr[access.predicate] += 1
+        if self._log is not None:
+            self._log.append(access)
+
+    @property
+    def sorted_counts(self) -> tuple[int, ...]:
+        """``ns_i``: sorted accesses performed per predicate."""
+        return tuple(self._ns)
+
+    @property
+    def random_counts(self) -> tuple[int, ...]:
+        """``nr_i``: random accesses performed per predicate."""
+        return tuple(self._nr)
+
+    @property
+    def total_sorted(self) -> int:
+        return sum(self._ns)
+
+    @property
+    def total_random(self) -> int:
+        return sum(self._nr)
+
+    @property
+    def total_accesses(self) -> int:
+        return self.total_sorted + self.total_random
+
+    @property
+    def log(self) -> list[Access]:
+        """The chronological access log (raises unless logging was enabled)."""
+        if self._log is None:
+            raise ValueError("access logging was not enabled for this run")
+        return list(self._log)
+
+    def total_cost(self, cost_model: Optional[CostModel] = None) -> float:
+        """Eq. 1 total cost, under this run's model or an alternative one.
+
+        Pricing under an alternative model supports what-if analyses
+        ("what would this schedule have cost had random access been 10x").
+        Accesses on an access type the alternative model marks unsupported
+        price to ``inf``, faithfully signalling the schedule is infeasible
+        there.
+        """
+        model = cost_model if cost_model is not None else self._cost_model
+        if model.m != self.m:
+            raise ValueError("cost model width mismatch")
+        total = 0.0
+        for i in range(self.m):
+            if self._ns[i]:
+                total += self._ns[i] * model.sorted_cost(i)
+            if self._nr[i]:
+                total += self._nr[i] * model.random_cost(i)
+        return total
+
+    def merge(self, other: "AccessStats") -> None:
+        """Fold another stats object's counts into this one (same model width)."""
+        if other.m != self.m:
+            raise ValueError("cannot merge stats of different widths")
+        for i in range(self.m):
+            self._ns[i] += other._ns[i]
+            self._nr[i] += other._nr[i]
+        if self._log is not None and other._log is not None:
+            self._log.extend(other._log)
+
+    def snapshot(self) -> dict:
+        """Plain-dict summary for reports and serialization."""
+        return {
+            "sorted_counts": self.sorted_counts,
+            "random_counts": self.random_counts,
+            "total_sorted": self.total_sorted,
+            "total_random": self.total_random,
+            "total_cost": self.total_cost(),
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"AccessStats(sorted={self.total_sorted}, random={self.total_random}, "
+            f"cost={self.total_cost():g})"
+        )

@@ -1,0 +1,50 @@
+"""Tests for the BruteForce oracle algorithm."""
+
+import pytest
+
+from repro.algorithms.brute import BruteForce
+from repro.exceptions import CapabilityError
+from repro.scoring.functions import Avg, Min
+from repro.sources.cost import CostModel
+from repro.sources.middleware import Middleware
+from tests.conftest import assert_valid_topk, mw_over
+
+
+class TestBruteForce:
+    def test_matches_dataset_oracle_exactly(self, small_uniform):
+        mw = mw_over(small_uniform)
+        result = BruteForce().run(mw, Min(2), 5)
+        oracle = small_uniform.topk(Min(2), 5)
+        assert result.objects == [entry.obj for entry in oracle]
+        assert result.scores == pytest.approx([entry.score for entry in oracle])
+
+    def test_cost_is_full_evaluation(self, small_uniform):
+        # Full sorted scans of both lists: 2n sorted accesses, no probes.
+        mw = mw_over(small_uniform)
+        BruteForce().run(mw, Avg(2), 3)
+        assert mw.stats.total_sorted == 2 * small_uniform.n
+        assert mw.stats.total_random == 0
+
+    def test_uses_probes_for_random_only_predicates(self, small_uniform):
+        model = CostModel((1.0, float("inf")), (float("inf"), 1.0))
+        mw = Middleware.over(small_uniform, model)
+        result = BruteForce().run(mw, Min(2), 3)
+        assert_valid_topk(result, small_uniform, Min(2), 3)
+        assert mw.stats.random_counts[1] == small_uniform.n
+
+    def test_universe_mode_probe_only(self, small_uniform):
+        mw = Middleware.over(
+            small_uniform, CostModel.no_sorted(2), no_wild_guesses=False
+        )
+        result = BruteForce().run(mw, Min(2), 3)
+        assert_valid_topk(result, small_uniform, Min(2), 3)
+        assert mw.stats.total_random == 2 * small_uniform.n
+
+    def test_no_discovery_path_rejected(self, small_uniform):
+        mw = Middleware.over(small_uniform, CostModel.no_sorted(2))
+        with pytest.raises(CapabilityError):
+            BruteForce().run(mw, Min(2), 3)
+
+    def test_k_validation(self, small_uniform):
+        with pytest.raises(ValueError):
+            BruteForce().run(mw_over(small_uniform), Min(2), 0)

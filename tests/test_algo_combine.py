@@ -1,0 +1,116 @@
+"""Tests for Quick-Combine and Stream-Combine (indicator-guided access)."""
+
+import pytest
+
+from repro.algorithms.quick_combine import QuickCombine
+from repro.algorithms.stream_combine import StreamCombine
+from repro.data.dataset import Dataset
+from repro.data.generators import uniform, zipf_skewed
+from repro.exceptions import CapabilityError
+from repro.scoring.functions import Avg, Min, WeightedSum
+from repro.sources.cost import CostModel
+from repro.sources.middleware import Middleware
+from tests.conftest import assert_valid_topk, mw_over, score_multiset
+
+
+class TestQuickCombineCorrectness:
+    @pytest.mark.parametrize("k", [1, 4])
+    def test_valid_topk(self, small_uniform, k):
+        mw = mw_over(small_uniform)
+        result = QuickCombine().run(mw, Avg(2), k)
+        assert_valid_topk(result, small_uniform, Avg(2), k)
+
+    def test_min_function_still_correct(self, small_uniform):
+        # The derivative indicator degenerates for min; the round-robin
+        # fallback must keep the algorithm correct.
+        mw = mw_over(small_uniform)
+        result = QuickCombine().run(mw, Min(2), 3)
+        assert_valid_topk(result, small_uniform, Min(2), 3)
+
+    def test_three_predicates(self, medium_uniform):
+        mw = mw_over(medium_uniform)
+        result = QuickCombine().run(mw, WeightedSum([0.5, 0.3, 0.2]), 4)
+        assert_valid_topk(result, medium_uniform, WeightedSum([0.5, 0.3, 0.2]), 4)
+
+    def test_window_validation(self):
+        with pytest.raises(ValueError):
+            QuickCombine(window=0)
+
+    def test_requires_both_access_types(self, small_uniform):
+        mw = Middleware.over(small_uniform, CostModel.no_random(2))
+        with pytest.raises(CapabilityError):
+            QuickCombine().run(mw, Avg(2), 1)
+
+    def test_flat_lists_terminate(self):
+        # Constant lists have zero drop -> zero indicator everywhere;
+        # the fallback must still make progress.
+        data = Dataset([[0.5, 0.5]] * 12)
+        mw = mw_over(data)
+        result = QuickCombine().run(mw, Avg(2), 3)
+        assert result.scores == pytest.approx([0.5] * 3)
+
+
+class TestQuickCombineBehaviour:
+    def test_weighted_sum_skews_descent_to_heavy_list(self):
+        """The indicator directs sorted accesses to the influential list."""
+        data = uniform(400, 2, seed=10)
+        fn = WeightedSum([0.95, 0.05])
+        mw = mw_over(data)
+        QuickCombine().run(mw, fn, 5)
+        counts = mw.stats.sorted_counts
+        assert counts[0] > counts[1]
+
+
+class TestStreamCombineCorrectness:
+    @pytest.mark.parametrize("k", [1, 4])
+    def test_exact_mode_valid_topk(self, small_uniform, k):
+        mw = Middleware.over(small_uniform, CostModel.no_random(2))
+        result = StreamCombine().run(mw, Avg(2), k)
+        assert_valid_topk(result, small_uniform, Avg(2), k)
+        assert mw.stats.total_random == 0
+
+    def test_set_mode_valid_set(self, small_uniform):
+        mw = Middleware.over(small_uniform, CostModel.no_random(2))
+        result = StreamCombine(exact_scores=False).run(mw, Avg(2), 4)
+        oracle = small_uniform.topk(Avg(2), 4)
+        true_scores = sorted(
+            round(Avg(2)(small_uniform.object_scores(obj)), 9)
+            for obj in result.objects
+        )
+        assert true_scores == score_multiset(oracle)
+
+    def test_min_function_still_correct(self, small_uniform):
+        mw = Middleware.over(small_uniform, CostModel.no_random(2))
+        result = StreamCombine().run(mw, Min(2), 3)
+        assert_valid_topk(result, small_uniform, Min(2), 3)
+
+    def test_requires_sorted_everywhere(self, small_uniform):
+        model = CostModel((1.0, float("inf")), (1.0, 1.0))
+        mw = Middleware.over(small_uniform, model)
+        with pytest.raises(CapabilityError):
+            StreamCombine().run(mw, Min(2), 1)
+
+    def test_window_validation(self):
+        with pytest.raises(ValueError):
+            StreamCombine(window=0)
+
+    def test_skewed_data(self):
+        data = zipf_skewed(200, 2, skew=2.0, seed=9)
+        mw = Middleware.over(data, CostModel.no_random(2))
+        result = StreamCombine().run(mw, Avg(2), 3)
+        assert_valid_topk(result, data, Avg(2), 3)
+
+
+class TestStreamCombineBehaviour:
+    def test_never_probes(self, small_uniform):
+        mw = mw_over(small_uniform)
+        StreamCombine().run(mw, Avg(2), 3)
+        assert mw.stats.total_random == 0
+
+    def test_weighted_sum_skews_descent(self):
+        data = uniform(400, 2, seed=12)
+        fn = WeightedSum([0.9, 0.1])
+        mw = Middleware.over(data, CostModel.no_random(2))
+        StreamCombine().run(mw, fn, 5)
+        counts = mw.stats.sorted_counts
+        assert counts[0] > counts[1]

@@ -1,0 +1,133 @@
+"""Tests for Fagin's Algorithm and the Threshold Algorithm."""
+
+import pytest
+
+from repro.algorithms.fa import FA
+from repro.algorithms.ta import TA
+from repro.data.dataset import Dataset
+from repro.data.generators import correlated, uniform, zipf_skewed
+from repro.exceptions import CapabilityError
+from repro.scoring.functions import Avg, Min
+from repro.sources.cost import CostModel
+from repro.sources.middleware import Middleware
+from tests.conftest import assert_valid_topk, mw_over
+
+
+class TestFACorrectness:
+    @pytest.mark.parametrize("k", [1, 3, 7])
+    def test_valid_topk(self, small_uniform, k):
+        mw = mw_over(small_uniform)
+        result = FA().run(mw, Min(2), k)
+        assert_valid_topk(result, small_uniform, Min(2), k)
+
+    def test_three_predicates(self, medium_uniform):
+        mw = mw_over(medium_uniform)
+        result = FA().run(mw, Avg(3), 4)
+        assert_valid_topk(result, medium_uniform, Avg(3), 4)
+
+    def test_correlated_data_stops_early(self):
+        # With perfectly correlated lists, the k-th intersection object
+        # appears after ~k accesses per list -- FA's best case.
+        data = correlated(200, 2, rho=1.0, seed=1)
+        mw = mw_over(data)
+        FA().run(mw, Avg(2), 5)
+        assert mw.stats.total_sorted <= 2 * 10
+
+    def test_k_exceeds_n(self, ds1):
+        mw = mw_over(ds1)
+        result = FA().run(mw, Min(2), 10)
+        assert len(result.ranking) == 3
+
+
+class TestFARequirements:
+    def test_requires_random(self, small_uniform):
+        mw = Middleware.over(small_uniform, CostModel.no_random(2))
+        with pytest.raises(CapabilityError):
+            FA().run(mw, Min(2), 1)
+
+    def test_requires_sorted(self, small_uniform):
+        mw = Middleware.over(
+            small_uniform, CostModel.no_sorted(2), no_wild_guesses=False
+        )
+        with pytest.raises(CapabilityError):
+            FA().run(mw, Min(2), 1)
+
+
+class TestFABehaviour:
+    def test_probes_every_seen_object(self, small_uniform):
+        """FA's signature: exhaustive random phase over all seen objects."""
+        mw = mw_over(small_uniform)
+        FA().run(mw, Min(2), 2)
+        seen = len(mw.seen)
+        # Every seen object ends fully evaluated: delivered + probed = 2*seen.
+        assert mw.stats.total_sorted + mw.stats.total_random == 2 * seen
+
+
+class TestTACorrectness:
+    @pytest.mark.parametrize("k", [1, 3, 7])
+    def test_valid_topk(self, small_uniform, k):
+        mw = mw_over(small_uniform)
+        result = TA().run(mw, Min(2), k)
+        assert_valid_topk(result, small_uniform, Min(2), k)
+
+    @pytest.mark.parametrize("make", [uniform, zipf_skewed])
+    def test_distributions(self, make):
+        data = make(150, 2, seed=3)
+        mw = mw_over(data)
+        result = TA().run(mw, Avg(2), 5)
+        assert_valid_topk(result, data, Avg(2), 5)
+
+    def test_three_predicates(self, medium_uniform):
+        mw = mw_over(medium_uniform)
+        result = TA().run(mw, Min(3), 5)
+        assert_valid_topk(result, medium_uniform, Min(3), 5)
+
+    def test_massive_ties(self):
+        data = Dataset([[0.5, 0.5]] * 10)
+        mw = mw_over(data)
+        result = TA().run(mw, Avg(2), 3)
+        assert result.scores == pytest.approx([0.5, 0.5, 0.5])
+
+    def test_k_exceeds_n(self, ds1):
+        mw = mw_over(ds1)
+        result = TA().run(mw, Min(2), 10)
+        assert len(result.ranking) == 3
+
+
+class TestTARequirements:
+    def test_requires_random(self, small_uniform):
+        mw = Middleware.over(small_uniform, CostModel.no_random(2))
+        with pytest.raises(CapabilityError):
+            TA().run(mw, Min(2), 1)
+
+
+class TestTABehaviour:
+    def test_equal_depth_descent(self, small_uniform):
+        """TA's sorted accesses stay within one round across lists."""
+        mw = mw_over(small_uniform)
+        TA().run(mw, Avg(2), 3)
+        counts = mw.stats.sorted_counts
+        assert abs(counts[0] - counts[1]) <= 1
+
+    def test_every_seen_object_fully_evaluated(self, small_uniform):
+        """TA's exhaustive-random-access signature (Section 8.1): every
+        score of every seen object has been delivered by halt time."""
+        mw = mw_over(small_uniform)
+        TA().run(mw, Min(2), 2)
+        for obj in mw.seen:
+            for i in range(mw.m):
+                assert mw.was_delivered(i, obj)
+
+    def test_stops_before_exhausting_lists(self, small_uniform):
+        mw = mw_over(small_uniform)
+        TA().run(mw, Avg(2), 1)
+        assert mw.stats.total_sorted < 2 * small_uniform.n
+
+    def test_beats_fa_when_intersection_forms_late(self):
+        """TA's early stop dominates FA's intersection rule when the lists
+        disagree (the historical motivation for TA)."""
+        data = zipf_skewed(300, 2, skew=3.0, seed=5)
+        mw_ta, mw_fa = mw_over(data), mw_over(data)
+        TA().run(mw_ta, Avg(2), 5)
+        FA().run(mw_fa, Avg(2), 5)
+        assert mw_ta.stats.total_cost() <= mw_fa.stats.total_cost()

@@ -1,0 +1,145 @@
+"""Tests for MPro and Upper (the sorted-access-impossible column)."""
+
+import pytest
+
+from repro.algorithms.mpro import MPro
+from repro.algorithms.upper import Upper
+from repro.data.generators import uniform, zipf_skewed
+from repro.exceptions import CapabilityError
+from repro.scoring.functions import Avg, Min, WeightedSum
+from repro.sources.cost import CostModel
+from repro.sources.middleware import Middleware
+from tests.conftest import assert_valid_topk, mw_over
+
+
+def probe_only(dataset, cr=None):
+    model = (
+        CostModel.no_sorted(dataset.m)
+        if cr is None
+        else CostModel(tuple([float("inf")] * dataset.m), tuple(cr))
+    )
+    return Middleware.over(dataset, model, no_wild_guesses=False)
+
+
+class TestMProCorrectness:
+    @pytest.mark.parametrize("k", [1, 5])
+    def test_valid_topk(self, small_uniform, k):
+        mw = probe_only(small_uniform)
+        result = MPro().run(mw, Min(2), k)
+        assert_valid_topk(result, small_uniform, Min(2), k)
+
+    def test_three_predicates(self, medium_uniform):
+        mw = probe_only(medium_uniform)
+        result = MPro().run(mw, Avg(3), 4)
+        assert_valid_topk(result, medium_uniform, Avg(3), 4)
+
+    def test_custom_schedule(self, small_uniform):
+        mw = probe_only(small_uniform)
+        result = MPro(schedule=[1, 0]).run(mw, Min(2), 3)
+        assert_valid_topk(result, small_uniform, Min(2), 3)
+        assert result.metadata["schedule"] == (1, 0)
+
+    def test_invalid_schedule(self, small_uniform):
+        mw = probe_only(small_uniform)
+        with pytest.raises(ValueError):
+            MPro(schedule=[0, 0]).run(mw, Min(2), 1)
+
+    def test_requires_universe(self, small_uniform):
+        mw = mw_over(small_uniform)  # no_wild_guesses=True
+        with pytest.raises(CapabilityError):
+            MPro().run(mw, Min(2), 1)
+
+    def test_k_exceeds_n(self, ds1):
+        mw = probe_only(ds1)
+        result = MPro().run(mw, Min(2), 10)
+        assert len(result.ranking) == 3
+
+
+class TestMProBehaviour:
+    def test_never_sorted_accesses(self, small_uniform):
+        mw = probe_only(small_uniform)
+        MPro().run(mw, Min(2), 3)
+        assert mw.stats.total_sorted == 0
+
+    def test_minimal_probing_beats_exhaustive(self, small_uniform):
+        """MPro probes far fewer than full evaluation (2n)."""
+        mw = probe_only(small_uniform)
+        MPro().run(mw, Min(2), 1)
+        assert mw.stats.total_random < 2 * small_uniform.n
+
+    def test_schedule_order_affects_cost_on_skewed_predicates(self):
+        # p1 is highly selective (skewed low): probing it first prunes
+        # aggressively, so the (1, 0) schedule should not lose to (0, 1).
+        from repro.data.dataset import Dataset
+        import numpy as np
+
+        rng = np.random.default_rng(0)
+        p0 = rng.random(300) * 0.5 + 0.5  # uniformly high
+        p1 = rng.random(300) ** 4  # mostly tiny
+        data = Dataset(np.column_stack([p0, p1]))
+        mw_01, mw_10 = probe_only(data), probe_only(data)
+        MPro(schedule=[0, 1]).run(mw_01, Min(2), 5)
+        MPro(schedule=[1, 0]).run(mw_10, Min(2), 5)
+        assert (
+            mw_10.stats.total_random <= mw_01.stats.total_random
+        ), "probing the selective predicate first should prune more"
+
+
+class TestUpperCorrectness:
+    @pytest.mark.parametrize("k", [1, 5])
+    def test_probe_only_valid_topk(self, small_uniform, k):
+        mw = probe_only(small_uniform)
+        result = Upper().run(mw, Min(2), k)
+        assert_valid_topk(result, small_uniform, Min(2), k)
+
+    def test_mixed_scenario_with_sorted_sources(self, small_uniform):
+        mw = mw_over(small_uniform)
+        result = Upper().run(mw, Min(2), 3)
+        assert_valid_topk(result, small_uniform, Min(2), 3)
+
+    def test_sorted_only_predicate_handled(self, small_uniform):
+        model = CostModel((1.0, 1.0), (float("inf"), 1.0))
+        mw = Middleware.over(small_uniform, model)
+        result = Upper().run(mw, Min(2), 3)
+        assert_valid_topk(result, small_uniform, Min(2), 3)
+
+    def test_expected_scores_validated(self, small_uniform):
+        mw = probe_only(small_uniform)
+        with pytest.raises(ValueError):
+            Upper(expected_scores=[0.5]).run(mw, Min(2), 1)
+
+    def test_rejects_undiscoverable_setting(self, small_uniform):
+        mw = Middleware.over(small_uniform, CostModel.no_sorted(2))
+        with pytest.raises(CapabilityError):
+            Upper().run(mw, Min(2), 1)
+
+
+class TestUpperBehaviour:
+    def test_weighted_function_prefers_heavy_predicate(self):
+        """Upper probes the high-weight predicate first: it shrinks the
+        bound most per unit cost."""
+        data = uniform(200, 2, seed=6)
+        fn = WeightedSum([0.9, 0.1])
+        mw = probe_only(data)
+        Upper().run(mw, fn, 3)
+        counts = mw.stats.random_counts
+        assert counts[0] > counts[1]
+
+    def test_cost_aware_probe_choice(self):
+        """With equal benefit, the cheaper probe wins."""
+        data = uniform(200, 2, seed=6)
+        mw = probe_only(data, cr=[1.0, 20.0])
+        Upper().run(mw, Avg(2), 3)
+        counts = mw.stats.random_counts
+        assert counts[0] > counts[1]
+
+    def test_probe_only_never_sorted(self, small_uniform):
+        mw = probe_only(small_uniform)
+        Upper().run(mw, Min(2), 2)
+        assert mw.stats.total_sorted == 0
+
+    def test_skewed_data(self):
+        data = zipf_skewed(150, 3, skew=2.0, seed=4)
+        mw = probe_only(data)
+        result = Upper().run(mw, Min(3), 4)
+        assert_valid_topk(result, data, Min(3), 4)

@@ -1,0 +1,133 @@
+"""Tests for NRA and CA (the restricted/expensive random-access row)."""
+
+import pytest
+
+from repro.algorithms.ca import CA
+from repro.algorithms.nra import NRA
+from repro.data.dataset import Dataset
+from repro.data.generators import uniform, zipf_skewed
+from repro.exceptions import CapabilityError
+from repro.scoring.functions import Avg, Min
+from repro.sources.cost import CostModel
+from repro.sources.middleware import Middleware
+from tests.conftest import assert_valid_topk, mw_over, score_multiset
+
+
+class TestNRAExactMode:
+    @pytest.mark.parametrize("k", [1, 4])
+    def test_valid_topk_without_probes(self, small_uniform, k):
+        mw = Middleware.over(small_uniform, CostModel.no_random(2))
+        result = NRA().run(mw, Min(2), k)
+        assert_valid_topk(result, small_uniform, Min(2), k)
+        assert mw.stats.total_random == 0
+
+    def test_three_predicates(self, medium_uniform):
+        mw = Middleware.over(medium_uniform, CostModel.no_random(3))
+        result = NRA().run(mw, Avg(3), 5)
+        assert_valid_topk(result, medium_uniform, Avg(3), 5)
+
+    def test_never_probes_even_when_probes_exist(self, small_uniform):
+        mw = mw_over(small_uniform)
+        NRA().run(mw, Min(2), 3)
+        assert mw.stats.total_random == 0
+
+    def test_requires_sorted_everywhere(self, small_uniform):
+        model = CostModel((1.0, float("inf")), (1.0, 1.0))
+        mw = Middleware.over(small_uniform, model)
+        with pytest.raises(CapabilityError):
+            NRA().run(mw, Min(2), 1)
+
+    def test_k_exceeds_n(self, ds1):
+        mw = Middleware.over(ds1, CostModel.no_random(2))
+        result = NRA().run(mw, Min(2), 10)
+        assert len(result.ranking) == 3
+
+
+class TestNRASetMode:
+    def test_set_is_a_valid_topk(self, small_uniform):
+        mw = Middleware.over(small_uniform, CostModel.no_random(2))
+        result = NRA(exact_scores=False).run(mw, Min(2), 4)
+        oracle = small_uniform.topk(Min(2), 4)
+        true_scores = sorted(
+            round(Min(2)(small_uniform.object_scores(obj)), 9)
+            for obj in result.objects
+        )
+        assert true_scores == score_multiset(oracle)
+
+    def test_set_mode_flagged_inexact(self, small_uniform):
+        mw = Middleware.over(small_uniform, CostModel.no_random(2))
+        result = NRA(exact_scores=False).run(mw, Min(2), 4)
+        assert result.metadata["exact"] is False
+
+    def test_set_mode_never_costlier_than_exact(self, small_uniform):
+        mw_set = Middleware.over(small_uniform, CostModel.no_random(2))
+        mw_exact = Middleware.over(small_uniform, CostModel.no_random(2))
+        NRA(exact_scores=False).run(mw_set, Avg(2), 3)
+        NRA().run(mw_exact, Avg(2), 3)
+        assert mw_set.stats.total_cost() <= mw_exact.stats.total_cost()
+
+    def test_set_mode_scores_are_lower_bounds(self, small_uniform):
+        mw = Middleware.over(small_uniform, CostModel.no_random(2))
+        result = NRA(exact_scores=False).run(mw, Avg(2), 4)
+        for entry in result.ranking:
+            true = Avg(2)(small_uniform.object_scores(entry.obj))
+            assert entry.score <= true + 1e-12
+
+
+class TestCACorrectness:
+    @pytest.mark.parametrize("k", [1, 4])
+    def test_valid_topk(self, small_uniform, k):
+        mw = Middleware.over(small_uniform, CostModel.expensive_random(2))
+        result = CA().run(mw, Min(2), k)
+        assert_valid_topk(result, small_uniform, Min(2), k)
+
+    def test_three_predicates(self, medium_uniform):
+        mw = Middleware.over(medium_uniform, CostModel.expensive_random(3, ratio=5))
+        result = CA().run(mw, Avg(3), 4)
+        assert_valid_topk(result, medium_uniform, Avg(3), 4)
+
+    def test_explicit_h(self, small_uniform):
+        mw = mw_over(small_uniform)
+        result = CA(h=3).run(mw, Min(2), 3)
+        assert result.metadata["h"] == 3
+        assert_valid_topk(result, small_uniform, Min(2), 3)
+
+    def test_h_validation(self):
+        with pytest.raises(ValueError):
+            CA(h=0)
+
+    def test_default_h_from_cost_ratio(self, small_uniform):
+        mw = Middleware.over(small_uniform, CostModel.expensive_random(2, ratio=7.0))
+        result = CA().run(mw, Min(2), 2)
+        assert result.metadata["h"] == 7
+
+    def test_requires_both_access_types(self, small_uniform):
+        mw = Middleware.over(small_uniform, CostModel.no_random(2))
+        with pytest.raises(CapabilityError):
+            CA().run(mw, Min(2), 1)
+
+
+class TestCABehaviour:
+    def test_probes_sparingly_under_expensive_random(self):
+        """CA's point: far fewer probes than TA when cr >> cs."""
+        from repro.algorithms.ta import TA
+
+        data = uniform(300, 2, seed=8)
+        model = CostModel.expensive_random(2, ratio=10.0)
+        mw_ca, mw_ta = Middleware.over(data, model), Middleware.over(data, model)
+        CA().run(mw_ca, Min(2), 5)
+        TA().run(mw_ta, Min(2), 5)
+        assert mw_ca.stats.total_random < mw_ta.stats.total_random
+        assert mw_ca.stats.total_cost() < mw_ta.stats.total_cost()
+
+    def test_skewed_data(self):
+        data = zipf_skewed(200, 2, skew=2.5, seed=2)
+        mw = Middleware.over(data, CostModel.expensive_random(2))
+        result = CA().run(mw, Min(2), 3)
+        assert_valid_topk(result, data, Min(2), 3)
+
+    def test_ties_everywhere(self):
+        data = Dataset([[0.4, 0.4]] * 8)
+        mw = Middleware.over(data, CostModel.expensive_random(2))
+        result = CA().run(mw, Avg(2), 3)
+        assert result.scores == pytest.approx([0.4] * 3)

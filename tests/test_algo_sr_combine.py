@@ -1,0 +1,87 @@
+"""Tests for the SR-Combine baseline."""
+
+import pytest
+from hypothesis import given, settings
+
+from repro.algorithms.sr_combine import SRCombine
+from repro.data.generators import uniform, zipf_skewed
+from repro.exceptions import CapabilityError
+from repro.scoring.functions import Avg, Min, WeightedSum
+from repro.sources.cost import CostModel
+from repro.sources.middleware import Middleware
+from tests.conftest import assert_valid_topk, mw_over, score_multiset
+from tests.test_golden_invariant import check, instances
+
+
+class TestCorrectness:
+    @pytest.mark.parametrize("k", [1, 4])
+    def test_valid_topk(self, small_uniform, k):
+        mw = mw_over(small_uniform)
+        result = SRCombine().run(mw, Avg(2), k)
+        assert_valid_topk(result, small_uniform, Avg(2), k)
+
+    def test_min_function_still_correct(self, small_uniform):
+        mw = mw_over(small_uniform)
+        result = SRCombine().run(mw, Min(2), 3)
+        assert_valid_topk(result, small_uniform, Min(2), 3)
+
+    def test_no_random_scenario(self, small_uniform):
+        # Degenerates to Stream-Combine-like sorted-only processing.
+        mw = Middleware.over(small_uniform, CostModel.no_random(2))
+        result = SRCombine().run(mw, Avg(2), 3)
+        assert_valid_topk(result, small_uniform, Avg(2), 3)
+        assert mw.stats.total_random == 0
+
+    def test_requires_sorted(self, small_uniform):
+        mw = Middleware.over(
+            small_uniform, CostModel.no_sorted(2), no_wild_guesses=False
+        )
+        with pytest.raises(CapabilityError):
+            SRCombine().run(mw, Min(2), 1)
+
+    def test_window_validation(self):
+        with pytest.raises(ValueError):
+            SRCombine(window=0)
+
+    def test_expected_scores_validated(self, small_uniform):
+        mw = mw_over(small_uniform)
+        with pytest.raises(ValueError):
+            SRCombine(expected_scores=[0.5]).run(mw, Min(2), 1)
+
+    @settings(max_examples=40, deadline=None)
+    @given(instances())
+    def test_golden_invariant(self, instance):
+        dataset, fn, k = instance
+        mw = Middleware.over(dataset, CostModel.uniform(dataset.m))
+        check(SRCombine().run(mw, fn, k), dataset, fn, k)
+
+
+class TestCostAwareness:
+    def test_expensive_probes_are_rationed(self):
+        """With cr = 20*cs the indicator must starve probes relative to
+        the cheap-probe scenario."""
+        data = uniform(400, 2, seed=17)
+        fn = WeightedSum([0.5, 0.5])
+
+        def randoms(ratio):
+            model = CostModel.uniform(2, cs=1.0, cr=ratio)
+            mw = Middleware.over(data, model)
+            SRCombine().run(mw, fn, 5)
+            return mw.stats.total_random
+
+        assert randoms(20.0) <= randoms(0.1)
+
+    def test_cheap_sorted_list_preferred(self):
+        """Asymmetric sorted costs steer the descent to the cheap list."""
+        data = uniform(400, 2, seed=18)
+        model = CostModel.per_predicate(cs=[1.0, 25.0], cr=[5.0, 5.0])
+        mw = Middleware.over(data, model)
+        SRCombine().run(mw, Avg(2), 5)
+        counts = mw.stats.sorted_counts
+        assert counts[0] > counts[1]
+
+    def test_skewed_data(self):
+        data = zipf_skewed(250, 2, skew=2.0, seed=19)
+        mw = Middleware.over(data, CostModel.expensive_random(2, ratio=5.0))
+        result = SRCombine().run(mw, Min(2), 4)
+        assert_valid_topk(result, data, Min(2), 4)

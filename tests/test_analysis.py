@@ -1,0 +1,102 @@
+"""Tests for the optimality-analysis tooling."""
+
+import pytest
+
+from repro.algorithms.nc import NC
+from repro.algorithms.nra import NRA
+from repro.algorithms.ta import TA
+from repro.analysis.optimality import (
+    competitive_ratio,
+    instance_profile,
+    offline_optimal,
+)
+from repro.bench.scenarios import Scenario, s2
+from repro.core.framework import FrameworkNC
+from repro.core.policies import SRGPolicy
+from repro.data.generators import uniform
+from repro.exceptions import OptimizationError
+from repro.optimizer.plan import SRGPlan
+from repro.scoring.functions import Min
+from repro.sources.cost import CostModel
+
+
+def tiny_scenario(n=120, k=3, seed=2):
+    return Scenario(
+        name="tiny",
+        description="analysis test scenario",
+        dataset=uniform(n, 2, seed=seed),
+        fn=Min(2),
+        k=k,
+        cost_model=CostModel.uniform(2),
+    )
+
+
+class TestOfflineOptimal:
+    def test_is_a_lower_bound_over_its_own_grid(self):
+        scenario = tiny_scenario()
+        optimum = offline_optimal(scenario, resolution=4)
+        # Re-executing any grid plan cannot beat the reported optimum.
+        for d0 in (0.0, 1 / 3, 2 / 3, 1.0):
+            for d1 in (0.0, 1.0):
+                mw = scenario.middleware()
+                FrameworkNC(
+                    mw, scenario.fn, scenario.k, SRGPolicy([d0, d1])
+                ).run()
+                assert optimum.cost <= mw.stats.total_cost() + 1e-9
+
+    def test_counts_evaluations(self):
+        scenario = tiny_scenario()
+        optimum = offline_optimal(scenario, resolution=3)
+        assert optimum.plans_evaluated == 3**2 * 2  # grid x 2 schedules
+
+    def test_guard_against_blowup(self):
+        scenario = tiny_scenario()
+        with pytest.raises(OptimizationError):
+            offline_optimal(scenario, resolution=50, max_plans=100)
+
+    def test_resolution_validated(self):
+        with pytest.raises(OptimizationError):
+            offline_optimal(tiny_scenario(), resolution=1)
+
+    def test_custom_schedules(self):
+        scenario = tiny_scenario()
+        optimum = offline_optimal(
+            scenario, resolution=3, schedules=[(0, 1)]
+        )
+        assert optimum.schedule == (0, 1)
+
+
+class TestCompetitiveRatio:
+    def test_ratio_at_least_one_for_sr_algorithms(self):
+        scenario = tiny_scenario()
+        reference = offline_optimal(scenario, resolution=4)
+        # NC pinned to the reference plan achieves exactly 1.0.
+        pinned = NC(
+            plan=SRGPlan(depths=reference.depths, schedule=reference.schedule)
+        )
+        assert competitive_ratio(pinned, scenario, reference) == pytest.approx(1.0)
+
+    def test_ta_ratio_above_one_in_asymmetric_scenario(self):
+        scenario = s2(n=400, k=5)
+        reference = offline_optimal(scenario, resolution=4)
+        assert competitive_ratio(TA(), scenario, reference) > 1.2
+
+    def test_computes_reference_when_missing(self):
+        scenario = tiny_scenario(n=60, k=2)
+        ratio = competitive_ratio(TA(), scenario)
+        assert ratio >= 1.0 - 1e-9
+
+
+class TestInstanceProfile:
+    def test_skips_incapable_algorithms(self):
+        scenario = tiny_scenario().with_cost_model(
+            CostModel.no_random(2), name="tiny-nr"
+        )
+        _ref, rows = instance_profile(scenario, [TA(), NRA()], resolution=3)
+        assert [name for name, _ in rows] == ["NRA"]
+
+    def test_profile_orders_match_inputs(self):
+        scenario = tiny_scenario()
+        _ref, rows = instance_profile(scenario, [TA(), NRA()], resolution=3)
+        assert [name for name, _ in rows] == ["TA", "NRA"]
+        assert all(ratio > 0 for _name, ratio in rows)

@@ -1,0 +1,35 @@
+"""Guard: docs/API.md stays in sync with the code's docstrings."""
+
+import pathlib
+import subprocess
+import sys
+
+
+def test_api_md_is_current():
+    root = pathlib.Path(__file__).parent.parent
+    generator = root / "tools" / "gen_api_docs.py"
+    checked_in = (root / "docs" / "API.md").read_text()
+    # Import the generator as a module and regenerate in-process.
+    sys.path.insert(0, str(generator.parent))
+    try:
+        import gen_api_docs
+
+        regenerated = gen_api_docs.generate()
+    finally:
+        sys.path.pop(0)
+        sys.modules.pop("gen_api_docs", None)
+    assert regenerated == checked_in, (
+        "docs/API.md is stale; run `python tools/gen_api_docs.py`"
+    )
+
+
+def test_generator_runs_as_script():
+    root = pathlib.Path(__file__).parent.parent
+    proc = subprocess.run(
+        [sys.executable, str(root / "tools" / "gen_api_docs.py")],
+        capture_output=True,
+        text=True,
+        cwd=root,
+    )
+    assert proc.returncode == 0, proc.stderr
+    assert "wrote" in proc.stdout

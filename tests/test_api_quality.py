@@ -1,0 +1,83 @@
+"""Library-wide API quality gates.
+
+* every public module, class, function and method carries a docstring;
+* the top-level ``__all__`` matches what actually imports;
+* no module accidentally leaks private helpers into ``__all__``.
+"""
+
+import importlib
+import inspect
+import pkgutil
+
+import pytest
+
+import repro
+
+PUBLIC_MODULES = sorted(
+    name
+    for _finder, name, _ispkg in pkgutil.walk_packages(
+        repro.__path__, prefix="repro."
+    )
+    if not any(part.startswith("_") for part in name.split("."))
+)
+
+
+def public_members(module):
+    for name, member in vars(module).items():
+        if name.startswith("_"):
+            continue
+        if inspect.ismodule(member):
+            continue
+        defined_in = getattr(member, "__module__", None)
+        if defined_in != module.__name__:
+            continue  # re-export; checked at its home
+        yield name, member
+
+
+class TestDocstrings:
+    @pytest.mark.parametrize("module_name", PUBLIC_MODULES)
+    def test_module_documented(self, module_name):
+        module = importlib.import_module(module_name)
+        assert module.__doc__ and module.__doc__.strip(), module_name
+
+    @pytest.mark.parametrize("module_name", PUBLIC_MODULES)
+    def test_public_members_documented(self, module_name):
+        module = importlib.import_module(module_name)
+        undocumented = []
+        for name, member in public_members(module):
+            if inspect.isclass(member) or inspect.isfunction(member):
+                if not (member.__doc__ and member.__doc__.strip()):
+                    undocumented.append(name)
+                if inspect.isclass(member):
+                    for attr_name, attr in vars(member).items():
+                        if attr_name.startswith("_"):
+                            continue
+                        if inspect.isfunction(attr) and not (
+                            attr.__doc__ and attr.__doc__.strip()
+                        ):
+                            # Inherited-doc pattern: overriding without a
+                            # docstring is fine when a base class documents.
+                            base_doc = None
+                            for base in member.__mro__[1:]:
+                                base_attr = getattr(base, attr_name, None)
+                                if base_attr is not None and base_attr.__doc__:
+                                    base_doc = base_attr.__doc__
+                                    break
+                            if not base_doc:
+                                undocumented.append(f"{name}.{attr_name}")
+        assert not undocumented, f"{module_name}: {undocumented}"
+
+
+class TestAllExports:
+    def test_top_level_all_importable(self):
+        for name in repro.__all__:
+            assert hasattr(repro, name), name
+
+    def test_no_private_names_exported(self):
+        assert not [name for name in repro.__all__ if name.startswith("_")]
+
+    def test_subpackage_all_importable(self):
+        for module_name in PUBLIC_MODULES:
+            module = importlib.import_module(module_name)
+            for name in getattr(module, "__all__", []):
+                assert hasattr(module, name), f"{module_name}.{name}"

@@ -1,0 +1,171 @@
+"""Tests for the benchmark harness: scenarios, runners, reporting."""
+
+import pytest
+
+from repro.algorithms.nra import NRA
+from repro.algorithms.ta import TA
+from repro.bench.harness import (
+    compare,
+    nc_with_dummy_planner,
+    nc_with_true_sample_planner,
+    run_algorithm,
+    verify,
+)
+from repro.bench.reporting import (
+    ascii_table,
+    format_row,
+    relative_series,
+    text_contour,
+)
+from repro.bench.scenarios import (
+    Scenario,
+    matrix_scenarios,
+    s1,
+    s2,
+    travel_q1,
+    travel_q2,
+)
+from repro.data.generators import uniform
+from repro.optimizer.search import Strategies
+from repro.scoring.functions import Min
+from repro.sources.cost import CostModel
+
+
+class TestScenarios:
+    def test_s1_shape(self):
+        sc = s1(n=200, k=5)
+        assert sc.m == 2
+        assert sc.fn.name == "avg[2]"
+        assert sc.cost_model.cs == (1.0, 1.0)
+        assert sc.no_wild_guesses
+
+    def test_s2_uses_min(self):
+        assert s2(n=100).fn.name == "min[2]"
+
+    def test_matrix_covers_all_cells(self):
+        cells = {sc.name for sc in matrix_scenarios(n=50)}
+        assert cells == {
+            "uniform",
+            "expensive-ra",
+            "no-ra",
+            "no-sa",
+            "cheap-ra",
+            "zero-ra",
+        }
+
+    def test_no_sa_cell_allows_wild_guesses(self):
+        cell = next(sc for sc in matrix_scenarios(n=50) if sc.name == "no-sa")
+        assert not cell.no_wild_guesses
+        mw = cell.middleware()
+        assert list(mw.object_ids()) == list(range(50))
+
+    def test_oracle_cached(self):
+        sc = s1(n=100, k=3)
+        assert sc.oracle() is sc.oracle()
+
+    def test_middleware_fresh_each_call(self):
+        sc = s1(n=100, k=3)
+        mw1 = sc.middleware()
+        mw1.sorted_access(0)
+        mw2 = sc.middleware()
+        assert mw2.stats.total_accesses == 0
+
+    def test_with_cost_model(self):
+        sc = s1(n=100, k=3)
+        alt = sc.with_cost_model(CostModel.no_random(2), name="S1-nr")
+        assert alt.name == "S1-nr"
+        assert not alt.cost_model.supports_random(0)
+        assert alt.dataset is sc.dataset
+
+    def test_width_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            Scenario(
+                name="bad",
+                description="",
+                dataset=uniform(10, 2, seed=0),
+                fn=Min(3),
+                k=1,
+                cost_model=CostModel.uniform(2),
+            )
+
+    def test_travel_scenarios_build(self):
+        q1 = travel_q1(n=100)
+        q2 = travel_q2(n=100)
+        assert q1.m == 2 and q2.m == 3
+        assert q2.cost_model.cr == (0.0, 0.0, 0.0)
+
+
+class TestHarness:
+    def test_run_algorithm_row(self):
+        sc = s2(n=150, k=5)
+        row = run_algorithm(TA(), sc)
+        assert row.correct
+        assert row.cost == row.result.total_cost()
+        assert row.scenario == "S2"
+        assert row.sorted_accesses > 0
+
+    def test_compare_skips_incapable(self):
+        cell = next(sc for sc in matrix_scenarios(n=80) if sc.name == "no-ra")
+        rows = compare(cell, [TA(), NRA()])
+        assert [r.algorithm for r in rows] == ["NRA"]
+
+    def test_compare_raises_when_asked(self):
+        from repro.exceptions import CapabilityError
+
+        cell = next(sc for sc in matrix_scenarios(n=80) if sc.name == "no-ra")
+        with pytest.raises(CapabilityError):
+            compare(cell, [TA()], skip_incapable=False)
+
+    def test_nc_dummy_planner_correct_everywhere(self):
+        nc = nc_with_dummy_planner(scheme=Strategies(), sample_size=60)
+        for sc in matrix_scenarios(n=120, k=5):
+            row = run_algorithm(nc, sc)
+            assert row.correct, sc.name
+
+    def test_nc_true_sample_planner(self):
+        sc = s2(n=200, k=5)
+        nc = nc_with_true_sample_planner(sc, sample_size=60)
+        row = run_algorithm(nc, sc)
+        assert row.correct
+
+    def test_verify_rejects_wrong_answer(self):
+        sc = s1(n=50, k=2)
+        row = run_algorithm(TA(), sc)
+        good = row.result
+        assert verify(good, sc)
+        bad = type(good)(
+            ranking=good.ranking[:1], stats=good.stats, algorithm="bad"
+        )
+        assert not verify(bad, sc)
+
+
+class TestReporting:
+    def test_format_row_alignment(self):
+        line = format_row(["x", 1.0, 25], [4, 8, 4])
+        assert "x" in line and "1.0" in line and "25" in line
+
+    def test_ascii_table_renders_all_rows(self):
+        table = ascii_table(
+            ["algo", "cost"], [["TA", 12.5], ["NC", 8.0]], title="demo"
+        )
+        lines = table.splitlines()
+        assert lines[0] == "demo"
+        assert "TA" in table and "12.5" in table and "NC" in table
+
+    def test_text_contour_marks_cell(self):
+        grid = [[1.0, 2.0], [3.0, 4.0]]
+        art = text_contour(grid, [0.0, 1.0], [0.0, 1.0], mark=(0, 0))
+        assert "[" in art and "]" in art
+
+    def test_text_contour_constant_grid(self):
+        art = text_contour([[5.0, 5.0]], [0.0, 1.0], [0.5])
+        assert art  # no division by zero on flat surfaces
+
+    def test_relative_series(self):
+        rows = relative_series(200.0, [("NC", 100.0), ("TA", 200.0)])
+        assert rows[0] == ("NC", 100.0, 50.0)
+        assert rows[1][2] == pytest.approx(100.0)
+
+    def test_relative_series_validates_baseline(self):
+        with pytest.raises(ValueError):
+            relative_series(0.0, [("x", 1.0)])

@@ -1,0 +1,96 @@
+"""Direct unit tests for BoundTracker, the baselines' shared machinery."""
+
+import pytest
+
+from repro.algorithms.base import BoundTracker
+from repro.core.tasks import UNSEEN
+from repro.scoring.functions import Min
+from repro.sources.cost import CostModel
+from repro.sources.middleware import Middleware
+from tests.conftest import mw_over
+
+
+def make_tracker(ds1, k=1, **mw_kwargs):
+    mw = mw_over(ds1, **mw_kwargs)
+    return mw, BoundTracker(mw, Min(2), k)
+
+
+class TestSeeding:
+    def test_nwg_mode_starts_with_unseen_only(self, ds1):
+        _, tracker = make_tracker(ds1)
+        top = tracker.current_topk()
+        assert top == [(UNSEEN, 1.0)]
+
+    def test_universe_mode_seeds_everyone(self, ds1):
+        mw = mw_over(ds1, no_wild_guesses=False)
+        tracker = BoundTracker(mw, Min(2), 3)
+        top = tracker.current_topk()
+        assert [obj for obj, _ in top] == [2, 1, 0]  # oid tie-break
+
+
+class TestRecordAndRank:
+    def test_new_object_enters_heap(self, ds1):
+        mw, tracker = make_tracker(ds1, k=2)
+        obj, score = mw.sorted_access(0)  # u3 @ .7
+        tracker.record(0, obj, score)
+        top = tracker.current_topk()
+        assert top[0] == (2, pytest.approx(0.7))
+        assert top[1][0] == UNSEEN  # ties at .7, loses to the real object
+
+    def test_current_topk_leaves_heap_intact(self, ds1):
+        mw, tracker = make_tracker(ds1, k=2)
+        obj, score = mw.sorted_access(0)
+        tracker.record(0, obj, score)
+        first = tracker.current_topk()
+        second = tracker.current_topk()
+        assert first == second
+
+    def test_unseen_retires_when_all_seen(self, ds1):
+        mw, tracker = make_tracker(ds1, k=5)
+        while not mw.exhausted(0):
+            obj, score = mw.sorted_access(0)
+            tracker.record(0, obj, score)
+        top = tracker.current_topk()
+        assert UNSEEN not in [obj for obj, _ in top]
+        assert len(top) == 3
+
+
+class TestFinished:
+    def test_not_finished_while_top_incomplete(self, ds1):
+        mw, tracker = make_tracker(ds1)
+        obj, score = mw.sorted_access(0)
+        tracker.record(0, obj, score)
+        assert tracker.finished() is None
+        assert tracker.top_incomplete() == (2, pytest.approx(0.7))
+
+    def test_finished_when_top_complete(self, ds1):
+        mw, tracker = make_tracker(ds1)
+        obj, score = mw.sorted_access(0)
+        tracker.record(0, obj, score)
+        tracker.record(1, obj, mw.random_access(1, obj))
+        ranking = tracker.finished()
+        assert ranking is not None
+        assert ranking[0].obj == 2
+        assert ranking[0].score == pytest.approx(0.7)
+
+    def test_top_incomplete_reports_unseen(self, ds1):
+        _, tracker = make_tracker(ds1)
+        assert tracker.top_incomplete() == (UNSEEN, 1.0)
+
+
+class TestPopPush:
+    def test_pop_returns_current_best(self, ds1):
+        mw, tracker = make_tracker(ds1)
+        obj, score = mw.sorted_access(0)
+        tracker.record(0, obj, score)
+        popped = tracker.pop_top()
+        assert popped == (2, pytest.approx(0.7))
+        tracker.push(2)
+        assert tracker.pop_top() == (2, pytest.approx(0.7))
+
+    def test_pop_exhausts(self, ds1):
+        mw = mw_over(ds1, no_wild_guesses=False)
+        tracker = BoundTracker(mw, Min(2), 1)
+        for _ in range(3):
+            assert tracker.pop_top() is not None
+        assert tracker.pop_top() is None

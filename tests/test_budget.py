@@ -1,0 +1,111 @@
+"""Tests for middleware access budgets."""
+
+import pytest
+
+from repro.core.framework import FrameworkNC
+from repro.core.policies import SRGPolicy
+from repro.data.generators import uniform
+from repro.exceptions import BudgetExceededError
+from repro.scoring.functions import Min
+from repro.sources.cost import CostModel
+from repro.sources.middleware import Middleware
+from tests.conftest import mw_over
+
+
+class TestBudgetEnforcement:
+    def test_refuses_access_past_the_cap(self, ds1):
+        mw = Middleware.over(ds1, CostModel.uniform(2, cs=1.0), budget=2.0)
+        mw.sorted_access(0)
+        mw.sorted_access(0)
+        with pytest.raises(BudgetExceededError):
+            mw.sorted_access(0)
+        # The refused access was never performed or charged.
+        assert mw.stats.total_cost() == 2.0
+        assert mw.stats.total_sorted == 2
+
+    def test_charges_by_access_cost_not_count(self, ds1):
+        mw = Middleware.over(
+            ds1, CostModel.uniform(2, cs=1.0, cr=10.0), budget=5.0
+        )
+        obj, _ = mw.sorted_access(0)
+        with pytest.raises(BudgetExceededError):
+            mw.random_access(1, obj)  # 1 + 10 > 5
+        assert mw.stats.total_random == 0
+
+    def test_exact_fit_allowed(self, ds1):
+        mw = Middleware.over(ds1, CostModel.uniform(2, cs=1.0), budget=2.0)
+        mw.sorted_access(0)
+        mw.sorted_access(0)  # exactly exhausts the budget: legal
+        assert mw.remaining_budget() == pytest.approx(0.0)
+
+    def test_remaining_budget(self, ds1):
+        mw = Middleware.over(ds1, CostModel.uniform(2, cs=1.0), budget=10.0)
+        assert mw.remaining_budget() == 10.0
+        mw.sorted_access(0)
+        assert mw.remaining_budget() == 9.0
+
+    def test_unbounded_by_default(self, ds1):
+        mw = mw_over(ds1)
+        assert mw.budget is None
+        assert mw.remaining_budget() is None
+
+    def test_zero_cost_accesses_always_fit(self, ds1):
+        mw = Middleware.over(
+            ds1, CostModel.uniform(2, cs=1.0, cr=0.0), budget=1.0
+        )
+        obj, _ = mw.sorted_access(0)
+        mw.random_access(1, obj)  # free: fine even with budget exhausted
+
+    def test_negative_budget_rejected(self, ds1):
+        with pytest.raises(ValueError):
+            Middleware.over(ds1, CostModel.uniform(2), budget=-1.0)
+
+    def test_reset_does_not_restore_budget_config(self, ds1):
+        mw = Middleware.over(ds1, CostModel.uniform(2, cs=1.0), budget=1.0)
+        mw.sorted_access(0)
+        mw.reset()
+        # After reset the spend is back to zero against the same cap.
+        assert mw.remaining_budget() == 1.0
+        mw.sorted_access(0)
+        with pytest.raises(BudgetExceededError):
+            mw.sorted_access(1)
+
+
+class TestBudgetWithEngine:
+    def test_sufficient_budget_answers_normally(self):
+        data = uniform(80, 2, seed=85)
+        reference = mw_over(data)
+        FrameworkNC(reference, Min(2), 3, SRGPolicy([0.6, 0.6])).run()
+        needed = reference.stats.total_cost()
+
+        mw = Middleware.over(data, CostModel.uniform(2), budget=needed)
+        result = FrameworkNC(mw, Min(2), 3, SRGPolicy([0.6, 0.6])).run()
+        oracle = data.topk(Min(2), 3)
+        assert result.objects == [entry.obj for entry in oracle]
+
+    def test_insufficient_budget_fails_loudly_with_state_intact(self):
+        data = uniform(80, 2, seed=85)
+        mw = Middleware.over(data, CostModel.uniform(2), budget=10.0)
+        engine = FrameworkNC(mw, Min(2), 3, SRGPolicy([0.6, 0.6]))
+        with pytest.raises(BudgetExceededError):
+            engine.run()
+        # Spending stopped at the cap and the partial state is usable.
+        assert mw.stats.total_cost() <= 10.0
+        assert engine.state.tracked_count() > 0
+
+    def test_partial_answers_before_exhaustion(self):
+        """Progressive consumption surfaces what the budget could prove."""
+        data = uniform(120, 2, seed=86)
+        mw = Middleware.over(data, CostModel.uniform(2), budget=60.0)
+        engine = FrameworkNC(mw, Min(2), 10, SRGPolicy([0.6, 0.6]))
+        confirmed = []
+        try:
+            for entry in engine.answers():
+                confirmed.append(entry)
+                if len(confirmed) >= 10:
+                    break
+        except BudgetExceededError:
+            pass
+        # Whatever was confirmed is exactly the true answer prefix.
+        oracle = data.topk(Min(2), len(confirmed)) if confirmed else []
+        assert [e.obj for e in confirmed] == [e.obj for e in oracle]

@@ -1,0 +1,134 @@
+"""Tests for CallbackSource: the adopter-facing Source adapter."""
+
+import pytest
+
+from repro.core.framework import FrameworkNC
+from repro.core.policies import SRGPolicy
+from repro.data.generators import uniform
+from repro.exceptions import CapabilityError
+from repro.scoring.functions import Min
+from repro.sources.callback import CallbackSource
+from repro.sources.cost import CostModel
+from repro.sources.middleware import Middleware
+from tests.conftest import assert_valid_topk
+
+
+def sources_from_dataset(dataset):
+    """Wrap a dataset's columns as user callables (the adoption pattern)."""
+
+    def factory(pred):
+        def make_iter():
+            order = dataset.sorted_order(pred)
+            return iter(
+                [(int(obj), dataset.score(int(obj), pred)) for obj in order]
+            )
+
+        return make_iter
+
+    return [
+        CallbackSource(
+            sorted_factory=factory(i),
+            random_fn=lambda obj, i=i: dataset.score(obj, i),
+            name=f"svc-{i}",
+        )
+        for i in range(dataset.m)
+    ]
+
+
+class TestContract:
+    def test_needs_some_capability(self):
+        with pytest.raises(ValueError):
+            CallbackSource()
+
+    def test_sorted_only(self):
+        src = CallbackSource(sorted_factory=lambda: iter([(0, 0.5)]))
+        assert src.supports_sorted and not src.supports_random
+        with pytest.raises(CapabilityError):
+            src.random_access(0)
+
+    def test_random_only(self):
+        src = CallbackSource(random_fn=lambda obj: 0.5)
+        assert src.supports_random and not src.supports_sorted
+        with pytest.raises(CapabilityError):
+            src.sorted_access()
+
+    def test_iteration_and_exhaustion(self):
+        src = CallbackSource(
+            sorted_factory=lambda: iter([(3, 0.9), (1, 0.4)])
+        )
+        assert src.sorted_access() == (3, 0.9)
+        assert src.last_seen == 0.9
+        assert src.sorted_access() == (1, 0.4)
+        assert not src.exhausted
+        assert src.sorted_access() is None
+        assert src.exhausted
+        assert src.last_seen == 0.0
+        assert src.depth == 2
+
+    def test_reset_restarts_iterator(self):
+        src = CallbackSource(sorted_factory=lambda: iter([(0, 0.7)]))
+        assert src.sorted_access() == (0, 0.7)
+        src.reset()
+        assert src.depth == 0
+        assert src.last_seen == 1.0
+        assert src.sorted_access() == (0, 0.7)
+
+
+class TestValidation:
+    def test_out_of_order_iterator_rejected(self):
+        src = CallbackSource(
+            sorted_factory=lambda: iter([(0, 0.4), (1, 0.9)])
+        )
+        src.sorted_access()
+        with pytest.raises(ValueError, match="not nonincreasing"):
+            src.sorted_access()
+
+    def test_duplicate_object_rejected(self):
+        src = CallbackSource(
+            sorted_factory=lambda: iter([(0, 0.9), (0, 0.8)])
+        )
+        src.sorted_access()
+        with pytest.raises(ValueError, match="repeated object"):
+            src.sorted_access()
+
+    def test_out_of_range_scores_rejected(self):
+        src = CallbackSource(sorted_factory=lambda: iter([(0, 1.5)]))
+        with pytest.raises(ValueError, match="outside"):
+            src.sorted_access()
+        probe = CallbackSource(random_fn=lambda obj: -0.1)
+        with pytest.raises(ValueError, match="outside"):
+            probe.random_access(0)
+
+
+class TestEndToEnd:
+    def test_framework_runs_over_callback_sources(self):
+        data = uniform(60, 2, seed=71)
+        sources = sources_from_dataset(data)
+        middleware = Middleware(
+            sources, CostModel.uniform(2), n_objects=data.n
+        )
+        result = FrameworkNC(
+            middleware, Min(2), 4, SRGPolicy([0.6, 0.6])
+        ).run()
+        assert_valid_topk(result, data, Min(2), 4)
+
+    def test_same_cost_as_simulated_sources(self):
+        """Wrapping callables must be observationally identical to the
+        built-in simulated sources."""
+        data = uniform(60, 2, seed=72)
+        mw_callback = Middleware(
+            sources_from_dataset(data), CostModel.uniform(2), n_objects=data.n
+        )
+        FrameworkNC(mw_callback, Min(2), 4, SRGPolicy([0.6, 0.6])).run()
+
+        mw_simulated = Middleware.over(data, CostModel.uniform(2))
+        FrameworkNC(mw_simulated, Min(2), 4, SRGPolicy([0.6, 0.6])).run()
+
+        assert (
+            mw_callback.stats.snapshot() == mw_simulated.stats.snapshot()
+        )
+
+    def test_middleware_requires_explicit_n(self):
+        data = uniform(10, 2, seed=73)
+        with pytest.raises(ValueError, match="n_objects"):
+            Middleware(sources_from_dataset(data), CostModel.uniform(2))

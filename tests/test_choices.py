@@ -1,0 +1,111 @@
+"""Tests for necessary choices (Definition 2)."""
+
+import pytest
+
+from repro.core.choices import necessary_choices
+from repro.core.state import ScoreState
+from repro.core.tasks import UNSEEN
+from repro.exceptions import UnanswerableQueryError
+from repro.scoring.functions import Min
+from repro.sources.cost import CostModel
+from repro.sources.middleware import Middleware
+from repro.types import Access
+from tests.conftest import mw_over
+
+
+def fresh(ds1, cost_model=None, **kwargs):
+    mw = mw_over(ds1, cost_model, **kwargs)
+    return mw, ScoreState(mw, Min(2))
+
+
+class TestRealObjects:
+    def test_all_accesses_for_untouched_object(self, ds1):
+        mw, state = fresh(ds1)
+        obj, score = mw.sorted_access(0)
+        state.record(0, obj, score)
+        choices = necessary_choices(state, obj)
+        # p0 is determined; only p1's accesses remain.
+        assert choices == [Access.sorted(1), Access.random(1, obj)]
+
+    def test_example8_choice_set(self, ds1):
+        """Example 8: for u3 with p1 undetermined, N = {sa_2, ra_2(u3)}."""
+        mw, state = fresh(ds1)
+        obj, score = mw.sorted_access(0)  # u3 (object 2)
+        state.record(0, obj, score)
+        assert obj == 2
+        choices = set(necessary_choices(state, 2))
+        assert choices == {Access.sorted(1), Access.random(1, 2)}
+
+    def test_complete_object_rejected(self, ds1):
+        mw, state = fresh(ds1)
+        obj, score = mw.sorted_access(0)
+        state.record(0, obj, score)
+        state.record(1, obj, mw.random_access(1, obj))
+        with pytest.raises(ValueError):
+            necessary_choices(state, obj)
+
+    def test_no_sorted_capability_leaves_probe_only(self, ds1):
+        model = CostModel((1.0, float("inf")), (1.0, 1.0))
+        mw, state = fresh(ds1, model)
+        obj, score = mw.sorted_access(0)
+        state.record(0, obj, score)
+        assert necessary_choices(state, obj) == [Access.random(1, obj)]
+
+    def test_no_random_capability_leaves_sorted_only(self, ds1):
+        model = CostModel.no_random(2)
+        mw, state = fresh(ds1, model)
+        obj, score = mw.sorted_access(0)
+        state.record(0, obj, score)
+        assert necessary_choices(state, obj) == [Access.sorted(1)]
+
+    def test_multiple_undetermined_predicates(self, ds1):
+        mw, state = fresh(ds1)
+        obj, score = mw.sorted_access(0)
+        state.record(0, obj, score)
+        # Forget p0 by inspecting a different object seen via p1.
+        obj2, score2 = mw.sorted_access(1)
+        state.record(1, obj2, score2)
+        if obj2 != obj:
+            choices = necessary_choices(state, obj2)
+            assert Access.sorted(0) in choices
+            assert Access.random(0, obj2) in choices
+
+
+class TestUnseenObject:
+    def test_only_live_sorted_accesses(self, ds1):
+        mw, state = fresh(ds1)
+        choices = necessary_choices(state, UNSEEN)
+        assert choices == [Access.sorted(0), Access.sorted(1)]
+
+    def test_exhausted_lists_excluded(self, ds1):
+        mw, state = fresh(ds1)
+        while not mw.exhausted(0):
+            obj, score = mw.sorted_access(0)
+            state.record(0, obj, score)
+        # All objects are now seen; but if UNSEEN were still consulted, p0
+        # would no longer be offered.
+        choices = necessary_choices(state, UNSEEN)
+        assert choices == [Access.sorted(1)]
+
+    def test_no_sorted_at_all_is_unanswerable(self, ds1):
+        model = CostModel.no_sorted(2)
+        mw = Middleware.over(ds1, model, no_wild_guesses=False)
+        state = ScoreState(mw, Min(2))
+        with pytest.raises(UnanswerableQueryError):
+            necessary_choices(state, UNSEEN)
+
+
+class TestCompleteness:
+    def test_choices_are_exactly_the_contributing_accesses(self, ds1):
+        """Definition 2: all and only accesses on undetermined predicates."""
+        mw, state = fresh(ds1)
+        obj, score = mw.sorted_access(0)
+        state.record(0, obj, score)
+        choices = necessary_choices(state, obj)
+        for access in choices:
+            assert access.predicate in state.undetermined(obj)
+            if access.is_random:
+                assert access.obj == obj
+        undetermined = set(state.undetermined(obj))
+        covered = {access.predicate for access in choices}
+        assert covered == undetermined

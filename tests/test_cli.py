@@ -1,0 +1,91 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestScenarios:
+    def test_lists_all_builtins(self, capsys):
+        assert main(["scenarios"]) == 0
+        out = capsys.readouterr().out
+        for name in ("S1", "S2", "Q1", "Q2", "uniform", "no-ra", "zero-ra"):
+            assert name in out
+
+
+class TestCompare:
+    def test_compare_on_s2(self, capsys):
+        assert main(["compare", "--scenario", "S2", "--algorithms", "NC,TA"]) == 0
+        out = capsys.readouterr().out
+        assert "NC" in out and "TA" in out
+        assert "% of best" in out
+
+    def test_incapable_algorithms_skipped(self, capsys):
+        # TA cannot run without random access; NRA carries the cell.
+        assert (
+            main(["compare", "--scenario", "no-ra", "--algorithms", "TA,NRA"]) == 0
+        )
+        out = capsys.readouterr().out
+        assert "NRA" in out
+        assert "TA " not in out
+
+    def test_unknown_scenario(self, capsys):
+        assert main(["compare", "--scenario", "nope"]) == 2
+        assert "unknown scenario" in capsys.readouterr().err
+
+    def test_unknown_algorithm(self, capsys):
+        assert (
+            main(["compare", "--scenario", "S1", "--algorithms", "XX"]) == 2
+        )
+        assert "unknown algorithms" in capsys.readouterr().err
+
+    def test_nothing_runnable(self, capsys):
+        assert (
+            main(["compare", "--scenario", "no-ra", "--algorithms", "TA"]) == 2
+        )
+        assert "none of the requested" in capsys.readouterr().err
+
+
+class TestOptimize:
+    def test_optimize_s2(self, capsys):
+        assert main(["optimize", "--scenario", "S2", "--scheme", "naive"]) == 0
+        out = capsys.readouterr().out
+        assert "plan" in out and "Delta" in out
+        assert "estimator simulation runs" in out
+
+    def test_unknown_scheme(self, capsys):
+        assert main(["optimize", "--scenario", "S1", "--scheme", "magic"]) == 2
+        assert "unknown scheme" in capsys.readouterr().err
+
+
+class TestQuery:
+    def test_end_to_end(self, capsys):
+        code = main(
+            [
+                "query",
+                "SELECT * FROM r ORDER BY min(a, b) STOP AFTER 3",
+                "--n",
+                "200",
+                "--seed",
+                "5",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "min(a, b)" in out
+        assert "total access cost" in out
+        assert out.count("\n") > 5  # the ranking table printed
+
+    def test_malformed_query(self, capsys):
+        assert main(["query", "SELECT FROM"]) == 2
+        assert "error" in capsys.readouterr().err
+
+
+class TestParser:
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_defaults(self):
+        args = build_parser().parse_args(["compare", "--scenario", "S1"])
+        assert args.algorithms == "NC,TA,CA,NRA"

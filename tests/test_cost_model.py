@@ -1,0 +1,108 @@
+"""Tests for the CostModel (Eq. 1 unit costs and capability encoding)."""
+
+import math
+
+import pytest
+
+from repro.sources.cost import CostModel
+from repro.types import Access
+
+
+class TestConstruction:
+    def test_basic(self):
+        model = CostModel((1.0, 2.0), (3.0, 4.0))
+        assert model.m == 2
+        assert model.sorted_cost(1) == 2.0
+        assert model.random_cost(0) == 3.0
+
+    def test_rejects_length_mismatch(self):
+        with pytest.raises(ValueError):
+            CostModel((1.0,), (1.0, 2.0))
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            CostModel((), ())
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            CostModel((-1.0,), (1.0,))
+
+    def test_rejects_nan(self):
+        with pytest.raises(ValueError):
+            CostModel((float("nan"),), (1.0,))
+
+    def test_rejects_predicate_with_no_access_at_all(self):
+        with pytest.raises(ValueError):
+            CostModel((math.inf,), (math.inf,))
+
+    def test_zero_cost_is_legal(self):
+        # Example 2: random accesses piggybacking on sorted are free.
+        model = CostModel.uniform(2, cs=1.0, cr=0.0)
+        assert model.random_cost(0) == 0.0
+        assert model.supports_random(0)
+
+
+class TestCapabilities:
+    def test_inf_means_unsupported(self):
+        model = CostModel((1.0, math.inf), (math.inf, 1.0))
+        assert model.supports_sorted(0) and not model.supports_sorted(1)
+        assert not model.supports_random(0) and model.supports_random(1)
+        assert model.sorted_capabilities == [True, False]
+        assert model.random_capabilities == [False, True]
+
+
+class TestNamedConstructors:
+    def test_uniform(self):
+        model = CostModel.uniform(3, cs=2.0, cr=5.0)
+        assert model.cs == (2.0, 2.0, 2.0)
+        assert model.cr == (5.0, 5.0, 5.0)
+
+    def test_expensive_random(self):
+        model = CostModel.expensive_random(2, cs=1.0, ratio=10.0)
+        assert model.cr == (10.0, 10.0)
+
+    def test_cheap_random(self):
+        model = CostModel.cheap_random(2, cs=1.0, ratio=4.0)
+        assert model.cr == (0.25, 0.25)
+
+    def test_no_random(self):
+        model = CostModel.no_random(2)
+        assert all(math.isinf(c) for c in model.cr)
+        assert not model.supports_random(0)
+
+    def test_no_sorted(self):
+        model = CostModel.no_sorted(2)
+        assert all(math.isinf(c) for c in model.cs)
+
+    def test_per_predicate(self):
+        model = CostModel.per_predicate(cs=[1, 2], cr=[3, 4])
+        assert model.cs == (1.0, 2.0)
+
+
+class TestAccessCost:
+    def test_dispatch(self):
+        model = CostModel((1.0, 2.0), (3.0, 4.0))
+        assert model.access_cost(Access.sorted(1)) == 2.0
+        assert model.access_cost(Access.random(0, 7)) == 3.0
+
+
+class TestScale:
+    def test_scales_finite_costs(self):
+        model = CostModel.uniform(2, cs=1.0, cr=2.0).scale(3.0)
+        assert model.cs == (3.0, 3.0)
+        assert model.cr == (6.0, 6.0)
+
+    def test_preserves_infinities(self):
+        model = CostModel.no_random(2).scale(2.0)
+        assert all(math.isinf(c) for c in model.cr)
+
+    def test_rejects_negative_factor(self):
+        with pytest.raises(ValueError):
+            CostModel.uniform(1).scale(-1.0)
+
+
+class TestDescribe:
+    def test_renders_infinities_as_dashes(self):
+        text = CostModel.no_random(1).describe()
+        assert "--" in text
+        assert "cs=(1)" in text

@@ -1,0 +1,115 @@
+"""Tests for the cost-drift monitor."""
+
+import pytest
+
+from repro.sources.cost import CostModel
+from repro.sources.latency import NoisyLatency
+from repro.sources.monitor import CostMonitor
+from repro.types import Access, AccessType
+
+
+def feed(monitor, access, values):
+    for value in values:
+        monitor.observe(access, value)
+
+
+class TestObservation:
+    def test_running_mean(self):
+        monitor = CostMonitor(CostModel.uniform(2), min_observations=3)
+        feed(monitor, Access.sorted(0), [1.0, 2.0, 3.0])
+        assert monitor.observations(0, AccessType.SORTED) == 3
+        assert monitor.estimated_cost(0, AccessType.SORTED) == pytest.approx(2.0)
+
+    def test_under_observed_cells_report_none(self):
+        monitor = CostMonitor(CostModel.uniform(2), min_observations=5)
+        feed(monitor, Access.sorted(0), [1.0] * 4)
+        assert monitor.estimated_cost(0, AccessType.SORTED) is None
+
+    def test_kinds_tracked_separately(self):
+        monitor = CostMonitor(CostModel.uniform(1), min_observations=1)
+        monitor.observe(Access.sorted(0), 1.0)
+        monitor.observe(Access.random(0, 3), 9.0)
+        assert monitor.estimated_cost(0, AccessType.SORTED) == 1.0
+        assert monitor.estimated_cost(0, AccessType.RANDOM) == 9.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            CostMonitor(CostModel.uniform(1), min_observations=0)
+        monitor = CostMonitor(CostModel.uniform(1))
+        with pytest.raises(ValueError):
+            monitor.observe(Access.sorted(0), -1.0)
+
+
+class TestDriftDetection:
+    def test_no_drift_when_observations_match(self):
+        monitor = CostMonitor(CostModel.uniform(2, cs=1.0, cr=4.0))
+        feed(monitor, Access.sorted(0), [1.0] * 6)
+        feed(monitor, Access.random(1, 2), [4.0] * 6)
+        assert not monitor.drifted(tolerance=1.5)
+        assert all(
+            ratio == pytest.approx(1.0)
+            for ratio in monitor.drift_ratios().values()
+        )
+
+    def test_detects_spike(self):
+        monitor = CostMonitor(CostModel.uniform(2, cs=1.0, cr=1.0))
+        feed(monitor, Access.random(0, 1), [10.0] * 6)
+        assert monitor.drifted(tolerance=2.0)
+        assert monitor.drift_ratios()[(0, "random")] == pytest.approx(10.0)
+
+    def test_detects_collapse(self):
+        # A source got *cheaper*; that is drift too (re-planning can win).
+        monitor = CostMonitor(CostModel.uniform(1, cs=10.0))
+        feed(monitor, Access.sorted(0), [1.0] * 6)
+        assert monitor.drifted(tolerance=2.0)
+
+    def test_zero_assumed_cost_with_positive_observation(self):
+        monitor = CostMonitor(CostModel.uniform(1, cs=1.0, cr=0.0))
+        feed(monitor, Access.random(0, 1), [0.5] * 6)
+        assert monitor.drift_ratios()[(0, "random")] == float("inf")
+        assert monitor.drifted()
+
+    def test_under_observed_cells_never_trigger(self):
+        monitor = CostMonitor(CostModel.uniform(1), min_observations=10)
+        feed(monitor, Access.sorted(0), [100.0] * 9)
+        assert not monitor.drifted(tolerance=1.1)
+
+    def test_tolerance_validated(self):
+        monitor = CostMonitor(CostModel.uniform(1))
+        with pytest.raises(ValueError):
+            monitor.drifted(tolerance=0.5)
+
+
+class TestEstimatedModel:
+    def test_fallback_to_assumed(self):
+        assumed = CostModel.uniform(2, cs=1.0, cr=7.0)
+        monitor = CostMonitor(assumed, min_observations=2)
+        feed(monitor, Access.sorted(0), [3.0, 3.0])
+        model = monitor.estimated_model()
+        assert model.sorted_cost(0) == pytest.approx(3.0)
+        assert model.sorted_cost(1) == 1.0  # unobserved: assumed
+        assert model.random_cost(0) == 7.0
+
+    def test_capability_structure_preserved(self):
+        assumed = CostModel.no_random(2)
+        monitor = CostMonitor(assumed, min_observations=1)
+        monitor.observe(Access.sorted(0), 2.0)
+        model = monitor.estimated_model()
+        assert not model.supports_random(0)
+        assert model.sorted_cost(0) == 2.0
+
+    def test_end_to_end_with_noisy_latency(self):
+        """Feed real latency-model samples: the estimate converges on the
+        base cost and stays inside a loose drift band."""
+        assumed = CostModel.uniform(2, cs=2.0, cr=8.0)
+        latency = NoisyLatency(assumed, sigma=0.2, seed=5)
+        monitor = CostMonitor(assumed, min_observations=20)
+        for i in range(200):
+            access = Access.sorted(i % 2)
+            monitor.observe(access, latency.duration(access))
+            probe = Access.random(i % 2, i)
+            monitor.observe(probe, latency.duration(probe))
+        assert not monitor.drifted(tolerance=1.5)
+        model = monitor.estimated_model()
+        assert model.sorted_cost(0) == pytest.approx(2.0, rel=0.3)
+        assert model.random_cost(1) == pytest.approx(8.0, rel=0.3)

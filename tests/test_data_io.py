@@ -1,0 +1,110 @@
+"""Tests for dataset CSV/NPZ persistence."""
+
+import numpy as np
+import pytest
+
+from repro.data.dataset import Dataset
+from repro.data.generators import uniform
+from repro.data.io import load_csv, load_npz, save_csv, save_npz
+
+
+@pytest.fixture
+def dataset():
+    return uniform(25, 3, seed=44)
+
+
+class TestCsvRoundTrip:
+    def test_with_header(self, dataset, tmp_path):
+        path = tmp_path / "scores.csv"
+        save_csv(dataset, path, predicate_names=["a", "b", "c"])
+        loaded, names = load_csv(path)
+        assert names == ["a", "b", "c"]
+        assert np.array_equal(loaded.matrix, dataset.matrix)
+
+    def test_without_header(self, dataset, tmp_path):
+        path = tmp_path / "scores.csv"
+        save_csv(dataset, path)
+        loaded, names = load_csv(path, header=False)
+        assert names is None
+        assert np.array_equal(loaded.matrix, dataset.matrix)
+
+    def test_exact_float_preservation(self, tmp_path):
+        original = Dataset([[0.1 + 0.2, 1 / 3]])  # awkward floats
+        path = tmp_path / "exact.csv"
+        save_csv(original, path)
+        loaded, _ = load_csv(path, header=False)
+        assert loaded.matrix[0, 0] == original.matrix[0, 0]
+        assert loaded.matrix[0, 1] == original.matrix[0, 1]
+
+    def test_name_count_validated(self, dataset, tmp_path):
+        with pytest.raises(ValueError):
+            save_csv(dataset, tmp_path / "x.csv", predicate_names=["a"])
+
+    def test_empty_file_rejected(self, tmp_path):
+        path = tmp_path / "empty.csv"
+        path.write_text("")
+        with pytest.raises(ValueError, match="empty"):
+            load_csv(path)
+
+    def test_header_only_rejected(self, tmp_path):
+        path = tmp_path / "only_header.csv"
+        path.write_text("a,b\n")
+        with pytest.raises(ValueError, match="no data rows"):
+            load_csv(path)
+
+    def test_non_numeric_rejected(self, tmp_path):
+        path = tmp_path / "bad.csv"
+        path.write_text("a,b\n0.5,oops\n")
+        with pytest.raises(ValueError, match="non-numeric"):
+            load_csv(path)
+
+    def test_out_of_range_rejected(self, tmp_path):
+        path = tmp_path / "range.csv"
+        path.write_text("0.5,1.5\n")
+        with pytest.raises(ValueError):
+            load_csv(path, header=False)
+
+
+class TestNpzRoundTrip:
+    def test_with_names(self, dataset, tmp_path):
+        path = tmp_path / "scores.npz"
+        save_npz(dataset, path, predicate_names=["x", "y", "z"])
+        loaded, names = load_npz(path)
+        assert names == ["x", "y", "z"]
+        assert np.array_equal(loaded.matrix, dataset.matrix)
+
+    def test_without_names(self, dataset, tmp_path):
+        path = tmp_path / "scores.npz"
+        save_npz(dataset, path)
+        loaded, names = load_npz(path)
+        assert names is None
+        assert np.array_equal(loaded.matrix, dataset.matrix)
+
+    def test_missing_scores_rejected(self, tmp_path):
+        path = tmp_path / "bad.npz"
+        np.savez_compressed(path, other=np.zeros(3))
+        with pytest.raises(ValueError, match="missing 'scores'"):
+            load_npz(path)
+
+    def test_name_count_validated(self, dataset, tmp_path):
+        with pytest.raises(ValueError):
+            save_npz(dataset, tmp_path / "x.npz", predicate_names=["a"])
+
+
+class TestLoadedDataIsQueryable:
+    def test_csv_to_query_pipeline(self, dataset, tmp_path):
+        from repro.query import parse_query, run_query
+        from repro.sources.cost import CostModel
+        from repro.sources.middleware import Middleware
+        from repro.scoring.functions import Min
+
+        path = tmp_path / "scores.csv"
+        save_csv(dataset, path, predicate_names=["rating", "close", "cheap"])
+        loaded, names = load_csv(path)
+        query = parse_query(
+            "SELECT * FROM t ORDER BY min(rating, close, cheap) STOP AFTER 3"
+        )
+        mw = Middleware.over(loaded, CostModel.uniform(3))
+        result = run_query(query, mw, schema=names)
+        oracle = dataset.topk(Min(3), 3)
+        assert result.objects == [entry.obj for entry in oracle]

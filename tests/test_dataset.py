@@ -1,0 +1,131 @@
+"""Tests for the Dataset ground truth and its brute-force oracle."""
+
+import numpy as np
+import pytest
+
+from repro.data.dataset import Dataset, dataset1
+from repro.scoring.functions import Avg, Min
+
+
+class TestConstruction:
+    def test_basic_shape(self):
+        ds = Dataset([[0.1, 0.2], [0.3, 0.4]])
+        assert ds.n == 2
+        assert ds.m == 2
+
+    def test_rejects_out_of_range(self):
+        with pytest.raises(ValueError):
+            Dataset([[0.1, 1.2]])
+        with pytest.raises(ValueError):
+            Dataset([[-0.1, 0.5]])
+
+    def test_rejects_nan(self):
+        with pytest.raises(ValueError):
+            Dataset([[0.1, float("nan")]])
+
+    def test_rejects_wrong_ndim(self):
+        with pytest.raises(ValueError):
+            Dataset([0.1, 0.2])
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            Dataset(np.empty((0, 2)))
+
+    def test_matrix_is_read_only(self):
+        ds = Dataset([[0.5, 0.5]])
+        with pytest.raises(ValueError):
+            ds.matrix[0, 0] = 0.1
+
+
+class TestAccessors:
+    def test_score(self):
+        ds = Dataset([[0.1, 0.9], [0.4, 0.6]])
+        assert ds.score(1, 0) == pytest.approx(0.4)
+
+    def test_object_scores(self):
+        ds = Dataset([[0.1, 0.9]])
+        assert ds.object_scores(0) == (0.1, 0.9)
+
+    def test_column(self):
+        ds = Dataset([[0.1, 0.9], [0.4, 0.6]])
+        assert list(ds.column(1)) == pytest.approx([0.9, 0.6])
+
+
+class TestSortedOrder:
+    def test_descending(self):
+        ds = Dataset([[0.2], [0.9], [0.5]])
+        assert list(ds.sorted_order(0)) == [1, 2, 0]
+
+    def test_tie_broken_by_higher_oid(self):
+        ds = Dataset([[0.5], [0.5], [0.3]])
+        assert list(ds.sorted_order(0)) == [1, 0, 2]
+
+
+class TestTopK:
+    def test_matches_manual_ranking(self):
+        ds = Dataset([[0.2, 0.8], [0.9, 0.9], [0.5, 0.1]])
+        top = ds.topk(Min(2), 2)
+        assert [entry.obj for entry in top] == [1, 0]
+        assert top[0].score == pytest.approx(0.9)
+
+    def test_k_capped_at_n(self):
+        ds = Dataset([[0.5, 0.5]])
+        assert len(ds.topk(Avg(2), 10)) == 1
+
+    def test_k_must_be_positive(self):
+        ds = Dataset([[0.5, 0.5]])
+        with pytest.raises(ValueError):
+            ds.topk(Avg(2), 0)
+
+    def test_arity_mismatch(self):
+        ds = Dataset([[0.5, 0.5]])
+        with pytest.raises(ValueError):
+            ds.topk(Min(3), 1)
+
+    def test_tie_breaks_by_higher_oid(self):
+        ds = Dataset([[0.5, 0.5], [0.5, 0.5]])
+        top = ds.topk(Avg(2), 1)
+        assert top[0].obj == 1
+
+
+class TestSample:
+    def test_sample_size(self):
+        ds = Dataset(np.random.default_rng(0).random((100, 2)))
+        sample = ds.sample(10, np.random.default_rng(1))
+        assert sample.n == 10
+        assert sample.m == 2
+
+    def test_sample_rows_come_from_dataset(self):
+        ds = Dataset([[0.1, 0.2], [0.3, 0.4], [0.5, 0.6]])
+        sample = ds.sample(2, np.random.default_rng(1))
+        originals = {tuple(row) for row in ds.matrix}
+        for row in sample.matrix:
+            assert tuple(row) in originals
+
+    def test_oversampling_uses_replacement(self):
+        ds = Dataset([[0.1, 0.2]])
+        sample = ds.sample(5, np.random.default_rng(1))
+        assert sample.n == 5
+
+    def test_sample_rejects_zero(self):
+        ds = Dataset([[0.1, 0.2]])
+        with pytest.raises(ValueError):
+            ds.sample(0, np.random.default_rng(1))
+
+
+class TestDataset1:
+    def test_shape(self, ds1):
+        assert ds1.n == 3
+        assert ds1.m == 2
+
+    def test_sorted_p1_returns_paper_sequence(self, ds1):
+        # Sorted access on p_1 yields scores .7, .65, .6 (Figure 3).
+        order = ds1.sorted_order(0)
+        scores = [ds1.score(obj, 0) for obj in order]
+        assert scores == pytest.approx([0.70, 0.65, 0.60])
+
+    def test_top1_is_u3_with_07(self, ds1):
+        # Example 6: the top-1 under F=min is u3 with score .7.
+        top = ds1.topk(Min(2), 1)
+        assert top[0].obj == 2
+        assert top[0].score == pytest.approx(0.7)

@@ -1,0 +1,133 @@
+"""Determinism and contract properties across the stack.
+
+Reproducibility is a stated guarantee (CONTRIBUTING.md): identical
+inputs must yield identical access sequences, plans and serializations.
+These properties also pin the policy contract (always return an offered
+access) under arbitrary choice sets.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.framework import FrameworkNC
+from repro.core.policies import RandomPolicy, RankDepthPolicy, SRGPolicy, SelectContext
+from repro.core.state import ScoreState
+from repro.data.dataset import Dataset
+from repro.optimizer.estimator import CostEstimator
+from repro.optimizer.optimizer import NCOptimizer
+from repro.optimizer.plan import SRGPlan
+from repro.optimizer.sampling import dummy_uniform_sample
+from repro.optimizer.search import HillClimb
+from repro.scoring.functions import Avg, Min
+from repro.serialization import plan_from_json, plan_to_json
+from repro.sources.cost import CostModel
+from repro.sources.middleware import Middleware
+from repro.types import Access
+from tests.conftest import mw_over
+
+score_value = st.floats(min_value=0.0, max_value=1.0, allow_nan=False, width=32)
+
+
+class TestRunDeterminism:
+    @pytest.mark.parametrize(
+        "policy_factory",
+        [
+            lambda: SRGPolicy([0.6, 0.8], schedule=[1, 0]),
+            lambda: RankDepthPolicy([7, 2]),
+            lambda: RandomPolicy(seed=13),
+        ],
+        ids=["srg", "rank", "random"],
+    )
+    def test_identical_runs_identical_logs(self, small_uniform, policy_factory):
+        def one_log():
+            mw = mw_over(small_uniform, record_log=True)
+            FrameworkNC(mw, Min(2), 4, policy_factory()).run()
+            return mw.stats.log
+
+        assert one_log() == one_log()
+
+    def test_optimizer_is_deterministic(self):
+        def one_plan():
+            return NCOptimizer(scheme=HillClimb(restarts=2, seed=4)).plan(
+                dummy_uniform_sample(2, 80, seed=3),
+                Min(2),
+                5,
+                800,
+                CostModel.expensive_random(2),
+            )
+
+        a, b = one_plan(), one_plan()
+        assert a == b
+        assert plan_to_json(a) == plan_to_json(b)
+
+
+class TestPolicyContractProperty:
+    @settings(max_examples=80, deadline=None)
+    @given(st.data())
+    def test_policies_always_return_an_offered_access(self, data):
+        ds = Dataset(np.array([[0.5, 0.6], [0.3, 0.9]]))
+        mw = mw_over(ds)
+        state = ScoreState(mw, Min(2))
+        ctx = SelectContext(state=state, middleware=mw, target=1)
+        # Arbitrary nonempty choice sets out of the legal access vocabulary.
+        vocabulary = [
+            Access.sorted(0),
+            Access.sorted(1),
+            Access.random(0, 1),
+            Access.random(1, 1),
+        ]
+        alternatives = data.draw(
+            st.lists(st.sampled_from(vocabulary), min_size=1, max_size=4, unique=True)
+        )
+        d0 = data.draw(st.floats(min_value=0, max_value=1))
+        d1 = data.draw(st.floats(min_value=0, max_value=1))
+        for policy in (
+            SRGPolicy([d0, d1]),
+            RankDepthPolicy([data.draw(st.integers(0, 3))] * 2),
+            RandomPolicy(seed=data.draw(st.integers(0, 5))),
+        ):
+            assert policy.select(alternatives, ctx) in alternatives
+
+
+class TestSerializationProperty:
+    @settings(max_examples=60, deadline=None)
+    @given(
+        st.lists(score_value, min_size=1, max_size=5),
+        st.data(),
+    )
+    def test_plan_json_round_trip(self, depths, data):
+        m = len(depths)
+        schedule = data.draw(st.permutations(range(m)))
+        plan = SRGPlan(
+            depths=tuple(depths),
+            schedule=tuple(schedule),
+            estimated_cost=data.draw(
+                st.one_of(st.none(), st.floats(min_value=0, max_value=1e9))
+            ),
+            estimator_runs=data.draw(st.integers(min_value=0, max_value=10**6)),
+        )
+        assert plan_from_json(plan_to_json(plan)) == plan
+
+
+class TestEstimatorCacheProperty:
+    @settings(max_examples=40, deadline=None)
+    @given(
+        st.lists(
+            st.tuples(
+                st.floats(min_value=0, max_value=1, allow_nan=False),
+                st.floats(min_value=0, max_value=1, allow_nan=False),
+            ),
+            min_size=1,
+            max_size=8,
+        )
+    )
+    def test_repeated_estimates_stable_and_cached(self, points):
+        sample = dummy_uniform_sample(2, 60, seed=9)
+        est = CostEstimator(sample, Avg(2), 5, 600, CostModel.uniform(2))
+        first = [est.estimate(p) for p in points]
+        runs_after_first = est.runs
+        second = [est.estimate(p) for p in points]
+        assert first == second
+        assert est.runs == runs_after_first  # cache absorbed the repeats
+        assert est.runs == len({est._key(p, (0, 1)) for p in points})

@@ -1,0 +1,72 @@
+"""Smoke tests: every example script runs end to end and prints sanely.
+
+Examples are the repository's public face; a refactor that silently
+breaks one should fail CI, not a reader. Each example module is imported
+fresh and its ``main()`` executed with stdout captured.
+"""
+
+import importlib.util
+import pathlib
+import sys
+
+import pytest
+
+EXAMPLES_DIR = pathlib.Path(__file__).parent.parent / "examples"
+
+
+def run_example(name: str, capsys) -> str:
+    path = EXAMPLES_DIR / f"{name}.py"
+    spec = importlib.util.spec_from_file_location(f"example_{name}", path)
+    module = importlib.util.module_from_spec(spec)
+    sys.modules[spec.name] = module
+    try:
+        spec.loader.exec_module(module)
+        module.main()
+    finally:
+        sys.modules.pop(spec.name, None)
+    return capsys.readouterr().out
+
+
+class TestExamples:
+    def test_quickstart(self, capsys):
+        out = run_example("quickstart", capsys)
+        assert "Dataset 1" in out
+        assert "Figure 7 trace" in out
+        assert "sa_0" in out and "ra_1(2)" in out
+        assert "u3 with score 0.70" in out
+
+    def test_travel_agent(self, capsys):
+        out = run_example("travel_agent", capsys)
+        assert "Q1" in out and "Q2" in out
+        assert "optimizer chose" in out
+        assert "% of best" in out
+
+    def test_adaptive_middleware(self, capsys):
+        out = run_example("adaptive_middleware", capsys)
+        assert "probe spike" in out
+        assert "sorted outage" in out
+        assert "infeasible" in out
+
+    def test_capability_matrix(self, capsys):
+        out = run_example("capability_matrix", capsys)
+        for cell in ("uniform", "expensive-ra", "no-ra", "no-sa", "zero-ra"):
+            assert cell in out
+        assert "WRONG" not in out
+
+    def test_plan_anatomy(self, capsys):
+        out = run_example("plan_anatomy", capsys)
+        assert "optimizer's pick" in out
+        assert "offline-optimal plan" in out
+        assert "phases:" in out
+
+    def test_progressive_results(self, capsys):
+        out = run_example("progressive_results", capsys)
+        assert "streaming answers" in out
+        assert "more results" in out
+        assert "theta sweep" in out
+
+    def test_sql_queries(self, capsys):
+        out = run_example("sql_queries", capsys)
+        assert "min(rating, close)" in out
+        assert "scenario B (cr = 0)" in out
+        assert "total access cost" in out

@@ -1,0 +1,201 @@
+"""Tests for the NC engine (Figure 6 + Figure 10)."""
+
+import pytest
+
+from repro.core.framework import FrameworkNC, TraceStep
+from repro.core.policies import RandomPolicy, RoundRobinPolicy, SRGPolicy
+from repro.data.dataset import Dataset
+from repro.data.generators import uniform
+from repro.exceptions import ReproError, UnanswerableQueryError
+from repro.scoring.functions import Avg, Max, Min, Product
+from repro.sources.cost import CostModel
+from repro.sources.middleware import Middleware
+from tests.conftest import assert_valid_topk, mw_over
+
+
+def run_nc(dataset, fn, k, policy=None, cost_model=None, **mw_kwargs):
+    mw = mw_over(dataset, cost_model, **mw_kwargs)
+    policy = policy or SRGPolicy([0.5] * dataset.m)
+    engine = FrameworkNC(mw, fn, k, policy)
+    return engine.run(), mw
+
+
+class TestCorrectness:
+    @pytest.mark.parametrize("k", [1, 3, 10])
+    @pytest.mark.parametrize("fn_cls", [Min, Avg, Max, Product])
+    def test_exact_topk_small_uniform(self, small_uniform, fn_cls, k):
+        fn = fn_cls(2)
+        result, _ = run_nc(small_uniform, fn, k)
+        oracle = small_uniform.topk(fn, k)
+        # NC resolves ties canonically, so ids match exactly.
+        assert result.objects == [entry.obj for entry in oracle]
+        assert result.scores == pytest.approx([entry.score for entry in oracle])
+
+    def test_three_predicates(self, medium_uniform):
+        fn = Min(3)
+        result, _ = run_nc(medium_uniform, fn, 5, policy=SRGPolicy([0.6, 0.7, 0.8]))
+        assert_valid_topk(result, medium_uniform, fn, 5)
+
+    def test_k_equals_n(self, small_uniform):
+        result, _ = run_nc(small_uniform, Avg(2), 50)
+        assert len(result.ranking) == 50
+
+    def test_k_exceeds_n_returns_all(self, ds1):
+        result, _ = run_nc(ds1, Min(2), 10)
+        assert len(result.ranking) == 3
+
+    def test_single_object_database(self):
+        ds = Dataset([[0.4, 0.9]])
+        result, _ = run_nc(ds, Min(2), 1)
+        assert result.objects == [0]
+        assert result.scores == pytest.approx([0.4])
+
+    def test_duplicate_scores_resolved_canonically(self):
+        ds = Dataset([[0.5, 0.5]] * 6)
+        result, _ = run_nc(ds, Avg(2), 3)
+        assert result.objects == [5, 4, 3]  # higher oid wins ties
+
+    def test_all_zero_scores(self):
+        ds = Dataset([[0.0, 0.0]] * 4)
+        result, _ = run_nc(ds, Min(2), 2)
+        assert result.scores == [0.0, 0.0]
+        assert result.objects == [3, 2]
+
+    def test_all_one_scores(self):
+        ds = Dataset([[1.0, 1.0]] * 4)
+        result, _ = run_nc(ds, Min(2), 2)
+        assert result.objects == [3, 2]
+
+
+class TestPolicyIndependence:
+    """Correctness belongs to the framework, not the policy (Section 6)."""
+
+    @pytest.mark.parametrize(
+        "policy_factory",
+        [
+            lambda: SRGPolicy([0.0, 0.0]),
+            lambda: SRGPolicy([1.0, 1.0]),
+            lambda: SRGPolicy([0.3, 0.9], schedule=[1, 0]),
+            lambda: RoundRobinPolicy(),
+            lambda: RandomPolicy(seed=11),
+        ],
+    )
+    def test_any_policy_yields_exact_answer(self, small_uniform, policy_factory):
+        fn = Min(2)
+        result, _ = run_nc(small_uniform, fn, 4, policy=policy_factory())
+        oracle = small_uniform.topk(fn, 4)
+        assert result.objects == [entry.obj for entry in oracle]
+
+    def test_policies_differ_in_cost_not_answer(self, small_uniform):
+        fn = Min(2)
+        focused, mw1 = run_nc(small_uniform, fn, 1, policy=SRGPolicy([0.7, 1.0]))
+        parallel, mw2 = run_nc(small_uniform, fn, 1, policy=SRGPolicy([0.0, 0.0]))
+        assert focused.objects == parallel.objects
+        assert mw1.stats.total_cost() != mw2.stats.total_cost()
+
+
+class TestCapabilityScenarios:
+    def test_no_random_scenario(self, small_uniform):
+        result, mw = run_nc(
+            small_uniform, Min(2), 3, cost_model=CostModel.no_random(2)
+        )
+        assert_valid_topk(result, small_uniform, Min(2), 3)
+        assert mw.stats.total_random == 0
+
+    def test_no_sorted_scenario_with_universe(self, small_uniform):
+        mw = Middleware.over(
+            small_uniform, CostModel.no_sorted(2), no_wild_guesses=False
+        )
+        engine = FrameworkNC(mw, Min(2), 3, SRGPolicy([1.0, 1.0]))
+        result = engine.run()
+        assert_valid_topk(result, small_uniform, Min(2), 3)
+        assert mw.stats.total_sorted == 0
+
+    def test_no_sorted_without_universe_unanswerable(self, small_uniform):
+        mw = Middleware.over(small_uniform, CostModel.no_sorted(2))
+        engine = FrameworkNC(mw, Min(2), 3, SRGPolicy([1.0, 1.0]))
+        with pytest.raises(UnanswerableQueryError):
+            engine.run()
+
+    def test_mixed_capabilities(self, small_uniform):
+        # p0 sorted-only, p1 random-only.
+        model = CostModel((1.0, float("inf")), (float("inf"), 1.0))
+        result, _ = run_nc(small_uniform, Min(2), 3, cost_model=model)
+        assert_valid_topk(result, small_uniform, Min(2), 3)
+
+    def test_wild_guess_mode_with_sorted_sources(self, small_uniform):
+        result, _ = run_nc(small_uniform, Avg(2), 3, no_wild_guesses=False)
+        assert_valid_topk(result, small_uniform, Avg(2), 3)
+
+
+class TestEngineContract:
+    def test_requires_fresh_middleware(self, ds1):
+        mw = mw_over(ds1)
+        mw.sorted_access(0)
+        with pytest.raises(ValueError):
+            FrameworkNC(mw, Min(2), 1, SRGPolicy([0.5, 0.5]))
+
+    def test_single_use(self, ds1):
+        mw = mw_over(ds1)
+        engine = FrameworkNC(mw, Min(2), 1, SRGPolicy([0.5, 0.5]))
+        engine.run()
+        with pytest.raises(ReproError):
+            engine.run()
+
+    def test_k_validated(self, ds1):
+        with pytest.raises(ValueError):
+            FrameworkNC(mw_over(ds1), Min(2), 0, SRGPolicy([0.5, 0.5]))
+
+    def test_access_budget_enforced(self, small_uniform):
+        mw = mw_over(small_uniform)
+        engine = FrameworkNC(
+            mw, Min(2), 5, SRGPolicy([0.0, 0.0]), max_accesses=3
+        )
+        with pytest.raises(ReproError):
+            engine.run()
+
+    def test_rogue_policy_detected(self, ds1):
+        class Rogue(SRGPolicy):
+            def select(self, alternatives, ctx):
+                from repro.types import Access
+
+                return Access.random(0, 999)  # never among the choices
+
+        mw = mw_over(ds1)
+        engine = FrameworkNC(mw, Min(2), 1, Rogue([0.5, 0.5]))
+        with pytest.raises(ReproError):
+            engine.run()
+
+
+class TestObserver:
+    def test_observer_sees_every_iteration(self, ds1):
+        steps: list[TraceStep] = []
+        mw = mw_over(ds1)
+        engine = FrameworkNC(
+            mw, Min(2), 1, SRGPolicy([0.75, 1.0]), observer=steps.append
+        )
+        engine.run()
+        assert len(steps) == mw.stats.total_accesses
+        assert [s.step for s in steps] == list(range(1, len(steps) + 1))
+        for step in steps:
+            assert step.access in step.alternatives
+
+    def test_iterations_metadata(self, ds1):
+        mw = mw_over(ds1)
+        engine = FrameworkNC(mw, Min(2), 1, SRGPolicy([0.75, 1.0]))
+        result = engine.run()
+        assert result.metadata["iterations"] == mw.stats.total_accesses
+
+
+class TestCostAccountingIntegrity:
+    def test_result_cost_matches_middleware(self, small_uniform):
+        result, mw = run_nc(small_uniform, Min(2), 3)
+        assert result.total_cost() == mw.stats.total_cost()
+
+    def test_log_recomputation(self, small_uniform):
+        mw = mw_over(small_uniform, record_log=True)
+        engine = FrameworkNC(mw, Avg(2), 3, SRGPolicy([0.5, 0.5]))
+        engine.run()
+        model = mw.cost_model
+        recomputed = sum(model.access_cost(acc) for acc in mw.stats.log)
+        assert recomputed == pytest.approx(mw.stats.total_cost())

@@ -1,0 +1,128 @@
+"""Tests for the synthetic score-distribution generators."""
+
+import numpy as np
+import pytest
+
+from repro.data.generators import (
+    anticorrelated,
+    clustered,
+    correlated,
+    gaussian,
+    mixture,
+    uniform,
+    zipf_skewed,
+)
+
+
+ALL_GENERATORS = [
+    lambda seed: uniform(400, 3, seed=seed),
+    lambda seed: gaussian(400, 3, seed=seed),
+    lambda seed: zipf_skewed(400, 3, seed=seed),
+    lambda seed: correlated(400, 3, seed=seed),
+    lambda seed: anticorrelated(400, 3, seed=seed),
+    lambda seed: clustered(400, 3, seed=seed),
+]
+
+
+class TestCommonContract:
+    @pytest.mark.parametrize("make", ALL_GENERATORS)
+    def test_shape_and_range(self, make):
+        ds = make(0)
+        assert ds.n == 400
+        assert ds.m == 3
+        assert ds.matrix.min() >= 0.0
+        assert ds.matrix.max() <= 1.0
+
+    @pytest.mark.parametrize("make", ALL_GENERATORS)
+    def test_deterministic_given_seed(self, make):
+        assert np.array_equal(make(5).matrix, make(5).matrix)
+
+    @pytest.mark.parametrize("make", ALL_GENERATORS)
+    def test_seed_changes_data(self, make):
+        assert not np.array_equal(make(1).matrix, make(2).matrix)
+
+
+class TestUniform:
+    def test_mean_near_half(self):
+        ds = uniform(5000, 2, seed=0)
+        assert ds.matrix.mean() == pytest.approx(0.5, abs=0.02)
+
+    def test_accepts_generator_instance(self):
+        rng = np.random.default_rng(3)
+        ds = uniform(10, 2, seed=rng)
+        assert ds.n == 10
+
+
+class TestGaussian:
+    def test_concentrates_near_mean(self):
+        ds = gaussian(5000, 1, mean=0.7, std=0.05, seed=0)
+        assert ds.matrix.mean() == pytest.approx(0.7, abs=0.02)
+        assert ds.matrix.std() < 0.1
+
+
+class TestZipfSkewed:
+    def test_skew_pushes_mass_low(self):
+        heavy = zipf_skewed(5000, 1, skew=3.0, seed=0)
+        light = zipf_skewed(5000, 1, skew=1.0, seed=0)
+        assert heavy.matrix.mean() < light.matrix.mean()
+
+    def test_rejects_nonpositive_skew(self):
+        with pytest.raises(ValueError):
+            zipf_skewed(10, 1, skew=0.0)
+
+
+class TestCorrelated:
+    def test_high_rho_correlates_columns(self):
+        ds = correlated(3000, 2, rho=0.9, seed=0)
+        r = np.corrcoef(ds.matrix[:, 0], ds.matrix[:, 1])[0, 1]
+        assert r > 0.6
+
+    def test_zero_rho_independent(self):
+        ds = correlated(3000, 2, rho=0.0, seed=0)
+        r = np.corrcoef(ds.matrix[:, 0], ds.matrix[:, 1])[0, 1]
+        assert abs(r) < 0.1
+
+    def test_rejects_rho_out_of_range(self):
+        with pytest.raises(ValueError):
+            correlated(10, 2, rho=1.5)
+
+
+class TestAnticorrelated:
+    def test_columns_negatively_correlated(self):
+        ds = anticorrelated(3000, 2, strength=0.9, seed=0)
+        r = np.corrcoef(ds.matrix[:, 0], ds.matrix[:, 1])[0, 1]
+        assert r < -0.2
+
+    def test_rejects_strength_out_of_range(self):
+        with pytest.raises(ValueError):
+            anticorrelated(10, 2, strength=2.0)
+
+
+class TestClustered:
+    def test_scores_form_bands(self):
+        ds = clustered(2000, 1, clusters=3, spread=0.01, seed=0)
+        # With tiny spread, values concentrate around 3 centroids: the
+        # number of distinct rounded values should be far below n.
+        rounded = np.round(ds.matrix[:, 0], 1)
+        assert len(np.unique(rounded)) <= 12
+
+    def test_rejects_zero_clusters(self):
+        with pytest.raises(ValueError):
+            clustered(10, 1, clusters=0)
+
+
+class TestMixture:
+    def test_concatenates(self):
+        a = uniform(10, 2, seed=0)
+        b = uniform(5, 2, seed=1)
+        mixed = mixture([a, b])
+        assert mixed.n == 15
+        assert np.array_equal(mixed.matrix[:10], a.matrix)
+
+    def test_rejects_width_mismatch(self):
+        with pytest.raises(ValueError):
+            mixture([uniform(5, 2, seed=0), uniform(5, 3, seed=0)])
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            mixture([])

@@ -1,0 +1,155 @@
+"""The golden invariant, property-tested with hypothesis.
+
+Every algorithm in the library must return a correct top-k answer -- the
+exact scores of a valid top-k set -- on *arbitrary* datasets, scoring
+functions and retrieval sizes. Datasets are drawn adversarially (ties,
+zeros, ones, skew); the NC engine is additionally held to the canonical
+tie-broken answer.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.algorithms.ca import CA
+from repro.algorithms.fa import FA
+from repro.algorithms.mpro import MPro
+from repro.algorithms.nc import NC
+from repro.algorithms.nra import NRA
+from repro.algorithms.quick_combine import QuickCombine
+from repro.algorithms.stream_combine import StreamCombine
+from repro.algorithms.ta import TA
+from repro.algorithms.upper import Upper
+from repro.core.framework import FrameworkNC
+from repro.core.policies import SRGPolicy
+from repro.data.dataset import Dataset
+from repro.optimizer.plan import SRGPlan
+from repro.scoring.functions import Avg, Max, Median, Min, Product
+from repro.sources.cost import CostModel
+from repro.sources.middleware import Middleware
+from tests.conftest import score_multiset
+
+# Score values deliberately include exact ties and the interval endpoints.
+score_value = st.one_of(
+    st.sampled_from([0.0, 0.25, 0.5, 0.75, 1.0]),
+    st.floats(min_value=0.0, max_value=1.0, allow_nan=False, width=32),
+)
+
+
+@st.composite
+def instances(draw, max_m: int = 3):
+    n = draw(st.integers(min_value=1, max_value=24))
+    m = draw(st.integers(min_value=1, max_value=max_m))
+    rows = draw(
+        st.lists(
+            st.lists(score_value, min_size=m, max_size=m),
+            min_size=n,
+            max_size=n,
+        )
+    )
+    dataset = Dataset(np.array(rows, dtype=float))
+    fn = draw(
+        st.sampled_from([Min(m), Max(m), Avg(m), Product(m), Median(m)])
+    )
+    k = draw(st.integers(min_value=1, max_value=n + 2))
+    return dataset, fn, k
+
+
+def check(result, dataset, fn, k):
+    oracle = dataset.topk(fn, k)
+    assert len(result.ranking) == len(oracle)
+    assert score_multiset(result.ranking) == score_multiset(oracle)
+    for entry in result.ranking:
+        assert entry.score == pytest.approx(
+            fn(dataset.object_scores(entry.obj)), abs=1e-9
+        )
+
+
+class TestGoldenInvariant:
+    @settings(max_examples=80, deadline=None)
+    @given(instances(), st.floats(min_value=0, max_value=1), st.floats(min_value=0, max_value=1))
+    def test_nc_any_plan(self, instance, d0, d1):
+        dataset, fn, k = instance
+        depths = tuple([d0, d1, (d0 + d1) / 2][: dataset.m])
+        mw = Middleware.over(dataset, CostModel.uniform(dataset.m))
+        result = FrameworkNC(mw, fn, k, SRGPolicy(depths)).run()
+        check(result, dataset, fn, k)
+        # On tie-free instances NC resolves the ranking canonically (the
+        # paper assumes no ties; with ties an *undiscovered* object can
+        # share the k-th score, and no algorithm can tie-break against an
+        # object it never saw).
+        overall = sorted(dataset.overall_scores(fn))
+        tie_free = all(a != b for a, b in zip(overall, overall[1:]))
+        if tie_free:
+            assert result.objects == [e.obj for e in dataset.topk(fn, k)]
+
+    @settings(max_examples=50, deadline=None)
+    @given(instances())
+    def test_ta(self, instance):
+        dataset, fn, k = instance
+        mw = Middleware.over(dataset, CostModel.uniform(dataset.m))
+        check(TA().run(mw, fn, k), dataset, fn, k)
+
+    @settings(max_examples=50, deadline=None)
+    @given(instances())
+    def test_fa(self, instance):
+        dataset, fn, k = instance
+        mw = Middleware.over(dataset, CostModel.uniform(dataset.m))
+        check(FA().run(mw, fn, k), dataset, fn, k)
+
+    @settings(max_examples=50, deadline=None)
+    @given(instances())
+    def test_nra_exact(self, instance):
+        dataset, fn, k = instance
+        mw = Middleware.over(dataset, CostModel.no_random(dataset.m))
+        check(NRA().run(mw, fn, k), dataset, fn, k)
+
+    @settings(max_examples=50, deadline=None)
+    @given(instances())
+    def test_ca(self, instance):
+        dataset, fn, k = instance
+        mw = Middleware.over(dataset, CostModel.expensive_random(dataset.m))
+        check(CA().run(mw, fn, k), dataset, fn, k)
+
+    @settings(max_examples=50, deadline=None)
+    @given(instances())
+    def test_mpro(self, instance):
+        dataset, fn, k = instance
+        mw = Middleware.over(
+            dataset, CostModel.no_sorted(dataset.m), no_wild_guesses=False
+        )
+        check(MPro().run(mw, fn, k), dataset, fn, k)
+
+    @settings(max_examples=50, deadline=None)
+    @given(instances())
+    def test_upper(self, instance):
+        dataset, fn, k = instance
+        mw = Middleware.over(
+            dataset, CostModel.no_sorted(dataset.m), no_wild_guesses=False
+        )
+        check(Upper().run(mw, fn, k), dataset, fn, k)
+
+    @settings(max_examples=50, deadline=None)
+    @given(instances())
+    def test_quick_combine(self, instance):
+        dataset, fn, k = instance
+        mw = Middleware.over(dataset, CostModel.uniform(dataset.m))
+        check(QuickCombine().run(mw, fn, k), dataset, fn, k)
+
+    @settings(max_examples=50, deadline=None)
+    @given(instances())
+    def test_stream_combine(self, instance):
+        dataset, fn, k = instance
+        mw = Middleware.over(dataset, CostModel.no_random(dataset.m))
+        check(StreamCombine().run(mw, fn, k), dataset, fn, k)
+
+    @settings(max_examples=30, deadline=None)
+    @given(instances(max_m=2))
+    def test_nc_packaged_with_fixed_plan(self, instance):
+        dataset, fn, k = instance
+        plan = SRGPlan(
+            depths=tuple([0.5] * dataset.m),
+            schedule=tuple(range(dataset.m)),
+        )
+        mw = Middleware.over(dataset, CostModel.uniform(dataset.m))
+        check(NC(plan=plan).run(mw, fn, k), dataset, fn, k)

@@ -1,0 +1,50 @@
+"""Tests for the latency models used by the parallel experiments."""
+
+import pytest
+
+from repro.sources.cost import CostModel
+from repro.sources.latency import ConstantLatency, NoisyLatency
+from repro.types import Access
+
+
+class TestConstantLatency:
+    def test_equals_unit_cost(self):
+        model = CostModel((1.0, 2.0), (5.0, 10.0))
+        latency = ConstantLatency(model)
+        assert latency.duration(Access.sorted(1)) == 2.0
+        assert latency.duration(Access.random(0, 3)) == 5.0
+
+    def test_sequential_elapsed_equals_total_cost(self):
+        # The paper's remark: with sequential execution, elapsed time and
+        # Eq. 1 total cost coincide under unit-cost latencies.
+        model = CostModel.uniform(2, cs=1.0, cr=4.0)
+        latency = ConstantLatency(model)
+        accesses = [Access.sorted(0), Access.sorted(1), Access.random(0, 1)]
+        elapsed = sum(latency.duration(acc) for acc in accesses)
+        total = sum(model.access_cost(acc) for acc in accesses)
+        assert elapsed == total
+
+
+class TestNoisyLatency:
+    def test_deterministic_per_seed(self):
+        model = CostModel.uniform(1)
+        a = NoisyLatency(model, sigma=0.5, seed=3)
+        b = NoisyLatency(model, sigma=0.5, seed=3)
+        accs = [Access.sorted(0)] * 5
+        assert [a.duration(x) for x in accs] == [b.duration(x) for x in accs]
+
+    def test_jitter_bounded(self):
+        model = CostModel.uniform(1, cs=2.0)
+        noisy = NoisyLatency(model, sigma=2.0, seed=1)
+        for _ in range(200):
+            d = noisy.duration(Access.sorted(0))
+            assert 0.4 <= d <= 10.0  # base 2.0 x clip [0.2, 5]
+
+    def test_zero_sigma_is_constant(self):
+        model = CostModel.uniform(1, cs=3.0)
+        noisy = NoisyLatency(model, sigma=0.0, seed=1)
+        assert noisy.duration(Access.sorted(0)) == pytest.approx(3.0)
+
+    def test_rejects_negative_sigma(self):
+        with pytest.raises(ValueError):
+            NoisyLatency(CostModel.uniform(1), sigma=-0.1)

@@ -1,0 +1,198 @@
+"""Tests for the Middleware access layer: metering, rules, introspection."""
+
+import math
+
+import pytest
+
+from repro.data.dataset import Dataset
+from repro.data.generators import uniform
+from repro.exceptions import (
+    CapabilityError,
+    DuplicateAccessError,
+    ExhaustedSourceError,
+    WildGuessError,
+)
+from repro.sources.cost import CostModel
+from repro.sources.middleware import Middleware
+from repro.sources.simulated import SimulatedSource
+from tests.conftest import mw_over
+
+
+class TestConstruction:
+    def test_over_builds_matching_sources(self, ds1):
+        mw = Middleware.over(ds1, CostModel.no_random(2))
+        assert mw.m == 2
+        assert mw.n_objects == 3
+        assert not mw.supports_random(0)
+
+    def test_width_mismatch(self, ds1):
+        with pytest.raises(ValueError):
+            Middleware.over(ds1, CostModel.uniform(3))
+
+    def test_capability_mismatch_detected(self, ds1):
+        # Cost model prices random access but the source cannot serve it.
+        sources = [
+            SimulatedSource(ds1, 0, random_capable=False),
+            SimulatedSource(ds1, 1),
+        ]
+        with pytest.raises(CapabilityError):
+            Middleware(sources, CostModel.uniform(2))
+
+    def test_n_objects_derived_from_simulated_sources(self, ds1):
+        sources = [SimulatedSource(ds1, 0), SimulatedSource(ds1, 1)]
+        mw = Middleware(sources, CostModel.uniform(2))
+        assert mw.n_objects == 3
+
+
+class TestSortedAccessRules:
+    def test_meters_cost(self, ds1):
+        mw = Middleware.over(ds1, CostModel.uniform(2, cs=3.0))
+        mw.sorted_access(0)
+        assert mw.stats.total_cost() == 3.0
+
+    def test_marks_object_seen(self, ds1):
+        mw = mw_over(ds1)
+        obj, _ = mw.sorted_access(0)
+        assert mw.is_seen(obj)
+        assert obj in mw.seen
+
+    def test_exhausted_raises_in_strict_mode(self, ds1):
+        mw = mw_over(ds1)
+        for _ in range(3):
+            mw.sorted_access(0)
+        with pytest.raises(ExhaustedSourceError):
+            mw.sorted_access(0)
+
+    def test_exhausted_charges_in_permissive_mode(self, ds1):
+        mw = mw_over(ds1, strict=False)
+        for _ in range(3):
+            mw.sorted_access(0)
+        assert mw.sorted_access(0) is None
+        assert mw.stats.sorted_counts[0] == 4
+
+    def test_unsupported_capability(self, ds1):
+        mw = Middleware.over(ds1, CostModel.no_sorted(2), no_wild_guesses=False)
+        with pytest.raises(CapabilityError):
+            mw.sorted_access(0)
+
+
+class TestRandomAccessRules:
+    def test_wild_guess_rejected(self, ds1):
+        mw = mw_over(ds1)
+        with pytest.raises(WildGuessError):
+            mw.random_access(1, 0)
+
+    def test_probe_after_seen_allowed(self, ds1):
+        mw = mw_over(ds1)
+        obj, _ = mw.sorted_access(0)
+        score = mw.random_access(1, obj)
+        assert score == pytest.approx(ds1.score(obj, 1))
+
+    def test_wild_guess_allowed_when_disabled(self, ds1):
+        mw = mw_over(ds1, no_wild_guesses=False)
+        assert mw.random_access(1, 0) == pytest.approx(ds1.score(0, 1))
+
+    def test_duplicate_probe_rejected(self, ds1):
+        mw = mw_over(ds1)
+        obj, _ = mw.sorted_access(0)
+        mw.random_access(1, obj)
+        with pytest.raises(DuplicateAccessError):
+            mw.random_access(1, obj)
+
+    def test_probe_of_sorted_delivered_score_rejected(self, ds1):
+        # The object's p_0 score arrived with the sorted access; fetching
+        # it again by probe is a duplicate retrieval.
+        mw = mw_over(ds1)
+        obj, _ = mw.sorted_access(0)
+        with pytest.raises(DuplicateAccessError):
+            mw.random_access(0, obj)
+
+    def test_duplicates_allowed_in_permissive_mode(self, ds1):
+        mw = mw_over(ds1, strict=False, no_wild_guesses=False)
+        mw.random_access(1, 0)
+        mw.random_access(1, 0)
+        assert mw.stats.random_counts[1] == 2
+
+    def test_meters_cost(self, ds1):
+        mw = Middleware.over(
+            ds1, CostModel.uniform(2, cs=1.0, cr=7.0), no_wild_guesses=False
+        )
+        mw.random_access(0, 0)
+        assert mw.stats.total_cost() == 7.0
+
+
+class TestIntrospection:
+    def test_last_seen_tracks_source(self, ds1):
+        mw = mw_over(ds1)
+        assert mw.last_seen(0) == 1.0
+        _, score = mw.sorted_access(0)
+        assert mw.last_seen(0) == pytest.approx(score)
+
+    def test_depth_and_exhausted(self, ds1):
+        mw = mw_over(ds1)
+        mw.sorted_access(0)
+        assert mw.depth(0) == 1
+        assert not mw.exhausted(0)
+
+    def test_predicate_lists(self, ds1):
+        model = CostModel((1.0, math.inf), (math.inf, 1.0))
+        mw = Middleware.over(ds1, model)
+        assert mw.sorted_predicates() == [0]
+        assert mw.random_predicates() == [1]
+
+    def test_object_ids_blocked_under_nwg(self, ds1):
+        mw = mw_over(ds1)
+        with pytest.raises(WildGuessError):
+            mw.object_ids()
+
+    def test_object_ids_available_with_universe(self, ds1):
+        mw = mw_over(ds1, no_wild_guesses=False)
+        assert list(mw.object_ids()) == [0, 1, 2]
+
+    def test_was_delivered(self, ds1):
+        mw = mw_over(ds1)
+        obj, _ = mw.sorted_access(0)
+        assert mw.was_delivered(0, obj)
+        assert not mw.was_delivered(1, obj)
+
+
+class TestPerformDispatch:
+    def test_perform_sorted(self, ds1):
+        from repro.types import Access
+
+        mw = mw_over(ds1)
+        obj, score = mw.perform(Access.sorted(0))
+        assert score == pytest.approx(0.70)
+
+    def test_perform_random(self, ds1):
+        from repro.types import Access
+
+        mw = mw_over(ds1)
+        obj, _ = mw.sorted_access(0)
+        assert mw.perform(Access.random(1, obj)) == pytest.approx(
+            ds1.score(obj, 1)
+        )
+
+
+class TestReset:
+    def test_reset_clears_everything(self, ds1):
+        mw = mw_over(ds1, record_log=True)
+        obj, _ = mw.sorted_access(0)
+        mw.random_access(1, obj)
+        mw.reset()
+        assert mw.stats.total_accesses == 0
+        assert not mw.seen
+        assert mw.last_seen(0) == 1.0
+        # A full rerun is possible without duplicate errors.
+        obj2, _ = mw.sorted_access(0)
+        assert obj2 == obj
+        mw.random_access(1, obj2)
+
+
+class TestFullScanDeliversEverything:
+    def test_exhausting_one_list_sees_all_objects(self):
+        data = uniform(40, 2, seed=5)
+        mw = mw_over(data)
+        while not mw.exhausted(0):
+            mw.sorted_access(0)
+        assert len(mw.seen) == 40

@@ -1,0 +1,144 @@
+"""Property-based fuzzing of the middleware and score-state invariants.
+
+Hypothesis drives random *legal* access sequences against a middleware
+and checks the structural invariants everything else relies on:
+
+* accounting: counts and Eq. 1 cost always match an independent replay;
+* last-seen bounds are monotone nonincreasing per predicate;
+* sorted lists deliver each object at most once, in nonincreasing score
+  order, and exactly ``n`` times when exhausted;
+* the seen set only grows, and equals the union of sorted deliveries;
+* ScoreState bounds stay sound (``F_min <= F <= F_max``) under any
+  interleaving.
+"""
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.core.state import ScoreState
+from repro.data.dataset import Dataset
+from repro.scoring.functions import Avg, Min
+from repro.sources.cost import CostModel
+from repro.sources.middleware import Middleware
+
+score_value = st.one_of(
+    st.sampled_from([0.0, 0.25, 0.5, 1.0]),
+    st.floats(min_value=0.0, max_value=1.0, allow_nan=False, width=32),
+)
+
+
+@st.composite
+def small_dataset(draw, max_n=12, m=2):
+    n = draw(st.integers(min_value=1, max_value=max_n))
+    rows = draw(
+        st.lists(
+            st.lists(score_value, min_size=m, max_size=m),
+            min_size=n,
+            max_size=n,
+        )
+    )
+    return Dataset(np.array(rows, dtype=float))
+
+
+class TestMiddlewareFuzz:
+    @settings(max_examples=60, deadline=None)
+    @given(small_dataset(), st.data())
+    def test_invariants_under_random_legal_sequences(self, dataset, data):
+        mw = Middleware.over(
+            dataset, CostModel.uniform(2, cs=1.0, cr=2.0), record_log=True
+        )
+        m = dataset.m
+        last_seen = {i: 1.0 for i in range(m)}
+        deliveries: dict[int, list[float]] = {i: [] for i in range(m)}
+        delivered_objs: dict[int, set[int]] = {i: set() for i in range(m)}
+        seen_before: set[int] = set()
+
+        for _ in range(data.draw(st.integers(min_value=0, max_value=40))):
+            # Enumerate the currently legal moves.
+            moves = []
+            for i in range(m):
+                if not mw.exhausted(i):
+                    moves.append(("sa", i, None))
+            for obj in sorted(mw.seen):
+                for i in range(m):
+                    if not mw.was_delivered(i, obj):
+                        moves.append(("ra", i, obj))
+            if not moves:
+                break
+            kind, pred, obj = data.draw(st.sampled_from(moves))
+            if kind == "sa":
+                delivered = mw.sorted_access(pred)
+                assert delivered is not None
+                got_obj, got_score = delivered
+                # Exact score, descending order, no repeats.
+                assert got_score == dataset.score(got_obj, pred)
+                if deliveries[pred]:
+                    assert got_score <= deliveries[pred][-1] + 1e-12
+                assert got_obj not in delivered_objs[pred], "no repeats"
+                delivered_objs[pred].add(got_obj)
+                deliveries[pred].append(got_score)
+                # Last-seen bound nonincreasing.
+                assert mw.last_seen(pred) <= last_seen[pred] + 1e-12
+                last_seen[pred] = mw.last_seen(pred)
+                # Seen set grows.
+                assert seen_before <= mw.seen
+                seen_before = set(mw.seen)
+            else:
+                score = mw.random_access(pred, obj)
+                assert score == dataset.score(obj, pred)
+                # Probes never move sorted bounds.
+                assert mw.last_seen(pred) == last_seen[pred]
+
+        # Accounting replay: the log re-prices to the aggregate numbers.
+        model = mw.cost_model
+        log = mw.stats.log
+        assert sum(model.access_cost(acc) for acc in log) == mw.stats.total_cost()
+        assert sum(acc.is_sorted for acc in log) == mw.stats.total_sorted
+        assert sum(acc.is_random for acc in log) == mw.stats.total_random
+        # Per-list delivery counts within n; exhausted lists delivered all.
+        for i in range(m):
+            assert mw.depth(i) == len(deliveries[i]) <= dataset.n
+            if mw.exhausted(i):
+                assert len(deliveries[i]) == dataset.n
+
+
+class TestScoreStateSoundnessFuzz:
+    @settings(max_examples=60, deadline=None)
+    @given(small_dataset(), st.data())
+    def test_bounds_bracket_truth_under_any_interleaving(self, dataset, data):
+        fn = data.draw(st.sampled_from([Min(2), Avg(2)]))
+        mw = Middleware.over(dataset, CostModel.uniform(2))
+        state = ScoreState(mw, fn)
+
+        for _ in range(data.draw(st.integers(min_value=0, max_value=30))):
+            moves = []
+            for i in range(2):
+                if not mw.exhausted(i):
+                    moves.append(("sa", i, None))
+            for obj in sorted(mw.seen):
+                for i in state.undetermined(obj):
+                    moves.append(("ra", i, obj))
+            if not moves:
+                break
+            kind, pred, obj = data.draw(st.sampled_from(moves))
+            if kind == "sa":
+                got_obj, got_score = mw.sorted_access(pred)
+                state.record(pred, got_obj, got_score)
+            else:
+                state.record(pred, obj, mw.random_access(pred, obj))
+
+            # Soundness for every object, tracked or not.
+            for u in range(dataset.n):
+                true = fn(dataset.object_scores(u))
+                assert state.lower_bound(u) <= true + 1e-12
+                assert state.upper_bound(u) >= true - 1e-12
+            # The unseen bound covers every genuinely unseen object.
+            for u in range(dataset.n):
+                if not mw.is_seen(u):
+                    true = fn(dataset.object_scores(u))
+                    assert state.unseen_bound() >= true - 1e-12
+            # Complete objects have collapsed intervals.
+            for u in list(state.tracked()):
+                if state.is_complete(u):
+                    assert state.lower_bound(u) == state.upper_bound(u)
+                    assert state.exact_score(u) == fn(dataset.object_scores(u))

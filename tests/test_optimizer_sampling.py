@@ -1,0 +1,208 @@
+"""Tests for the sampling toolbox: bootstrap, online, histogram."""
+
+import numpy as np
+import pytest
+
+from repro.data.generators import uniform, zipf_skewed
+from repro.exceptions import CapabilityError, WildGuessError
+from repro.optimizer.sampling import (
+    bootstrap_sample,
+    dummy_uniform_sample,
+    histogram_of,
+    histogram_sample,
+    online_sample,
+    sample_from_dataset,
+)
+from repro.sources.cost import CostModel
+from repro.sources.middleware import Middleware
+from tests.conftest import mw_over
+
+
+class TestBootstrapSample:
+    def test_amplifies_size(self):
+        base = dummy_uniform_sample(2, 50, seed=0)
+        amplified = bootstrap_sample(base, 400, seed=1)
+        assert amplified.n == 400
+        assert amplified.m == 2
+
+    def test_rows_come_from_base(self):
+        base = dummy_uniform_sample(2, 10, seed=0)
+        amplified = bootstrap_sample(base, 100, seed=1)
+        base_rows = {tuple(row) for row in base.matrix}
+        assert all(tuple(row) in base_rows for row in amplified.matrix)
+
+    def test_preserves_mean(self):
+        base = zipf_skewed(300, 1, skew=2.0, seed=2)
+        amplified = bootstrap_sample(base, 5000, seed=3)
+        assert amplified.matrix.mean() == pytest.approx(
+            base.matrix.mean(), abs=0.03
+        )
+
+    def test_deterministic(self):
+        base = dummy_uniform_sample(2, 20, seed=0)
+        a = bootstrap_sample(base, 50, seed=4)
+        b = bootstrap_sample(base, 50, seed=4)
+        assert np.array_equal(a.matrix, b.matrix)
+
+    def test_size_validated(self):
+        with pytest.raises(ValueError):
+            bootstrap_sample(dummy_uniform_sample(1, 5), 0)
+
+
+class TestMinSampleKAmplification:
+    def test_estimator_amplifies_when_needed(self):
+        from repro.optimizer.estimator import CostEstimator
+        from repro.scoring.functions import Min
+
+        sample = dummy_uniform_sample(2, 100, seed=0)
+        est = CostEstimator(
+            sample, Min(2), 5, 2000, CostModel.uniform(2), min_sample_k=3
+        )
+        # Plain scaling gives k_s = max(1, round(5*100/2000)) = 1; the
+        # sample is amplified to ceil(3*2000/5) = 1200 rows, so k_s = 3.
+        assert est.sample_k >= 3
+        assert est.sample.n > 100
+
+    def test_no_amplification_when_ks_already_large(self):
+        from repro.optimizer.estimator import CostEstimator
+        from repro.scoring.functions import Min
+
+        sample = dummy_uniform_sample(2, 100, seed=0)
+        est = CostEstimator(
+            sample, Min(2), 50, 500, CostModel.uniform(2), min_sample_k=3
+        )
+        assert est.sample.n == 100  # k_s = 10 already
+
+    def test_cap_respected(self):
+        from repro.optimizer.estimator import CostEstimator
+        from repro.scoring.functions import Min
+
+        sample = dummy_uniform_sample(2, 100, seed=0)
+        est = CostEstimator(
+            sample,
+            Min(2),
+            1,
+            10**6,
+            CostModel.uniform(2),
+            min_sample_k=5,
+            max_amplified_size=1000,
+        )
+        assert est.sample.n <= 1000
+
+    def test_min_sample_k_validated(self):
+        from repro.optimizer.estimator import CostEstimator
+        from repro.scoring.functions import Min
+
+        with pytest.raises(ValueError):
+            CostEstimator(
+                dummy_uniform_sample(2, 10, seed=0),
+                Min(2),
+                1,
+                100,
+                CostModel.uniform(2),
+                min_sample_k=0,
+            )
+
+
+class TestOnlineSample:
+    def test_collects_through_middleware_at_cost(self):
+        data = uniform(200, 2, seed=5)
+        mw = mw_over(data, CostModel.uniform(2, cs=1.0, cr=2.0),
+                     no_wild_guesses=False)
+        sample = online_sample(mw, 30, seed=1)
+        assert sample.n == 30
+        assert mw.stats.total_random == 60
+        assert mw.stats.total_cost() == pytest.approx(120.0)
+
+    def test_sample_rows_are_true_scores(self):
+        data = uniform(50, 2, seed=6)
+        mw = mw_over(data, no_wild_guesses=False)
+        sample = online_sample(mw, 10, seed=2)
+        true_rows = {tuple(np.round(row, 9)) for row in data.matrix}
+        for row in sample.matrix:
+            assert tuple(np.round(row, 9)) in true_rows
+
+    def test_unbiased_mean_on_skewed_data(self):
+        data = zipf_skewed(2000, 1, skew=2.0, seed=7)
+        mw = mw_over(data, no_wild_guesses=False)
+        sample = online_sample(mw, 400, seed=3)
+        assert sample.matrix.mean() == pytest.approx(
+            data.matrix.mean(), abs=0.05
+        )
+
+    def test_refuses_no_wild_guess_middleware(self, small_uniform):
+        mw = mw_over(small_uniform)  # no_wild_guesses=True
+        with pytest.raises(WildGuessError):
+            online_sample(mw, 5)
+
+    def test_requires_random_everywhere(self, small_uniform):
+        mw = mw_over(small_uniform, CostModel.no_random(2), no_wild_guesses=False)
+        with pytest.raises(CapabilityError):
+            online_sample(mw, 5)
+
+    def test_skips_touched_objects(self, small_uniform):
+        mw = mw_over(small_uniform, no_wild_guesses=False)
+        mw.random_access(0, 7)
+        sample = online_sample(mw, 10, seed=4)
+        assert sample.n == 10  # object 7 skipped, no duplicate errors
+
+
+class TestHistogramSampling:
+    def test_histogram_of_shape(self):
+        counts, edges = histogram_of(np.linspace(0, 1, 100), bins=10)
+        assert len(counts) == 10
+        assert len(edges) == 11
+        assert counts.sum() == 100
+
+    def test_sample_matches_marginals(self):
+        data = zipf_skewed(5000, 2, skew=2.0, seed=8)
+        histograms = [histogram_of(data.column(i)) for i in range(2)]
+        sample = histogram_sample(histograms, 5000, seed=5)
+        for i in range(2):
+            assert sample.column(i).mean() == pytest.approx(
+                data.column(i).mean(), abs=0.03
+            )
+
+    def test_correlation_not_preserved(self):
+        # Known limitation: histograms are per-predicate marginals.
+        from repro.data.generators import correlated
+
+        data = correlated(5000, 2, rho=0.95, seed=9)
+        histograms = [histogram_of(data.column(i)) for i in range(2)]
+        sample = histogram_sample(histograms, 5000, seed=6)
+        r = np.corrcoef(sample.column(0), sample.column(1))[0, 1]
+        assert abs(r) < 0.1
+
+    def test_scores_stay_in_unit_interval(self):
+        histograms = [histogram_of(np.array([0.0, 1.0, 1.0]))]
+        sample = histogram_sample(histograms, 500, seed=7)
+        assert sample.matrix.min() >= 0.0
+        assert sample.matrix.max() <= 1.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            histogram_sample([], 10)
+        with pytest.raises(ValueError):
+            histogram_sample([(np.array([1, 2]), np.array([0.0, 1.0]))], 10)
+        with pytest.raises(ValueError):
+            histogram_sample([(np.zeros(5), np.linspace(0, 1, 6))], 10)
+
+
+class TestSamplerIntegration:
+    def test_histogram_sample_drives_optimizer(self):
+        """Histogram knowledge is enough for the optimizer to find the
+        selective-list plan on hotel-like data (the E6 lesson)."""
+        from repro.data.travel import hotels_dataset
+        from repro.optimizer.optimizer import NCOptimizer
+        from repro.optimizer.search import NaiveGrid
+        from repro.scoring.functions import Min
+
+        data = hotels_dataset(1000, seed=13)
+        histograms = [histogram_of(data.column(i)) for i in range(3)]
+        sample = histogram_sample(histograms, 200, seed=8)
+        model = CostModel.per_predicate(cs=[1, 1, 1], cr=[0, 0, 0])
+        plan = NCOptimizer(scheme=NaiveGrid(4)).plan(
+            sample, Min(3), 5, data.n, model, min_sample_k=3
+        )
+        # Free probes: at least one predicate should be probe-served.
+        assert max(plan.depths) == 1.0

@@ -1,0 +1,87 @@
+"""Tests for global schedule (H) optimization."""
+
+import numpy as np
+import pytest
+
+from repro.data.dataset import Dataset
+from repro.exceptions import OptimizationError
+from repro.optimizer.estimator import CostEstimator
+from repro.optimizer.sampling import dummy_uniform_sample
+from repro.optimizer.schedule import ScheduleOptimizer, benefit_cost_schedule
+from repro.scoring.functions import Min
+from repro.sources.cost import CostModel
+
+
+def skewed_sample(n=100, seed=0) -> Dataset:
+    """p0 scores high (weak pruner), p1 scores low (strong pruner)."""
+    rng = np.random.default_rng(seed)
+    p0 = 0.5 + rng.random(n) * 0.5
+    p1 = rng.random(n) ** 3
+    return Dataset(np.column_stack([p0, p1]))
+
+
+class TestBenefitCostSchedule:
+    def test_selective_predicate_first(self):
+        order = benefit_cost_schedule(skewed_sample(), CostModel.uniform(2))
+        assert order == (1, 0)
+
+    def test_cost_tips_the_ranking(self):
+        # p1 prunes better but costs 100x: benefit/cost favours p0.
+        model = CostModel.per_predicate(cs=[1, 1], cr=[1.0, 100.0])
+        order = benefit_cost_schedule(skewed_sample(), model)
+        assert order == (0, 1)
+
+    def test_free_probes_first(self):
+        model = CostModel.per_predicate(cs=[1, 1], cr=[1.0, 0.0])
+        order = benefit_cost_schedule(skewed_sample(), model)
+        assert order[0] == 1
+
+    def test_unsupported_probes_last(self):
+        model = CostModel.per_predicate(
+            cs=[1, 1, 1], cr=[float("inf"), 1.0, 1.0]
+        )
+        sample = dummy_uniform_sample(3, 50, seed=1)
+        order = benefit_cost_schedule(sample, model)
+        assert order[-1] == 0
+
+    def test_width_mismatch(self):
+        with pytest.raises(ValueError):
+            benefit_cost_schedule(skewed_sample(), CostModel.uniform(3))
+
+    def test_is_a_permutation(self):
+        sample = dummy_uniform_sample(4, 50, seed=2)
+        order = benefit_cost_schedule(sample, CostModel.uniform(4))
+        assert sorted(order) == [0, 1, 2, 3]
+
+
+class TestScheduleOptimizer:
+    def test_heuristic_matches_closed_form(self):
+        sample = skewed_sample()
+        est = CostEstimator(sample, Min(2), 5, 1000, CostModel.uniform(2))
+        opt = ScheduleOptimizer(mode="heuristic")
+        assert opt.optimize(est, [1.0, 1.0]) == benefit_cost_schedule(
+            sample, CostModel.uniform(2)
+        )
+
+    def test_exhaustive_finds_cheapest_permutation(self):
+        sample = skewed_sample()
+        est = CostEstimator(sample, Min(2), 5, 1000, CostModel.no_sorted(2), no_wild_guesses=False)
+        opt = ScheduleOptimizer(mode="exhaustive")
+        best = opt.optimize(est, [1.0, 1.0])
+        costs = {
+            perm: est.estimate([1.0, 1.0], perm)
+            for perm in [(0, 1), (1, 0)]
+        }
+        assert costs[best] == min(costs.values())
+
+    def test_exhaustive_guard(self):
+        sample = dummy_uniform_sample(7, 20, seed=0)
+        est = CostEstimator(sample, Min(7), 1, 100, CostModel.uniform(7))
+        with pytest.raises(OptimizationError):
+            ScheduleOptimizer(mode="exhaustive", max_exhaustive_m=5).optimize(
+                est, [1.0] * 7
+            )
+
+    def test_unknown_mode(self):
+        with pytest.raises(OptimizationError):
+            ScheduleOptimizer(mode="magic")

@@ -1,0 +1,139 @@
+"""Exact-match regressions of the paper's worked examples on Dataset 1.
+
+These pin the engine to the published traces:
+
+* Example 9 / Figure 7: the *focused* configuration answers Q with the two
+  accesses ``sa_1, ra_2(u_3)``;
+* Example 10 / Figure 8: the *deep-sorted* configuration descends p_1
+  fully before one probe (four accesses);
+* Example 4: the cost-model arithmetic of the two candidate algorithms;
+* Figure 10: no-wild-guess processing via the virtual unseen object.
+"""
+
+import pytest
+
+from repro.core.framework import FrameworkNC
+from repro.core.policies import SRGPolicy
+from repro.core.tasks import UNSEEN
+from repro.scoring.functions import Min
+from repro.sources.cost import CostModel
+from repro.types import Access, AccessType
+from tests.conftest import mw_over
+
+
+class TestFigure7Trace:
+    """Focused plan: delta = (0.75, 1.0) -- one sorted access, one probe."""
+
+    def run_trace(self, ds1):
+        steps = []
+        mw = mw_over(ds1, record_log=True)
+        engine = FrameworkNC(
+            mw, Min(2), 1, SRGPolicy([0.75, 1.0]), observer=steps.append
+        )
+        result = engine.run()
+        return result, mw, steps
+
+    def test_answer_is_u3_at_07(self, ds1):
+        result, _, _ = self.run_trace(ds1)
+        assert result.objects == [2]
+        assert result.scores == pytest.approx([0.7])
+
+    def test_exact_access_sequence(self, ds1):
+        _, mw, _ = self.run_trace(ds1)
+        assert mw.stats.log == [Access.sorted(0), Access.random(1, 2)]
+
+    def test_step1_targets_unseen_with_sorted_choices(self, ds1):
+        _, _, steps = self.run_trace(ds1)
+        assert steps[0].target == UNSEEN
+        assert all(acc.is_sorted for acc in steps[0].alternatives)
+
+    def test_step2_targets_u3_with_p2_choices(self, ds1):
+        # Example 8: N(u3) = {sa_2, ra_2(u3)} once p1[u3] is known.
+        _, _, steps = self.run_trace(ds1)
+        assert steps[1].target == 2
+        assert set(steps[1].alternatives) == {
+            Access.sorted(1),
+            Access.random(1, 2),
+        }
+
+    def test_total_cost_is_two_under_uniform_costs(self, ds1):
+        _, mw, _ = self.run_trace(ds1)
+        assert mw.stats.total_cost() == pytest.approx(2.0)
+
+
+class TestFigure8Trace:
+    """Parallel plan (Example 10): both lists descend, then one probe.
+
+    With delta = (0.65, 0.85) the engine opens on p_1 (step 1), then the
+    top task u_3 keeps offering sa_2 while l_2 exceeds its depth
+    (steps 2-3), and finally probes ra_2(u_3) -- four accesses, versus the
+    focused plan's two (Example 11's contrast).
+    """
+
+    def run_trace(self, ds1):
+        mw = mw_over(ds1, record_log=True)
+        engine = FrameworkNC(mw, Min(2), 1, SRGPolicy([0.65, 0.85]))
+        result = engine.run()
+        return result, mw
+
+    def test_answer_unchanged(self, ds1):
+        result, _ = self.run_trace(ds1)
+        assert result.objects == [2]
+
+    def test_four_accesses_three_sorted_one_probe(self, ds1):
+        _, mw = self.run_trace(ds1)
+        log = mw.stats.log
+        assert log == [
+            Access.sorted(0),
+            Access.sorted(1),
+            Access.sorted(1),
+            Access.random(1, 2),
+        ]
+
+    def test_example11_focused_beats_deep_for_min(self, ds1):
+        """Example 11: the focused configuration costs less under F=min."""
+        _, deep_mw = self.run_trace(ds1)
+        focused_mw = mw_over(ds1)
+        FrameworkNC(focused_mw, Min(2), 1, SRGPolicy([0.75, 1.0])).run()
+        assert focused_mw.stats.total_cost() < deep_mw.stats.total_cost()
+
+
+class TestExample4CostArithmetic:
+    """Example 4: pricing fixed access multisets under two cost scenarios."""
+
+    def test_scenario_a_prefers_sorted_heavy_schedule(self):
+        # Scenario like Figure 1(a): random much dearer than sorted.
+        model = CostModel.per_predicate(cs=[1.0, 1.0], cr=[10.0, 10.0])
+        # Algorithm A: 3 sorted + 3 random; algorithm A': 6 sorted.
+        cost_a = 3 * 1.0 + 3 * 10.0
+        cost_a_prime = 6 * 1.0
+        assert cost_a_prime < cost_a
+        # And the model prices accesses accordingly.
+        assert model.access_cost(Access.random(0, 1)) == 10.0
+
+    def test_scenario_b_reverses_the_preference(self):
+        # Scenario like Figure 1(b): random access is free.
+        cost_a = 3 * 1.0 + 3 * 0.0
+        cost_a_prime = 6 * 1.0
+        assert cost_a < cost_a_prime
+
+
+class TestFigure10NoWildGuesses:
+    def test_first_iteration_cannot_probe(self, ds1):
+        steps = []
+        mw = mw_over(ds1)
+        FrameworkNC(
+            mw, Min(2), 1, SRGPolicy([1.0, 1.0]), observer=steps.append
+        ).run()
+        # Even a probe-favouring plan must open with a sorted access: the
+        # virtual unseen object admits no random access.
+        assert steps[0].access.is_sorted
+
+    def test_seen_object_surfaces_past_unseen(self, ds1):
+        steps = []
+        mw = mw_over(ds1)
+        FrameworkNC(
+            mw, Min(2), 1, SRGPolicy([1.0, 1.0]), observer=steps.append
+        ).run()
+        assert steps[0].target == UNSEEN
+        assert steps[1].target == 2  # u3 ties at 0.7 and wins over UNSEEN

@@ -1,0 +1,195 @@
+"""Tests for bounded-concurrency execution (Section 9.1.1)."""
+
+import pytest
+
+from repro.core.policies import SRGPolicy
+from repro.data.generators import uniform
+from repro.parallel.clock import VirtualClock
+from repro.parallel.executor import ParallelExecutor
+from repro.scoring.functions import Avg, Min
+from repro.sources.cost import CostModel
+from repro.sources.latency import NoisyLatency
+from repro.sources.middleware import Middleware
+from tests.conftest import assert_valid_topk, mw_over
+
+
+class TestVirtualClock:
+    def test_advance(self):
+        clock = VirtualClock()
+        clock.advance(2.5)
+        clock.advance(0.0)
+        assert clock.now == 2.5
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            VirtualClock().advance(-1.0)
+
+    def test_wave_makespan(self):
+        clock = VirtualClock()
+        span = clock.run_wave([1.0, 3.0, 2.0], concurrency=4)
+        assert span == 3.0
+        assert clock.now == 3.0
+
+    def test_wave_respects_concurrency(self):
+        with pytest.raises(ValueError):
+            VirtualClock().run_wave([1.0, 1.0], concurrency=1)
+
+    def test_empty_wave(self):
+        clock = VirtualClock()
+        assert clock.run_wave([], concurrency=2) == 0.0
+
+
+class TestExecutorCorrectness:
+    @pytest.mark.parametrize("c", [1, 2, 4, 8])
+    def test_exact_answer_at_any_concurrency(self, small_uniform, c):
+        mw = mw_over(small_uniform)
+        executor = ParallelExecutor(
+            mw, Min(2), 3, SRGPolicy([0.7, 0.7]), concurrency=c
+        )
+        outcome = executor.execute()
+        assert_valid_topk(outcome.result, small_uniform, Min(2), 3)
+
+    def test_concurrency_validated(self, small_uniform):
+        with pytest.raises(ValueError):
+            ParallelExecutor(
+                mw_over(small_uniform), Min(2), 1, SRGPolicy([0.5, 0.5]), 0
+            )
+
+    def test_k_exceeds_n_with_full_exhaustion(self, ds1):
+        """Regression: after all objects are discovered, the retired
+        UNSEEN entry must never become a wave target (it used to surface
+        via _collect_topk when k > n and lists exhausted)."""
+        mw = mw_over(ds1)
+        outcome = ParallelExecutor(
+            mw, Min(2), 10, SRGPolicy([0.0, 0.0]), concurrency=4
+        ).execute()
+        assert len(outcome.result.ranking) == 3
+        oracle = ds1.topk(Min(2), 3)
+        assert outcome.result.objects == [e.obj for e in oracle]
+
+    def test_run_returns_query_result(self, small_uniform):
+        mw = mw_over(small_uniform)
+        result = ParallelExecutor(
+            mw, Avg(2), 2, SRGPolicy([0.5, 0.5]), concurrency=2
+        ).run()
+        assert_valid_topk(result, small_uniform, Avg(2), 2)
+
+
+class TestElapsedVsCost:
+    def test_c1_elapsed_equals_total_cost(self, small_uniform):
+        """At c=1 with unit-cost latencies, elapsed == Eq. 1 total cost."""
+        mw = mw_over(small_uniform)
+        outcome = ParallelExecutor(
+            mw, Min(2), 3, SRGPolicy([0.6, 0.6]), concurrency=1
+        ).execute()
+        assert outcome.elapsed == pytest.approx(outcome.total_cost)
+        assert outcome.waves == mw.stats.total_accesses
+
+    def test_higher_concurrency_reduces_elapsed(self):
+        data = uniform(400, 2, seed=3)
+        elapsed = {}
+        for c in (1, 4):
+            mw = Middleware.over(data, CostModel.uniform(2))
+            outcome = ParallelExecutor(
+                mw, Min(2), 10, SRGPolicy([0.6, 1.0]), concurrency=c
+            ).execute()
+            elapsed[c] = outcome.elapsed
+        assert elapsed[4] < elapsed[1] * 0.75
+
+    def test_default_mode_total_cost_equals_sequential(self):
+        """speculation='none': every wave access is one the sequential
+        policy issues, so the total cost matches the sequential plan's."""
+        data = uniform(400, 2, seed=3)
+        costs = {}
+        for c in (1, 8):
+            mw = Middleware.over(data, CostModel.uniform(2))
+            outcome = ParallelExecutor(
+                mw, Min(2), 10, SRGPolicy([0.6, 0.6]), concurrency=c
+            ).execute()
+            costs[c] = outcome.total_cost
+        assert costs[8] == pytest.approx(costs[1])
+
+    def test_eager_mode_trades_cost_for_elapsed(self):
+        """speculation='eager': lower elapsed than 'none' at the same c,
+        at the price of extra total cost."""
+        data = uniform(400, 2, seed=3)
+
+        def run(mode):
+            mw = Middleware.over(data, CostModel.uniform(2))
+            return ParallelExecutor(
+                mw, Min(2), 10, SRGPolicy([0.6, 0.6]), concurrency=8,
+                speculation=mode,
+            ).execute()
+
+        lazy, eager = run("none"), run("eager")
+        assert eager.elapsed <= lazy.elapsed
+        assert eager.total_cost >= lazy.total_cost
+        assert_valid_topk(eager.result, data, Min(2), 10)
+
+    def test_speculation_mode_validated(self, small_uniform):
+        with pytest.raises(ValueError):
+            ParallelExecutor(
+                mw_over(small_uniform), Min(2), 1, SRGPolicy([0.5, 0.5]), 2,
+                speculation="wild",
+            )
+
+    def test_elapsed_bounded_below_by_cost_over_c(self, small_uniform):
+        mw = mw_over(small_uniform)
+        c = 4
+        outcome = ParallelExecutor(
+            mw, Min(2), 3, SRGPolicy([0.6, 0.6]), concurrency=c
+        ).execute()
+        assert outcome.elapsed >= outcome.total_cost / c - 1e-9
+
+    def test_noisy_latency_model(self, small_uniform):
+        mw = mw_over(small_uniform)
+        outcome = ParallelExecutor(
+            mw,
+            Min(2),
+            3,
+            SRGPolicy([0.6, 0.6]),
+            concurrency=4,
+            latency_model=NoisyLatency(mw.cost_model, sigma=0.5, seed=2),
+        ).execute()
+        assert_valid_topk(outcome.result, small_uniform, Min(2), 3)
+        assert outcome.elapsed > 0
+
+
+class TestWavePlanning:
+    def test_waves_never_exceed_concurrency(self, small_uniform):
+        mw = mw_over(small_uniform)
+        executor = ParallelExecutor(
+            mw, Min(2), 5, SRGPolicy([0.5, 0.5]), concurrency=3
+        )
+        original = executor._plan_wave
+
+        def checked(popped):
+            batch = original(popped)
+            assert len(batch) <= 3
+            assert len(set(batch)) == len(batch), "no duplicate accesses"
+            sorted_preds = [a.predicate for a in batch if a.is_sorted]
+            assert len(sorted_preds) == len(set(sorted_preds)), (
+                "a sorted stream advances at most once per wave"
+            )
+            return batch
+
+        executor._plan_wave = checked
+        outcome = executor.execute()
+        assert_valid_topk(outcome.result, small_uniform, Min(2), 5)
+
+    def test_metadata_reports_waves(self, small_uniform):
+        mw = mw_over(small_uniform)
+        outcome = ParallelExecutor(
+            mw, Min(2), 2, SRGPolicy([0.5, 0.5]), concurrency=2
+        ).execute()
+        assert outcome.result.metadata["waves"] == outcome.waves
+        assert outcome.result.metadata["concurrency"] == 2
+
+    def test_zero_ra_scenario_parallelizes(self, small_uniform):
+        """Example 2 costs: probes are free, so waves mix sorted + probes."""
+        model = CostModel.uniform(2, cs=1.0, cr=0.0)
+        mw = Middleware.over(small_uniform, model)
+        outcome = ParallelExecutor(
+            mw, Min(2), 3, SRGPolicy([0.3, 1.0]), concurrency=4
+        ).execute()
+        assert_valid_topk(outcome.result, small_uniform, Min(2), 3)

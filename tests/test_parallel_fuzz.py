@@ -1,0 +1,73 @@
+"""Property-based checks of the parallel executor's contracts."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.framework import FrameworkNC
+from repro.core.policies import SRGPolicy
+from repro.data.dataset import Dataset
+from repro.parallel.executor import ParallelExecutor
+from repro.scoring.functions import Avg, Min
+from repro.sources.cost import CostModel
+from repro.sources.middleware import Middleware
+from tests.conftest import score_multiset
+
+score_value = st.floats(min_value=0.0, max_value=1.0, allow_nan=False, width=32)
+
+
+@st.composite
+def parallel_instances(draw):
+    n = draw(st.integers(min_value=1, max_value=25))
+    rows = draw(
+        st.lists(
+            st.lists(score_value, min_size=2, max_size=2),
+            min_size=n,
+            max_size=n,
+        )
+    )
+    dataset = Dataset(np.array(rows, dtype=float))
+    fn = draw(st.sampled_from([Min(2), Avg(2)]))
+    k = draw(st.integers(min_value=1, max_value=n))
+    c = draw(st.integers(min_value=1, max_value=8))
+    d0 = draw(st.sampled_from([0.0, 0.5, 1.0]))
+    d1 = draw(st.sampled_from([0.0, 0.5, 1.0]))
+    return dataset, fn, k, c, (d0, d1)
+
+
+class TestParallelContractsFuzz:
+    @settings(max_examples=60, deadline=None)
+    @given(parallel_instances())
+    def test_none_mode_matches_sequential_cost_and_answer(self, instance):
+        dataset, fn, k, c, depths = instance
+
+        mw_seq = Middleware.over(dataset, CostModel.uniform(2))
+        seq = FrameworkNC(mw_seq, fn, k, SRGPolicy(depths)).run()
+
+        mw_par = Middleware.over(dataset, CostModel.uniform(2))
+        outcome = ParallelExecutor(
+            mw_par, fn, k, SRGPolicy(depths), concurrency=c
+        ).execute()
+
+        # Exact answer (score multiset; ties may pick other members).
+        assert score_multiset(outcome.result.ranking) == score_multiset(
+            seq.ranking
+        )
+        # Default mode performs only sequentially-justified accesses.
+        assert outcome.total_cost == mw_seq.stats.total_cost()
+        # Elapsed-time sandwich: cost/c <= elapsed <= cost.
+        assert outcome.elapsed <= outcome.total_cost + 1e-9
+        assert outcome.elapsed >= outcome.total_cost / c - 1e-9
+        # Wave accounting consistent.
+        assert outcome.waves <= mw_par.stats.total_accesses
+
+    @settings(max_examples=30, deadline=None)
+    @given(parallel_instances())
+    def test_eager_mode_still_exact(self, instance):
+        dataset, fn, k, c, depths = instance
+        mw = Middleware.over(dataset, CostModel.uniform(2))
+        outcome = ParallelExecutor(
+            mw, fn, k, SRGPolicy(depths), concurrency=c, speculation="eager"
+        ).execute()
+        oracle = dataset.topk(fn, k)
+        assert score_multiset(outcome.result.ranking) == score_multiset(oracle)

@@ -1,0 +1,145 @@
+"""Tests for the Select policies, chiefly SR/G (Figure 9)."""
+
+import pytest
+
+from repro.core.policies import (
+    RandomPolicy,
+    RoundRobinPolicy,
+    SelectContext,
+    SRGPolicy,
+)
+from repro.core.state import ScoreState
+from repro.scoring.functions import Min
+from repro.types import Access
+from tests.conftest import mw_over
+
+
+def make_ctx(ds1, target=2):
+    mw = mw_over(ds1)
+    state = ScoreState(mw, Min(2))
+    return SelectContext(state=state, middleware=mw, target=target), mw, state
+
+
+class TestSRGConstruction:
+    def test_depth_range_validated(self):
+        with pytest.raises(ValueError):
+            SRGPolicy([0.5, 1.5])
+        with pytest.raises(ValueError):
+            SRGPolicy([-0.1])
+
+    def test_schedule_must_be_permutation(self):
+        with pytest.raises(ValueError):
+            SRGPolicy([0.5, 0.5], schedule=[0, 0])
+        with pytest.raises(ValueError):
+            SRGPolicy([0.5, 0.5], schedule=[0, 2])
+
+    def test_default_schedule_is_identity(self):
+        assert SRGPolicy([0.5, 0.5]).schedule == (0, 1)
+
+    def test_describe(self):
+        text = SRGPolicy([0.25, 1.0], schedule=[1, 0]).describe()
+        assert "0.25" in text and "p1,p0" in text
+
+
+class TestSRGSortedRule:
+    def test_sorted_taken_while_above_depth(self, ds1):
+        ctx, mw, _ = make_ctx(ds1)
+        policy = SRGPolicy([0.5, 0.5])
+        alts = [Access.sorted(0), Access.random(0, 2)]
+        assert policy.select(alts, ctx) == Access.sorted(0)
+
+    def test_random_taken_once_depth_reached(self, ds1):
+        ctx, mw, state = make_ctx(ds1)
+        policy = SRGPolicy([0.9, 0.9])
+        mw.sorted_access(0)  # l_0 = 0.7 <= 0.9: depth reached
+        alts = [Access.sorted(0), Access.random(0, 2)]
+        assert policy.select(alts, ctx) == Access.random(0, 2)
+
+    def test_depth_one_disables_sorted(self, ds1):
+        # delta = 1.0: l_i starts at exactly 1.0, never strictly above.
+        ctx, _, _ = make_ctx(ds1)
+        policy = SRGPolicy([1.0, 1.0])
+        alts = [Access.sorted(0), Access.random(0, 2)]
+        assert policy.select(alts, ctx) == Access.random(0, 2)
+
+    def test_prefers_deepest_list(self, ds1):
+        ctx, mw, _ = make_ctx(ds1)
+        policy = SRGPolicy([0.0, 0.0])
+        mw.sorted_access(0)  # l_0 = 0.7; l_1 still 1.0
+        alts = [Access.sorted(0), Access.sorted(1)]
+        assert policy.select(alts, ctx) == Access.sorted(1)
+
+    def test_equal_depths_tie_break_lowest_index(self, ds1):
+        ctx, _, _ = make_ctx(ds1)
+        policy = SRGPolicy([0.0, 0.0])
+        alts = [Access.sorted(1), Access.sorted(0)]
+        assert policy.select(alts, ctx) == Access.sorted(0)
+
+
+class TestSRGGlobalSchedule:
+    def test_random_follows_schedule_order(self, ds1):
+        ctx, _, _ = make_ctx(ds1)
+        policy = SRGPolicy([1.0, 1.0], schedule=[1, 0])
+        alts = [Access.random(0, 2), Access.random(1, 2)]
+        assert policy.select(alts, ctx) == Access.random(1, 2)
+
+    def test_identity_schedule(self, ds1):
+        ctx, _, _ = make_ctx(ds1)
+        policy = SRGPolicy([1.0, 1.0])
+        alts = [Access.random(1, 2), Access.random(0, 2)]
+        assert policy.select(alts, ctx) == Access.random(0, 2)
+
+
+class TestSRGCompletenessFallbacks:
+    def test_takes_sorted_beyond_depth_when_only_option(self, ds1):
+        ctx, _, _ = make_ctx(ds1)
+        policy = SRGPolicy([1.0, 1.0])  # depths forbid sorted...
+        alts = [Access.sorted(0)]  # ...but nothing else exists
+        assert policy.select(alts, ctx) == Access.sorted(0)
+
+    def test_empty_alternatives_rejected(self, ds1):
+        ctx, _, _ = make_ctx(ds1)
+        with pytest.raises(ValueError):
+            SRGPolicy([0.5, 0.5]).select([], ctx)
+
+
+class TestRoundRobinPolicy:
+    def test_cycles_predicates(self, ds1):
+        ctx, _, _ = make_ctx(ds1)
+        policy = RoundRobinPolicy()
+        alts = [Access.sorted(0), Access.sorted(1)]
+        first = policy.select(alts, ctx)
+        second = policy.select(alts, ctx)
+        assert {first.predicate, second.predicate} == {0, 1}
+
+    def test_reset_restarts_cycle(self, ds1):
+        ctx, _, _ = make_ctx(ds1)
+        policy = RoundRobinPolicy()
+        alts = [Access.sorted(0), Access.sorted(1)]
+        first = policy.select(alts, ctx)
+        policy.reset()
+        assert policy.select(alts, ctx) == first
+
+    def test_falls_back_to_random(self, ds1):
+        ctx, _, _ = make_ctx(ds1)
+        policy = RoundRobinPolicy()
+        alts = [Access.random(1, 2), Access.random(0, 2)]
+        assert policy.select(alts, ctx) == Access.random(0, 2)
+
+
+class TestRandomPolicy:
+    def test_selects_member(self, ds1):
+        ctx, _, _ = make_ctx(ds1)
+        policy = RandomPolicy(seed=1)
+        alts = [Access.sorted(0), Access.sorted(1), Access.random(0, 2)]
+        for _ in range(20):
+            assert policy.select(alts, ctx) in alts
+
+    def test_reset_reproduces_sequence(self, ds1):
+        ctx, _, _ = make_ctx(ds1)
+        policy = RandomPolicy(seed=7)
+        alts = [Access.sorted(0), Access.sorted(1)]
+        first = [policy.select(alts, ctx) for _ in range(10)]
+        policy.reset()
+        second = [policy.select(alts, ctx) for _ in range(10)]
+        assert first == second

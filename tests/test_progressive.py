@@ -1,0 +1,159 @@
+"""Tests for progressive answers, next-k continuation and theta-approximation."""
+
+import itertools
+
+import pytest
+
+from repro.core.framework import FrameworkNC
+from repro.core.policies import SRGPolicy
+from repro.data.generators import uniform, zipf_skewed
+from repro.scoring.functions import Avg, Min
+from repro.sources.cost import CostModel
+from repro.sources.middleware import Middleware
+from tests.conftest import mw_over
+
+
+class TestProgressiveAnswers:
+    def test_stream_matches_batch_run(self, small_uniform):
+        mw_a = mw_over(small_uniform)
+        batch = FrameworkNC(mw_a, Min(2), 5, SRGPolicy([0.6, 0.6])).run()
+        mw_b = mw_over(small_uniform)
+        engine = FrameworkNC(mw_b, Min(2), 5, SRGPolicy([0.6, 0.6]))
+        stream = list(itertools.islice(engine.answers(), 5))
+        assert [e.obj for e in stream] == batch.objects
+        assert [e.score for e in stream] == batch.scores
+        assert mw_b.stats.total_cost() == mw_a.stats.total_cost()
+
+    def test_answers_arrive_best_first(self, small_uniform):
+        mw = mw_over(small_uniform)
+        engine = FrameworkNC(mw, Avg(2), 10, SRGPolicy([0.5, 0.5]))
+        scores = [entry.score for entry in itertools.islice(engine.answers(), 10)]
+        assert scores == sorted(scores, reverse=True)
+
+    def test_early_consumption_costs_less(self, small_uniform):
+        """The stream is lazy: taking 1 answer costs no more than taking 5."""
+        def cost_after(take):
+            mw = mw_over(small_uniform)
+            engine = FrameworkNC(mw, Min(2), 10, SRGPolicy([0.6, 0.6]))
+            list(itertools.islice(engine.answers(), take))
+            return mw.stats.total_cost()
+
+        assert cost_after(1) <= cost_after(5)
+
+    def test_stream_exhausts_at_n(self, ds1):
+        mw = mw_over(ds1)
+        engine = FrameworkNC(mw, Min(2), 1, SRGPolicy([0.5, 0.5]))
+        everything = list(engine.answers())
+        assert len(everything) == 3
+        oracle = ds1.topk(Min(2), 3)
+        assert [e.obj for e in everything] == [e.obj for e in oracle]
+
+    def test_no_duplicate_confirmations(self, small_uniform):
+        """An object redelivered by a later sorted access must not be
+        confirmed twice (regression guard)."""
+        mw = mw_over(small_uniform)
+        engine = FrameworkNC(mw, Min(2), 1, SRGPolicy([0.0, 0.0]))
+        everything = list(engine.answers())
+        objs = [entry.obj for entry in everything]
+        assert len(objs) == len(set(objs)) == small_uniform.n
+
+
+class TestNextK:
+    def test_continuation_extends_the_answer(self, small_uniform):
+        """Consuming k then j more answers equals a top-(k+j) query."""
+        fn = Min(2)
+        mw = mw_over(small_uniform)
+        engine = FrameworkNC(mw, fn, 3, SRGPolicy([0.6, 0.6]))
+        stream = engine.answers()
+        first = [e.obj for e in itertools.islice(stream, 3)]
+        more = [e.obj for e in itertools.islice(stream, 4)]
+        oracle = [e.obj for e in small_uniform.topk(fn, 7)]
+        assert first + more == oracle
+
+    def test_continuation_is_marginally_priced(self, small_uniform):
+        """next-k costs at most what a fresh top-(k+j) run would."""
+        fn = Min(2)
+
+        mw_inc = mw_over(small_uniform)
+        engine = FrameworkNC(mw_inc, fn, 3, SRGPolicy([0.6, 0.6]))
+        stream = engine.answers()
+        list(itertools.islice(stream, 3))
+        cost_at_3 = mw_inc.stats.total_cost()
+        list(itertools.islice(stream, 4))
+        cost_at_7 = mw_inc.stats.total_cost()
+
+        mw_full = mw_over(small_uniform)
+        FrameworkNC(mw_full, fn, 7, SRGPolicy([0.6, 0.6])).run()
+        assert cost_at_7 == mw_full.stats.total_cost()
+        assert cost_at_3 < cost_at_7
+
+
+class TestThetaApproximation:
+    def test_theta_validated(self, small_uniform):
+        with pytest.raises(ValueError):
+            FrameworkNC(
+                mw_over(small_uniform), Min(2), 1, SRGPolicy([0.5, 0.5]),
+                theta=0.9,
+            )
+
+    def test_theta_one_is_exact(self, small_uniform):
+        mw = mw_over(small_uniform)
+        result = FrameworkNC(
+            mw, Min(2), 5, SRGPolicy([0.6, 0.6]), theta=1.0
+        ).run()
+        oracle = small_uniform.topk(Min(2), 5)
+        assert result.objects == [e.obj for e in oracle]
+        assert "theta" not in result.metadata
+
+    @pytest.mark.parametrize("theta", [1.1, 1.5, 2.0])
+    def test_guarantee_holds(self, theta):
+        """Every returned object y satisfies theta*F(y) >= F(x) for every
+        non-returned x (checked against the ground truth)."""
+        data = zipf_skewed(300, 2, skew=1.5, seed=8)
+        fn = Min(2)
+        mw = mw_over(data)
+        result = FrameworkNC(
+            mw, fn, 5, SRGPolicy([0.6, 0.6]), theta=theta
+        ).run()
+        returned = set(result.objects)
+        assert len(returned) == 5
+        others_best = max(
+            fn(data.object_scores(x)) for x in range(data.n) if x not in returned
+        )
+        for y in returned:
+            assert theta * fn(data.object_scores(y)) >= others_best - 1e-9
+
+    def test_reported_scores_are_lower_bounds(self):
+        data = uniform(200, 2, seed=4)
+        fn = Avg(2)
+        mw = mw_over(data)
+        result = FrameworkNC(
+            mw, fn, 5, SRGPolicy([0.7, 0.7]), theta=2.0
+        ).run()
+        for entry in result.ranking:
+            true = fn(data.object_scores(entry.obj))
+            assert entry.score <= true + 1e-9
+
+    def test_larger_theta_never_costs_more(self):
+        data = uniform(500, 2, seed=6)
+        fn = Min(2)
+
+        def cost(theta):
+            mw = mw_over(data)
+            FrameworkNC(
+                mw, fn, 10, SRGPolicy([0.6, 0.6]), theta=theta
+            ).run()
+            return mw.stats.total_cost()
+
+        exact = cost(1.0)
+        approx = cost(1.5)
+        very = cost(3.0)
+        assert approx <= exact
+        assert very <= approx
+
+    def test_metadata_records_theta(self, small_uniform):
+        mw = mw_over(small_uniform)
+        result = FrameworkNC(
+            mw, Min(2), 3, SRGPolicy([0.6, 0.6]), theta=1.5
+        ).run()
+        assert result.metadata["theta"] == 1.5

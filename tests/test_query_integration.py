@@ -1,0 +1,113 @@
+"""End-to-end tests: parse SQL-like text, execute over a middleware."""
+
+import pytest
+
+from repro.algorithms.ta import TA
+from repro.data.generators import uniform
+from repro.query import QueryError, compile_expression, parse_query, run_query
+from repro.scoring.functions import Min, WeightedSum
+from repro.sources.cost import CostModel
+from repro.sources.middleware import Middleware
+from tests.conftest import assert_valid_topk, mw_over
+
+
+class TestCompileExpression:
+    def test_default_order_is_first_appearance(self):
+        query = parse_query("SELECT * FROM r ORDER BY min(b, a) STOP AFTER 1")
+        fn, order = compile_expression(query.expr)
+        assert order == ("b", "a")
+        assert fn([0.2, 0.9]) == pytest.approx(0.2)
+
+    def test_schema_realigns_inputs(self):
+        query = parse_query(
+            "SELECT * FROM r ORDER BY 0.9*a + 0.1*b STOP AFTER 1"
+        )
+        fn, order = compile_expression(query.expr, schema=["b", "a"])
+        assert order == ("b", "a")
+        # Input vector is (b, a): a=1 contributes 0.9.
+        assert fn([0.0, 1.0]) == pytest.approx(0.9)
+
+    def test_schema_may_contain_unreferenced_predicates(self):
+        query = parse_query("SELECT * FROM r ORDER BY a STOP AFTER 1")
+        fn, order = compile_expression(query.expr, schema=["a", "unused"])
+        assert fn([0.7, 0.1]) == pytest.approx(0.7)
+
+    def test_missing_predicate_rejected(self):
+        query = parse_query("SELECT * FROM r ORDER BY min(a, b) STOP AFTER 1")
+        with pytest.raises(QueryError, match="not in the schema"):
+            compile_expression(query.expr, schema=["a"])
+
+    def test_duplicate_schema_rejected(self):
+        query = parse_query("SELECT * FROM r ORDER BY a STOP AFTER 1")
+        with pytest.raises(QueryError, match="duplicate"):
+            compile_expression(query.expr, schema=["a", "a"])
+
+    def test_matches_builtin_functions(self):
+        query = parse_query(
+            "SELECT * FROM r ORDER BY 0.3*a + 0.7*b STOP AFTER 1"
+        )
+        fn, _ = compile_expression(query.expr)
+        builtin = WeightedSum([0.3, 0.7])
+        for point in ([0.1, 0.9], [0.5, 0.5], [1.0, 0.0]):
+            assert fn(point) == pytest.approx(builtin(point))
+
+
+class TestRunQuery:
+    def test_end_to_end_with_default_nc(self, small_uniform):
+        query = parse_query(
+            "SELECT * FROM objects ORDER BY min(quality, distance) STOP AFTER 4"
+        )
+        mw = mw_over(small_uniform)
+        result = run_query(query, mw, schema=["quality", "distance"])
+        assert_valid_topk(result, small_uniform, Min(2), 4)
+        assert "min(quality, distance)" in result.metadata["query"]
+
+    def test_custom_algorithm(self, small_uniform):
+        query = parse_query(
+            "SELECT * FROM objects ORDER BY min(a, b) STOP AFTER 3"
+        )
+        mw = mw_over(small_uniform)
+        result = run_query(query, mw, schema=["a", "b"], algorithm=TA())
+        assert result.algorithm == "TA"
+        assert_valid_topk(result, small_uniform, Min(2), 3)
+
+    def test_schema_width_mismatch(self, small_uniform):
+        query = parse_query("SELECT * FROM r ORDER BY a STOP AFTER 1")
+        mw = mw_over(small_uniform)
+        with pytest.raises(QueryError, match="serves 2"):
+            run_query(query, mw, schema=["a"])
+
+    def test_schema_order_independence(self):
+        """The same query gives the same answer regardless of how the
+        middleware happens to order its predicates."""
+        data = uniform(120, 2, seed=14)
+        text = "SELECT * FROM r ORDER BY 0.8*hot + 0.2*cheap STOP AFTER 5"
+        query = parse_query(text)
+
+        mw_a = Middleware.over(data, CostModel.uniform(2))
+        res_a = run_query(query, mw_a, schema=["hot", "cheap"])
+
+        # Swap the physical predicate order by swapping columns + schema.
+        import numpy as np
+        from repro.data.dataset import Dataset
+
+        swapped = Dataset(np.column_stack([data.column(1), data.column(0)]))
+        mw_b = Middleware.over(swapped, CostModel.uniform(2))
+        res_b = run_query(query, mw_b, schema=["cheap", "hot"])
+
+        assert res_a.objects == res_b.objects
+        assert res_a.scores == pytest.approx(res_b.scores)
+
+    def test_paper_q2_shape(self):
+        """Example 2's hotel query, straight from its SQL-like form."""
+        from repro.data.travel import hotels_dataset
+
+        data = hotels_dataset(300, seed=13)
+        query = parse_query(
+            "SELECT name FROM hotels "
+            "ORDER BY min(close, stars, cheap) STOP AFTER 5"
+        )
+        model = CostModel.per_predicate(cs=[1, 1, 1], cr=[0, 0, 0])
+        mw = Middleware.over(data, model)
+        result = run_query(query, mw, schema=["close", "stars", "cheap"])
+        assert_valid_topk(result, data, Min(3), 5)

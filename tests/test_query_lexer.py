@@ -1,0 +1,65 @@
+"""Tests for the query tokenizer."""
+
+import pytest
+
+from repro.query.ast import QueryError
+from repro.query.lexer import Token, tokenize
+
+
+def kinds(text):
+    return [t.kind for t in tokenize(text)]
+
+
+def texts(text):
+    return [t.text for t in tokenize(text)]
+
+
+class TestTokenize:
+    def test_keywords_case_insensitive(self):
+        tokens = tokenize("SELECT Select select")
+        assert all(t.kind == "keyword" and t.text == "select" for t in tokens[:-1])
+
+    def test_identifiers_preserved(self):
+        assert texts("rating Close_2")[:2] == ["rating", "Close_2"]
+        assert kinds("rating")[:1] == ["ident"]
+
+    def test_numbers(self):
+        assert texts("5 0.3 .5")[:3] == ["5", "0.3", ".5"]
+        assert kinds("0.3")[0] == "number"
+
+    def test_punctuation(self):
+        assert kinds("( ) , * +")[:5] == [
+            "lparen",
+            "rparen",
+            "comma",
+            "star",
+            "plus",
+        ]
+
+    def test_eof_appended(self):
+        assert tokenize("x")[-1].kind == "eof"
+        assert tokenize("")[:] == [Token("eof", "", 0)]
+
+    def test_positions_recorded(self):
+        tokens = tokenize("select x")
+        assert tokens[0].position == 0
+        assert tokens[1].position == 7
+
+    def test_foreign_character_rejected(self):
+        with pytest.raises(QueryError, match="unexpected character"):
+            tokenize("select @ from r")
+
+    def test_keyword_prefix_is_identifier(self):
+        # "selector" must not lex as the keyword "select" + "or".
+        tokens = tokenize("selector")
+        assert tokens[0].kind == "ident"
+        assert tokens[0].text == "selector"
+
+    def test_whitespace_insensitive(self):
+        assert kinds("min( a , b )") == kinds("min(a,b)")
+
+    def test_iter_tokens_matches_tokenize(self):
+        from repro.query.lexer import iter_tokens
+
+        text = "select x from r order by min(a, b) limit 2"
+        assert list(iter_tokens(text)) == tokenize(text)

@@ -1,0 +1,67 @@
+"""Property tests for the query front end: AST <-> text round-trips."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.query.ast import Aggregate, Expr, PredicateRef, WeightedSum
+from repro.query.compiler import compile_expression
+from repro.query.parser import parse_query
+
+names = st.sampled_from(["rating", "close", "cheap", "stars", "fresh"])
+
+
+@st.composite
+def expressions(draw, depth: int = 2) -> Expr:
+    """Random well-formed scoring expressions."""
+    if depth == 0:
+        return PredicateRef(draw(names))
+    choice = draw(st.integers(min_value=0, max_value=2))
+    if choice == 0:
+        return PredicateRef(draw(names))
+    if choice == 1:
+        agg = draw(st.sampled_from(Aggregate.SUPPORTED))
+        arity = draw(st.integers(min_value=1, max_value=3))
+        args = tuple(draw(expressions(depth=depth - 1)) for _ in range(arity))
+        return Aggregate(agg, args)
+    terms = draw(st.integers(min_value=1, max_value=3))
+    raw = [
+        round(draw(st.floats(min_value=0.01, max_value=1.0)), 3)
+        for _ in range(terms)
+    ]
+    total = sum(raw)
+    weights = [round(w / total / 1.001, 6) for w in raw]  # sums < 1
+    parts = tuple(
+        (weight, draw(expressions(depth=depth - 1))) for weight in weights
+    )
+    return WeightedSum(parts)
+
+
+class TestRoundTripProperty:
+    @settings(max_examples=80, deadline=None)
+    @given(expressions())
+    def test_str_reparses_to_equivalent_expression(self, expr):
+        """str(expr) -> parse -> same predicates and same values on a grid
+        of environments."""
+        text = f"SELECT * FROM r ORDER BY {expr} STOP AFTER 1"
+        reparsed = parse_query(text).expr
+        assert reparsed.predicates() == expr.predicates()
+        rng = np.random.default_rng(0)
+        for _ in range(5):
+            env = {name: float(rng.random()) for name in expr.predicates()}
+            assert reparsed.evaluate(env) == pytest.approx(
+                expr.evaluate(env), abs=1e-9
+            )
+
+    @settings(max_examples=50, deadline=None)
+    @given(expressions())
+    def test_compiled_function_is_monotone_and_bounded(self, expr):
+        fn, order = compile_expression(expr)
+        rng = np.random.default_rng(1)
+        for _ in range(10):
+            lo = rng.random(len(order))
+            hi = np.clip(lo + rng.random(len(order)) * (1 - lo), 0, 1)
+            v_lo, v_hi = fn(list(lo)), fn(list(hi))
+            assert v_lo <= v_hi + 1e-9
+            assert -1e-9 <= v_lo <= 1.0 + 1e-9
+            assert -1e-9 <= v_hi <= 1.0 + 1e-9

@@ -1,0 +1,106 @@
+"""Tests for the rank-depth SR/G variant."""
+
+import pytest
+from hypothesis import given, settings
+
+from repro.core.framework import FrameworkNC
+from repro.core.policies import RankDepthPolicy, SelectContext
+from repro.core.state import ScoreState
+from repro.scoring.functions import Min
+from repro.sources.cost import CostModel
+from repro.sources.middleware import Middleware
+from repro.types import Access
+from tests.conftest import assert_valid_topk, mw_over
+from tests.test_golden_invariant import check, instances
+
+
+def make_ctx(ds1):
+    mw = mw_over(ds1)
+    state = ScoreState(mw, Min(2))
+    return SelectContext(state=state, middleware=mw, target=2), mw
+
+
+class TestConstruction:
+    def test_negative_depth_rejected(self):
+        with pytest.raises(ValueError):
+            RankDepthPolicy([-1, 2])
+
+    def test_schedule_validated(self):
+        with pytest.raises(ValueError):
+            RankDepthPolicy([1, 1], schedule=[0, 0])
+
+    def test_describe(self):
+        text = RankDepthPolicy([3, 0], schedule=[1, 0]).describe()
+        assert "3,0" in text and "p1,p0" in text
+
+
+class TestSelect:
+    def test_sorted_until_count_reached(self, ds1):
+        ctx, mw = make_ctx(ds1)
+        policy = RankDepthPolicy([2, 0])
+        alts = [Access.sorted(0), Access.random(0, 2)]
+        assert policy.select(alts, ctx) == Access.sorted(0)
+        mw.sorted_access(0)
+        assert policy.select(alts, ctx) == Access.sorted(0)
+        mw.sorted_access(0)  # depth now 2: count reached
+        assert policy.select(alts, ctx) == Access.random(0, 2)
+
+    def test_zero_depth_goes_straight_to_probes(self, ds1):
+        ctx, _ = make_ctx(ds1)
+        policy = RankDepthPolicy([0, 0])
+        alts = [Access.sorted(0), Access.random(0, 2)]
+        assert policy.select(alts, ctx) == Access.random(0, 2)
+
+    def test_probe_schedule_order(self, ds1):
+        ctx, _ = make_ctx(ds1)
+        policy = RankDepthPolicy([0, 0], schedule=[1, 0])
+        alts = [Access.random(0, 2), Access.random(1, 2)]
+        assert policy.select(alts, ctx) == Access.random(1, 2)
+
+    def test_completeness_fallback_sorted_only(self, ds1):
+        ctx, _ = make_ctx(ds1)
+        policy = RankDepthPolicy([0, 0])
+        assert policy.select([Access.sorted(1)], ctx) == Access.sorted(1)
+
+    def test_empty_alternatives_rejected(self, ds1):
+        ctx, _ = make_ctx(ds1)
+        with pytest.raises(ValueError):
+            RankDepthPolicy([1, 1]).select([], ctx)
+
+
+class TestCorrectness:
+    def test_exact_answer(self, small_uniform):
+        mw = mw_over(small_uniform)
+        result = FrameworkNC(
+            mw, Min(2), 4, RankDepthPolicy([10, 10])
+        ).run()
+        assert_valid_topk(result, small_uniform, Min(2), 4)
+
+    @settings(max_examples=40, deadline=None)
+    @given(instances())
+    def test_golden_invariant(self, instance):
+        dataset, fn, k = instance
+        mw = Middleware.over(dataset, CostModel.uniform(dataset.m))
+        policy = RankDepthPolicy([dataset.n // 2] * dataset.m)
+        check(FrameworkNC(mw, fn, k, policy).run(), dataset, fn, k)
+
+
+class TestEquivalenceWithScoreDepths:
+    def test_same_plan_expressible_both_ways(self, medium_uniform):
+        """On a fixed database, a score threshold has an equivalent rank
+        count: first run with score depths, read the reached depths, then
+        replay with those counts -- identical access sequence."""
+        from repro.core.policies import SRGPolicy
+
+        fn = Min(3)
+        mw_score = Middleware.over(
+            medium_uniform, CostModel.uniform(3), record_log=True
+        )
+        FrameworkNC(mw_score, fn, 5, SRGPolicy([0.7, 0.8, 1.0])).run()
+        reached = [mw_score.depth(i) for i in range(3)]
+
+        mw_rank = Middleware.over(
+            medium_uniform, CostModel.uniform(3), record_log=True
+        )
+        FrameworkNC(mw_rank, fn, 5, RankDepthPolicy(reached)).run()
+        assert mw_rank.stats.log == mw_score.stats.log

@@ -1,0 +1,67 @@
+"""Scale smoke tests: the engine stays sublinear-feeling at larger n.
+
+These are guardrails against accidental O(n) work per access (e.g. eager
+heap rekeying); generous wall-time budgets keep them robust on slow CI.
+"""
+
+import time
+
+import pytest
+
+from repro.algorithms.ta import TA
+from repro.core.framework import FrameworkNC
+from repro.core.policies import SRGPolicy
+from repro.data.generators import uniform
+from repro.scoring.functions import Avg, Min
+from repro.sources.cost import CostModel
+from repro.sources.middleware import Middleware
+from tests.conftest import mw_over
+
+
+class TestEngineScale:
+    def test_50k_objects_under_wall_budget(self):
+        data = uniform(50_000, 2, seed=91)
+        mw = mw_over(data)
+        start = time.perf_counter()
+        result = FrameworkNC(mw, Min(2), 10, SRGPolicy([0.8, 0.8])).run()
+        elapsed = time.perf_counter() - start
+        assert elapsed < 20.0, f"engine took {elapsed:.1f}s at n=50k"
+        assert len(result.ranking) == 10
+        # Pruning: the engine must touch a small fraction of the data.
+        assert mw.stats.total_accesses < data.n // 5
+
+    def test_access_count_grows_sublinearly(self):
+        def accesses(n):
+            data = uniform(n, 2, seed=92)
+            mw = mw_over(data)
+            FrameworkNC(mw, Avg(2), 10, SRGPolicy([0.8, 0.8])).run()
+            return mw.stats.total_accesses
+
+        small, large = accesses(2_000), accesses(32_000)
+        assert large < small * 16 / 2, (
+            f"16x data cost {large / small:.1f}x accesses; expected clearly "
+            "sublinear growth"
+        )
+
+    def test_wide_query_m6(self):
+        data = uniform(2_000, 6, seed=93)
+        mw = Middleware.over(data, CostModel.uniform(6))
+        result = FrameworkNC(
+            mw, Min(6), 5, SRGPolicy([0.7] * 6)
+        ).run()
+        oracle = data.topk(Min(6), 5)
+        assert result.objects == [entry.obj for entry in oracle]
+
+    def test_large_k(self):
+        data = uniform(5_000, 2, seed=94)
+        mw = mw_over(data)
+        result = FrameworkNC(mw, Min(2), 500, SRGPolicy([0.5, 0.5])).run()
+        oracle = data.topk(Min(2), 500)
+        assert result.objects == [entry.obj for entry in oracle]
+
+    def test_ta_scale_smoke(self):
+        data = uniform(30_000, 2, seed=95)
+        mw = mw_over(data)
+        start = time.perf_counter()
+        TA().run(mw, Min(2), 10)
+        assert time.perf_counter() - start < 20.0

@@ -1,0 +1,173 @@
+"""Tests for the scoring functions and the monotonicity checker."""
+
+import math
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.exceptions import NotMonotoneError
+from repro.scoring import (
+    Avg,
+    Geometric,
+    Max,
+    Median,
+    Min,
+    Monotone,
+    Product,
+    WeightedSum,
+    check_monotone,
+)
+
+unit = st.floats(min_value=0.0, max_value=1.0, allow_nan=False)
+
+
+class TestMin:
+    def test_basic(self):
+        assert Min(3)([0.5, 0.2, 0.9]) == 0.2
+
+    def test_arity_enforced(self):
+        with pytest.raises(ValueError):
+            Min(2)([0.1, 0.2, 0.3])
+
+    def test_partial_derivative_on_argmin(self):
+        fn = Min(2)
+        assert fn.partial_derivative(0, [0.2, 0.8]) == 1.0
+        assert fn.partial_derivative(1, [0.2, 0.8]) == 0.0
+
+    def test_name(self):
+        assert str(Min(2)) == "min[2]"
+
+
+class TestMax:
+    def test_basic(self):
+        assert Max(3)([0.5, 0.2, 0.9]) == 0.9
+
+    def test_partial_derivative_on_argmax(self):
+        fn = Max(2)
+        assert fn.partial_derivative(1, [0.2, 0.8]) == 1.0
+        assert fn.partial_derivative(0, [0.2, 0.8]) == 0.0
+
+
+class TestAvg:
+    def test_basic(self):
+        assert Avg(4)([0.0, 1.0, 0.5, 0.5]) == pytest.approx(0.5)
+
+    def test_derivative_uniform(self):
+        assert Avg(4).partial_derivative(2, [0.1] * 4) == pytest.approx(0.25)
+
+
+class TestWeightedSum:
+    def test_normalizes_weights(self):
+        fn = WeightedSum([2.0, 2.0])
+        assert fn.weights == (0.5, 0.5)
+        assert fn([1.0, 0.0]) == pytest.approx(0.5)
+
+    def test_rejects_negative_weights(self):
+        with pytest.raises(ValueError):
+            WeightedSum([1.0, -0.5])
+
+    def test_rejects_all_zero(self):
+        with pytest.raises(ValueError):
+            WeightedSum([0.0, 0.0])
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            WeightedSum([])
+
+    def test_derivative_is_weight(self):
+        fn = WeightedSum([3.0, 1.0])
+        assert fn.partial_derivative(0, [0.5, 0.5]) == pytest.approx(0.75)
+
+    @given(st.lists(unit, min_size=2, max_size=2))
+    def test_stays_in_unit_interval(self, scores):
+        assert 0.0 <= WeightedSum([0.3, 0.7])(scores) <= 1.0
+
+
+class TestProduct:
+    def test_basic(self):
+        assert Product(3)([0.5, 0.5, 0.5]) == pytest.approx(0.125)
+
+    def test_derivative_excludes_own_coordinate(self):
+        fn = Product(3)
+        assert fn.partial_derivative(0, [0.9, 0.5, 0.4]) == pytest.approx(0.2)
+
+
+class TestGeometric:
+    def test_equals_inputs_when_identical(self):
+        assert Geometric(3)([0.4, 0.4, 0.4]) == pytest.approx(0.4)
+
+    def test_zero_annihilates(self):
+        assert Geometric(2)([0.0, 1.0]) == 0.0
+
+
+class TestMedian:
+    def test_odd_arity(self):
+        assert Median(3)([0.9, 0.1, 0.5]) == 0.5
+
+    def test_even_arity_lower_median(self):
+        assert Median(4)([0.1, 0.2, 0.8, 0.9]) == 0.2
+
+
+class TestMonotoneWrapper:
+    def test_wraps_callable(self):
+        fn = Monotone(lambda xs: xs[0] * 0.5 + xs[1] * 0.5, arity=2, name="mix")
+        assert fn([1.0, 0.0]) == 0.5
+        assert str(fn) == "mix"
+
+    def test_arity_lower_bound(self):
+        with pytest.raises(ValueError):
+            Monotone(lambda xs: 0.0, arity=0)
+
+
+class TestNumericDerivativeFallback:
+    def test_matches_closed_form_for_smooth_fn(self):
+        smooth = Monotone(lambda xs: 0.3 * xs[0] + 0.7 * xs[1], arity=2)
+        closed = WeightedSum([0.3, 0.7])
+        for i in range(2):
+            assert smooth.partial_derivative(i, [0.4, 0.6]) == pytest.approx(
+                closed.partial_derivative(i, [0.4, 0.6]), abs=1e-4
+            )
+
+    def test_index_out_of_range(self):
+        with pytest.raises(IndexError):
+            Avg(2).partial_derivative(2, [0.1, 0.2])
+
+    def test_at_cube_boundary(self):
+        # One-sided clipping must still return a finite value at 0 and 1.
+        fn = Avg(2)
+        assert math.isfinite(fn.partial_derivative(0, [0.0, 1.0]))
+        assert math.isfinite(fn.partial_derivative(1, [0.0, 1.0]))
+
+
+class TestCheckMonotone:
+    @pytest.mark.parametrize(
+        "fn",
+        [Min(3), Max(3), Avg(3), WeightedSum([1, 2, 3]), Product(3), Geometric(3), Median(3)],
+        ids=lambda fn: fn.name,
+    )
+    def test_standard_functions_pass(self, fn):
+        assert check_monotone(fn) is None
+
+    def test_detects_violation(self):
+        bad = Monotone(lambda xs: 1.0 - xs[0], arity=1, name="negated")
+        with pytest.raises(NotMonotoneError):
+            check_monotone(bad)
+
+    def test_returns_witness_when_not_raising(self):
+        bad = Monotone(lambda xs: 1.0 - xs[0], arity=1, name="negated")
+        witness = check_monotone(bad, raise_on_failure=False)
+        assert witness is not None
+        lo, hi = witness
+        assert bad(list(lo)) > bad(list(hi))
+
+
+class TestMonotonicityProperty:
+    @given(
+        st.lists(unit, min_size=3, max_size=3),
+        st.lists(unit, min_size=3, max_size=3),
+    )
+    def test_all_aggregates_monotone(self, a, b):
+        lo = [min(x, y) for x, y in zip(a, b)]
+        hi = [max(x, y) for x, y in zip(a, b)]
+        for fn in (Min(3), Max(3), Avg(3), Product(3), Median(3)):
+            assert fn(lo) <= fn(hi) + 1e-12

@@ -1,0 +1,112 @@
+"""Tests for JSON serialization of plans, cost models and results."""
+
+import json
+import math
+
+import pytest
+
+from repro.optimizer.plan import SRGPlan
+from repro.serialization import (
+    cost_model_from_dict,
+    cost_model_to_dict,
+    plan_from_dict,
+    plan_from_json,
+    plan_to_dict,
+    plan_to_json,
+    ranking_from_dict,
+    result_to_dict,
+)
+from repro.sources.cost import CostModel
+
+
+class TestCostModelRoundTrip:
+    def test_plain_costs(self):
+        model = CostModel((1.0, 2.5), (0.0, 10.0))
+        again = cost_model_from_dict(cost_model_to_dict(model))
+        assert again == model
+
+    def test_infinities_survive_strict_json(self):
+        model = CostModel.no_random(2)
+        encoded = json.dumps(cost_model_to_dict(model))  # strict JSON
+        assert "Infinity" not in encoded
+        again = cost_model_from_dict(json.loads(encoded))
+        assert math.isinf(again.random_cost(0))
+        assert again == model
+
+    def test_validation_on_decode(self):
+        with pytest.raises(ValueError):
+            cost_model_from_dict({"cs": ["inf"], "cr": ["inf"]})
+
+
+class TestPlanRoundTrip:
+    def test_full_round_trip(self):
+        plan = SRGPlan(
+            depths=(0.25, 1.0),
+            schedule=(1, 0),
+            estimated_cost=123.5,
+            estimator_runs=42,
+            notes={"scheme": "HClimb(restarts=3)", "sample_size": 100},
+        )
+        again = plan_from_json(plan_to_json(plan))
+        assert again == plan
+        assert again.notes == plan.notes
+        assert again.estimator_runs == 42
+
+    def test_missing_optionals_default(self):
+        again = plan_from_dict({"depths": [0.5], "schedule": [0]})
+        assert again.estimated_cost is None
+        assert again.estimator_runs == 0
+        assert again.notes == {}
+
+    def test_validation_on_decode(self):
+        with pytest.raises(ValueError):
+            plan_from_dict({"depths": [1.5], "schedule": [0]})
+        with pytest.raises(ValueError):
+            plan_from_dict({"depths": [0.5, 0.5], "schedule": [0, 0]})
+
+    def test_json_is_deterministic(self):
+        plan = SRGPlan(depths=(0.5,), schedule=(0,))
+        assert plan_to_json(plan) == plan_to_json(plan)
+
+    def test_persisted_plan_is_runnable(self, small_uniform):
+        """The real use case: optimize once, persist, reload, execute."""
+        from repro.algorithms.nc import NC
+        from tests.conftest import assert_valid_topk, mw_over
+        from repro.scoring.functions import Min
+
+        original = SRGPlan(depths=(0.6, 0.6), schedule=(0, 1))
+        reloaded = plan_from_json(plan_to_json(original))
+        mw = mw_over(small_uniform)
+        result = NC(plan=reloaded).run(mw, Min(2), 3)
+        assert_valid_topk(result, small_uniform, Min(2), 3)
+
+
+class TestResultEncoding:
+    def _result(self, small_uniform):
+        from repro.algorithms.ta import TA
+        from tests.conftest import mw_over
+        from repro.scoring.functions import Min
+
+        mw = mw_over(small_uniform)
+        return TA().run(mw, Min(2), 3)
+
+    def test_encodes_ranking_and_accounting(self, small_uniform):
+        result = self._result(small_uniform)
+        data = result_to_dict(result)
+        assert data["algorithm"] == "TA"
+        assert len(data["ranking"]) == 3
+        assert data["total_cost"] == result.total_cost()
+        json.dumps(data)  # strictly JSON-safe
+
+    def test_ranking_rebuilds(self, small_uniform):
+        result = self._result(small_uniform)
+        ranking = ranking_from_dict(result_to_dict(result))
+        assert [entry.obj for entry in ranking] == result.objects
+        assert [entry.score for entry in ranking] == pytest.approx(result.scores)
+
+    def test_non_json_metadata_stringified(self, small_uniform):
+        result = self._result(small_uniform)
+        result.metadata["weird"] = object()
+        data = result_to_dict(result)
+        json.dumps(data)
+        assert isinstance(data["metadata"]["weird"], str)

@@ -1,0 +1,114 @@
+"""Tests for SimulatedSource: the Section 3.2 access interface."""
+
+import pytest
+
+from repro.data.dataset import Dataset, dataset1
+from repro.exceptions import CapabilityError
+from repro.sources.simulated import SimulatedSource, sources_for
+
+
+class TestSortedAccess:
+    def test_descending_order(self, ds1):
+        src = SimulatedSource(ds1, 0)
+        scores = [src.sorted_access()[1] for _ in range(3)]
+        assert scores == pytest.approx([0.70, 0.65, 0.60])
+
+    def test_progressive_distinct_objects(self, ds1):
+        src = SimulatedSource(ds1, 0)
+        objs = [src.sorted_access()[0] for _ in range(3)]
+        assert sorted(objs) == [0, 1, 2]  # each object delivered exactly once
+
+    def test_last_seen_tracks_delivered_score(self, ds1):
+        src = SimulatedSource(ds1, 1)
+        assert src.last_seen == 1.0
+        obj, score = src.sorted_access()
+        assert src.last_seen == pytest.approx(score)
+
+    def test_exhaustion_returns_none_and_zeroes_bound(self, ds1):
+        src = SimulatedSource(ds1, 0)
+        for _ in range(3):
+            src.sorted_access()
+        assert src.exhausted
+        assert src.sorted_access() is None
+        assert src.last_seen == 0.0
+
+    def test_last_seen_drops_to_zero_on_final_delivery(self, ds1):
+        # Delivering the last element removes every unseen object, so the
+        # bound collapses immediately rather than after one extra call.
+        src = SimulatedSource(ds1, 0)
+        for _ in range(3):
+            src.sorted_access()
+        assert src.last_seen == 0.0
+
+    def test_depth_counts_accesses(self, ds1):
+        src = SimulatedSource(ds1, 0)
+        src.sorted_access()
+        src.sorted_access()
+        assert src.depth == 2
+
+    def test_tie_break_higher_oid_first(self):
+        ds = Dataset([[0.5], [0.5]])
+        src = SimulatedSource(ds, 0)
+        assert src.sorted_access()[0] == 1
+        assert src.sorted_access()[0] == 0
+
+    def test_unsupported_raises(self, ds1):
+        src = SimulatedSource(ds1, 0, sorted_capable=False)
+        with pytest.raises(CapabilityError):
+            src.sorted_access()
+        assert not src.exhausted  # exhaustion is a sorted-list concept
+
+
+class TestRandomAccess:
+    def test_exact_score(self, ds1):
+        src = SimulatedSource(ds1, 1)
+        assert src.random_access(2) == pytest.approx(0.70)
+
+    def test_no_side_effect_on_last_seen(self, ds1):
+        src = SimulatedSource(ds1, 1)
+        src.random_access(0)
+        assert src.last_seen == 1.0
+
+    def test_unsupported_raises(self, ds1):
+        src = SimulatedSource(ds1, 1, random_capable=False)
+        with pytest.raises(CapabilityError):
+            src.random_access(0)
+
+    def test_out_of_range_object(self, ds1):
+        src = SimulatedSource(ds1, 0)
+        with pytest.raises(ValueError):
+            src.random_access(99)
+
+
+class TestLifecycle:
+    def test_reset_rewinds_cursor(self, ds1):
+        src = SimulatedSource(ds1, 0)
+        first = src.sorted_access()
+        src.reset()
+        assert src.depth == 0
+        assert src.last_seen == 1.0
+        assert src.sorted_access() == first
+
+    def test_requires_some_capability(self, ds1):
+        with pytest.raises(ValueError):
+            SimulatedSource(ds1, 0, sorted_capable=False, random_capable=False)
+
+    def test_predicate_out_of_range(self, ds1):
+        with pytest.raises(ValueError):
+            SimulatedSource(ds1, 5)
+
+
+class TestSourcesFor:
+    def test_default_fully_capable(self, ds1):
+        sources = sources_for(ds1)
+        assert len(sources) == 2
+        assert all(s.supports_sorted and s.supports_random for s in sources)
+
+    def test_capability_lists(self, ds1):
+        sources = sources_for(ds1, sorted_capable=[True, False], random_capable=[False, True])
+        assert sources[0].supports_sorted and not sources[0].supports_random
+        assert not sources[1].supports_sorted and sources[1].supports_random
+
+    def test_capability_length_mismatch(self, ds1):
+        with pytest.raises(ValueError):
+            sources_for(ds1, sorted_capable=[True])

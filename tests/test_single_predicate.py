@@ -1,0 +1,99 @@
+"""Edge-case suite: single-predicate queries (m = 1).
+
+With one predicate, a top-k query degenerates to a sorted prefix: the
+optimal plan is exactly ``k`` sorted accesses (plus nothing). Every layer
+must handle the degenerate case cleanly -- a common source of
+off-by-one/empty-loop bugs.
+"""
+
+import pytest
+
+from repro.algorithms.mpro import MPro
+from repro.algorithms.nra import NRA
+from repro.algorithms.ta import TA
+from repro.core.framework import FrameworkNC
+from repro.core.policies import SRGPolicy
+from repro.data.dataset import Dataset
+from repro.data.generators import uniform
+from repro.optimizer.optimizer import NCOptimizer
+from repro.optimizer.sampling import dummy_uniform_sample
+from repro.optimizer.search import NaiveGrid
+from repro.scoring.functions import Avg, Min
+from repro.sources.cost import CostModel
+from repro.sources.middleware import Middleware
+from tests.conftest import assert_valid_topk, mw_over
+
+
+@pytest.fixture
+def data():
+    return uniform(100, 1, seed=81)
+
+
+class TestEngineM1:
+    def test_nc_costs_exactly_k_sorted_accesses(self, data):
+        mw = mw_over(data)
+        result = FrameworkNC(mw, Min(1), 7, SRGPolicy([0.0])).run()
+        assert_valid_topk(result, data, Min(1), 7)
+        assert mw.stats.total_sorted == 7
+        assert mw.stats.total_random == 0
+
+    def test_probe_only_plan_still_correct(self, data):
+        # delta = 1.0 wants probes, but probing needs discovery first; the
+        # completeness fallback must keep things moving.
+        mw = mw_over(data)
+        result = FrameworkNC(mw, Avg(1), 3, SRGPolicy([1.0])).run()
+        assert_valid_topk(result, data, Avg(1), 3)
+
+    def test_identity_function(self, data):
+        # With m=1 every monotone aggregate is the identity: the query is
+        # simply "the k largest scores".
+        mw = mw_over(data)
+        result = FrameworkNC(mw, Min(1), 5, SRGPolicy([0.5])).run()
+        top_scores = sorted(data.column(0), reverse=True)[:5]
+        assert result.scores == pytest.approx(top_scores)
+
+
+class TestBaselinesM1:
+    def test_ta(self, data):
+        mw = mw_over(data)
+        result = TA().run(mw, Min(1), 4)
+        assert_valid_topk(result, data, Min(1), 4)
+
+    def test_nra(self, data):
+        mw = Middleware.over(data, CostModel.no_random(1))
+        result = NRA().run(mw, Min(1), 4)
+        assert_valid_topk(result, data, Min(1), 4)
+        assert mw.stats.total_sorted == 4  # prefix exactly
+
+    def test_mpro(self, data):
+        mw = Middleware.over(data, CostModel.no_sorted(1), no_wild_guesses=False)
+        result = MPro().run(mw, Min(1), 4)
+        assert_valid_topk(result, data, Min(1), 4)
+
+
+class TestOptimizerM1:
+    def test_plan_search_handles_one_dimension(self, data):
+        plan = NCOptimizer(scheme=NaiveGrid(5)).plan(
+            dummy_uniform_sample(1, 60, seed=1),
+            Min(1),
+            5,
+            data.n,
+            CostModel.uniform(1),
+        )
+        assert plan.m == 1
+        mw = mw_over(data)
+        result = FrameworkNC(
+            mw, Min(1), 5, SRGPolicy(plan.depths, plan.schedule)
+        ).run()
+        assert_valid_topk(result, data, Min(1), 5)
+        # Nothing beats the k-prefix plan in this degenerate case.
+        assert mw.stats.total_cost() == 5.0
+
+
+class TestTiesM1:
+    def test_all_equal_scores(self):
+        data = Dataset([[0.5]] * 8)
+        mw = mw_over(data)
+        result = FrameworkNC(mw, Min(1), 3, SRGPolicy([0.0])).run()
+        assert result.objects == [7, 6, 5]  # higher oid wins ties
+        assert result.scores == [0.5] * 3

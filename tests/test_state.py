@@ -1,0 +1,142 @@
+"""Tests for ScoreState: Eq. 3 bounds and completeness bookkeeping."""
+
+import pytest
+
+from repro.core.state import ScoreState
+from repro.data.generators import uniform
+from repro.scoring.functions import Avg, Min
+from repro.sources.cost import CostModel
+from repro.sources.middleware import Middleware
+from tests.conftest import mw_over
+
+
+def make_state(ds1, fn=None):
+    mw = mw_over(ds1)
+    return mw, ScoreState(mw, fn or Min(2))
+
+
+class TestRecording:
+    def test_known_score(self, ds1):
+        _, state = make_state(ds1)
+        state.record(0, 2, 0.7)
+        assert state.known_score(2, 0) == 0.7
+        assert state.known_score(2, 1) is None
+
+    def test_undetermined(self, ds1):
+        _, state = make_state(ds1)
+        assert state.undetermined(2) == [0, 1]
+        state.record(0, 2, 0.7)
+        assert state.undetermined(2) == [1]
+
+    def test_completeness(self, ds1):
+        _, state = make_state(ds1)
+        assert not state.is_complete(2)
+        state.record(0, 2, 0.7)
+        assert not state.is_complete(2)
+        state.record(1, 2, 0.7)
+        assert state.is_complete(2)
+
+    def test_exact_score_requires_completeness(self, ds1):
+        _, state = make_state(ds1)
+        with pytest.raises(ValueError):
+            state.exact_score(2)
+        state.record(0, 2, 0.7)
+        state.record(1, 2, 0.7)
+        assert state.exact_score(2) == pytest.approx(0.7)
+
+    def test_tracked(self, ds1):
+        _, state = make_state(ds1)
+        assert state.tracked_count() == 0
+        state.record(0, 1, 0.65)
+        assert list(state.tracked()) == [1]
+
+    def test_arity_mismatch_rejected(self, ds1):
+        mw = mw_over(ds1)
+        with pytest.raises(ValueError):
+            ScoreState(mw, Min(3))
+
+
+class TestUpperBound:
+    def test_untracked_object_uses_last_seen_vector(self, ds1):
+        mw, state = make_state(ds1)
+        assert state.upper_bound(0) == 1.0  # F(1, 1) = min(1, 1)
+        mw.sorted_access(0)  # l_0 -> 0.7
+        assert state.upper_bound(0) == pytest.approx(0.7)
+
+    def test_known_scores_override_bounds(self, ds1):
+        mw, state = make_state(ds1)
+        obj, score = mw.sorted_access(0)  # u3 at 0.7
+        state.record(0, obj, score)
+        # u3: known p0 = 0.7, p1 bounded by l_1 = 1.0 -> min = 0.7
+        assert state.upper_bound(obj) == pytest.approx(0.7)
+
+    def test_predicate_upper(self, ds1):
+        mw, state = make_state(ds1)
+        obj, score = mw.sorted_access(0)
+        state.record(0, obj, score)
+        assert state.predicate_upper(obj, 0) == pytest.approx(0.7)
+        assert state.predicate_upper(obj, 1) == 1.0
+
+    def test_bound_sound_and_decreasing_during_descent(self):
+        # F_max(u) >= F(u) at all times, and never increases.
+        data = uniform(30, 2, seed=9)
+        fn = Avg(2)
+        mw = mw_over(data)
+        state = ScoreState(mw, fn)
+        previous = {obj: state.upper_bound(obj) for obj in range(30)}
+        while not mw.exhausted(0):
+            obj, score = mw.sorted_access(0)
+            state.record(0, obj, score)
+            for u in range(30):
+                bound = state.upper_bound(u)
+                true = fn(data.object_scores(u))
+                assert bound >= true - 1e-12
+                assert bound <= previous[u] + 1e-12
+                previous[u] = bound
+
+
+class TestLowerBound:
+    def test_unknowns_count_as_zero(self, ds1):
+        _, state = make_state(ds1, Avg(2))
+        state.record(0, 2, 0.7)
+        assert state.lower_bound(2) == pytest.approx(0.35)
+
+    def test_untracked_is_f_of_zeros(self, ds1):
+        _, state = make_state(ds1, Avg(2))
+        assert state.lower_bound(0) == 0.0
+
+    def test_complete_object_bounds_coincide(self, ds1):
+        _, state = make_state(ds1, Avg(2))
+        state.record(0, 2, 0.7)
+        state.record(1, 2, 0.7)
+        assert state.lower_bound(2) == state.upper_bound(2) == pytest.approx(0.7)
+
+
+class TestUnseenBound:
+    def test_initially_perfect(self, ds1):
+        _, state = make_state(ds1)
+        assert state.unseen_bound() == 1.0
+
+    def test_follows_last_seen(self, ds1):
+        mw, state = make_state(ds1)
+        mw.sorted_access(0)
+        assert state.unseen_bound() == pytest.approx(0.7)
+        mw.sorted_access(1)  # u1 at 0.9 on p1
+        assert state.unseen_bound() == pytest.approx(min(0.7, 0.9))
+
+    def test_random_only_predicates_stay_at_one(self, ds1):
+        model = CostModel((1.0, float("inf")), (float("inf"), 1.0))
+        mw = Middleware.over(ds1, model)
+        state = ScoreState(mw, Min(2))
+        mw.sorted_access(0)
+        # p1 has no sorted access, so its contribution to the unseen bound
+        # stays 1.0; the bound is min(0.7, 1.0).
+        assert state.unseen_bound() == pytest.approx(0.7)
+
+
+class TestSnapshot:
+    def test_snapshot_row(self, ds1):
+        _, state = make_state(ds1)
+        assert state.snapshot(2) == (None, None)
+        state.record(1, 2, 0.7)
+        assert state.snapshot(2) == (None, 0.7)

@@ -1,0 +1,115 @@
+"""Tests for AccessStats: exact Eq. 1 cost accounting."""
+
+import math
+
+import pytest
+
+from repro.sources.cost import CostModel
+from repro.sources.stats import AccessStats
+from repro.types import Access
+
+
+def make_stats(record_log=False) -> AccessStats:
+    return AccessStats(CostModel((1.0, 2.0), (5.0, 10.0)), record_log=record_log)
+
+
+class TestCounting:
+    def test_counts_per_predicate(self):
+        stats = make_stats()
+        stats.record(Access.sorted(0))
+        stats.record(Access.sorted(0))
+        stats.record(Access.sorted(1))
+        stats.record(Access.random(1, 3))
+        assert stats.sorted_counts == (2, 1)
+        assert stats.random_counts == (0, 1)
+        assert stats.total_sorted == 3
+        assert stats.total_random == 1
+        assert stats.total_accesses == 4
+
+
+class TestEq1Cost:
+    def test_total_cost_formula(self):
+        # cost = 2*1 + 1*2 + 1*10 = 14
+        stats = make_stats()
+        stats.record(Access.sorted(0))
+        stats.record(Access.sorted(0))
+        stats.record(Access.sorted(1))
+        stats.record(Access.random(1, 3))
+        assert stats.total_cost() == pytest.approx(14.0)
+
+    def test_cost_under_alternative_model(self):
+        stats = make_stats()
+        stats.record(Access.sorted(0))
+        stats.record(Access.random(0, 1))
+        alt = CostModel((10.0, 10.0), (1.0, 1.0))
+        assert stats.total_cost(alt) == pytest.approx(11.0)
+
+    def test_alternative_model_width_checked(self):
+        stats = make_stats()
+        with pytest.raises(ValueError):
+            stats.total_cost(CostModel.uniform(3))
+
+    def test_unsupported_access_prices_to_inf(self):
+        stats = make_stats()
+        stats.record(Access.random(0, 1))
+        assert math.isinf(stats.total_cost(CostModel.no_random(2)))
+
+    def test_empty_run_costs_zero(self):
+        assert make_stats().total_cost() == 0.0
+
+
+class TestLog:
+    def test_log_disabled_by_default(self):
+        stats = make_stats()
+        stats.record(Access.sorted(0))
+        with pytest.raises(ValueError):
+            stats.log
+
+    def test_log_preserves_order(self):
+        stats = make_stats(record_log=True)
+        accesses = [Access.sorted(0), Access.random(1, 2), Access.sorted(1)]
+        for acc in accesses:
+            stats.record(acc)
+        assert stats.log == accesses
+
+    def test_log_cost_recomputation_matches_counts(self):
+        # Independent recomputation from the log must agree with the
+        # aggregate accounting -- the invariant the harness relies on.
+        stats = make_stats(record_log=True)
+        for acc in [Access.sorted(0)] * 3 + [Access.random(1, i) for i in range(4)]:
+            stats.record(acc)
+        model = stats.cost_model
+        recomputed = sum(model.access_cost(acc) for acc in stats.log)
+        assert recomputed == pytest.approx(stats.total_cost())
+
+
+class TestMerge:
+    def test_merges_counts(self):
+        a, b = make_stats(), make_stats()
+        a.record(Access.sorted(0))
+        b.record(Access.random(1, 0))
+        a.merge(b)
+        assert a.total_accesses == 2
+        assert a.total_cost() == pytest.approx(11.0)
+
+    def test_width_mismatch(self):
+        a = make_stats()
+        b = AccessStats(CostModel.uniform(3))
+        with pytest.raises(ValueError):
+            a.merge(b)
+
+    def test_merges_logs_when_both_enabled(self):
+        a, b = make_stats(record_log=True), make_stats(record_log=True)
+        a.record(Access.sorted(0))
+        b.record(Access.sorted(1))
+        a.merge(b)
+        assert len(a.log) == 2
+
+
+class TestSnapshot:
+    def test_snapshot_fields(self):
+        stats = make_stats()
+        stats.record(Access.sorted(1))
+        snap = stats.snapshot()
+        assert snap["sorted_counts"] == (0, 1)
+        assert snap["total_cost"] == pytest.approx(2.0)

@@ -1,0 +1,135 @@
+"""Tests for the scoring-task view (Definition 1 / Theorem 1 machinery).
+
+Includes the paper's worked Example 7 as an exact regression: after
+``P = {sa_1, sa_1, sa_2, ra_1(u_1)}`` on Dataset 1, the task of ``u_3``
+must be identified as unsatisfied.
+"""
+
+import pytest
+
+from repro.core.state import ScoreState
+from repro.core.tasks import UNSEEN, all_tasks_satisfied, current_topk, unsatisfied_objects
+from repro.data.generators import uniform
+from repro.scoring.functions import Avg, Min
+from tests.conftest import mw_over
+
+
+def feed(mw, state, accesses):
+    """Perform accesses and mirror them into the state."""
+    for kind, *args in accesses:
+        if kind == "sa":
+            obj, score = mw.sorted_access(args[0])
+            state.record(args[0], obj, score)
+        else:
+            pred, obj = args
+            state.record(pred, obj, mw.random_access(pred, obj))
+
+
+class TestCurrentTopK:
+    def test_initially_only_unseen(self, ds1, min2):
+        mw = mw_over(ds1)
+        state = ScoreState(mw, min2)
+        assert current_topk(state, 1) == [(UNSEEN, 1.0)]
+
+    def test_seen_object_beats_unseen_on_tie(self, ds1, min2):
+        mw = mw_over(ds1)
+        state = ScoreState(mw, min2)
+        feed(mw, state, [("sa", 0)])  # u3 at 0.7; unseen bound also 0.7
+        top = current_topk(state, 2)
+        assert top[0] == (2, pytest.approx(0.7))
+        assert top[1][0] == UNSEEN
+
+    def test_unseen_disappears_when_all_seen(self, ds1, min2):
+        mw = mw_over(ds1)
+        state = ScoreState(mw, min2)
+        feed(mw, state, [("sa", 0), ("sa", 0), ("sa", 0)])
+        top = current_topk(state, 5)
+        assert UNSEEN not in [obj for obj, _ in top]
+        assert len(top) == 3
+
+    def test_universe_mode_ranks_all_objects(self, ds1, min2):
+        mw = mw_over(ds1, no_wild_guesses=False)
+        state = ScoreState(mw, min2)
+        top = current_topk(state, 3)
+        # All bounds tie at F(1,1)=1; higher oid wins.
+        assert [obj for obj, _ in top] == [2, 1, 0]
+
+    def test_k_validation(self, ds1, min2):
+        mw = mw_over(ds1)
+        state = ScoreState(mw, min2)
+        with pytest.raises(ValueError):
+            current_topk(state, 0)
+
+
+class TestExample7:
+    """The paper's Example 7 (Figure 5 score state), reconstructed.
+
+    Accesses so far: two sorted on p_1 (hitting u3 at .7 and u2 at .65),
+    one sorted on p_2 (hitting u1 at .9), one probe ra_1(u1).
+    """
+
+    def setup_state(self, ds1):
+        mw = mw_over(ds1, strict=False)
+        state = ScoreState(mw, Min(2))
+        feed(mw, state, [("sa", 0), ("sa", 0), ("sa", 1)])
+        # u1 was just delivered by sa_2; probing its p_0 completes it.
+        state.record(0, 0, mw.random_access(0, 0))
+        return mw, state
+
+    def test_score_state_matches_figure5(self, ds1):
+        _, state = self.setup_state(ds1)
+        # u3 = object 2: p0 known .7, p1 bounded by l_1 = .9 -> F_max .7
+        assert state.known_score(2, 0) == pytest.approx(0.7)
+        assert state.upper_bound(2) == pytest.approx(0.7)
+        # u2 = object 1: p0 known .65 -> F_max .65
+        assert state.upper_bound(1) == pytest.approx(0.65)
+        # u1 = object 0: complete, F = min(.6, .9) = .6
+        assert state.is_complete(0)
+        assert state.upper_bound(0) == pytest.approx(0.6)
+
+    def test_u3_task_identified_as_unsatisfied(self, ds1):
+        _, state = self.setup_state(ds1)
+        assert unsatisfied_objects(state, 1) == [2]
+
+    def test_not_finished_yet(self, ds1):
+        _, state = self.setup_state(ds1)
+        assert not all_tasks_satisfied(state, 1)
+
+    def test_completing_u3_satisfies_all_tasks(self, ds1):
+        mw, state = self.setup_state(ds1)
+        state.record(1, 2, mw.random_access(1, 2))
+        assert all_tasks_satisfied(state, 1)
+        assert current_topk(state, 1) == [(2, pytest.approx(0.7))]
+
+
+class TestTheorem1Properties:
+    def test_satisfied_iff_topk_complete(self):
+        """Cross-check both directions of Theorem 1 during a full run."""
+        data = uniform(25, 2, seed=4)
+        fn = Avg(2)
+        k = 3
+        mw = mw_over(data)
+        state = ScoreState(mw, fn)
+        oracle = data.topk(fn, k)
+        while not all_tasks_satisfied(state, k):
+            unsat = unsatisfied_objects(state, k)
+            assert unsat, "not finished implies some unsatisfied task"
+            target = unsat[0]
+            if target == UNSEEN:
+                obj, score = mw.sorted_access(0)
+                state.record(0, obj, score)
+            else:
+                pred = state.undetermined(target)[0]
+                state.record(pred, target, mw.random_access(pred, target))
+        top = current_topk(state, k)
+        # Theorem 1.2: the complete current top-k IS the final answer.
+        assert [obj for obj, _ in top] == [entry.obj for entry in oracle]
+        for (obj, bound), entry in zip(top, oracle):
+            assert bound == pytest.approx(entry.score)
+
+    def test_incomplete_topk_member_is_unsatisfied(self, ds1, min2):
+        mw = mw_over(ds1)
+        state = ScoreState(mw, min2)
+        feed(mw, state, [("sa", 0)])
+        # u3 tops the ranking but is incomplete: Theorem 1.1 flags it.
+        assert 2 in unsatisfied_objects(state, 1)

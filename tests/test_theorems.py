@@ -1,0 +1,163 @@
+"""Executable spot-checks of the paper's formal results.
+
+Theorem 2 (NC generality) promises: for *any* algorithm there is an NC
+counterpart costing no more. The constructive proof replays the arbitrary
+algorithm's accesses through NC's necessary-choice filter; here we verify
+the theorem's observable consequences:
+
+* a *replay policy* that follows a recorded arbitrary run inside
+  Framework NC never needs more accesses than the recording;
+* Lemma 1's SR flavour: for concrete runs, a sorted-then-random
+  counterpart gathering the same information costs no more.
+"""
+
+import pytest
+
+from repro.core.framework import FrameworkNC, FrameworkTG
+from repro.core.policies import RandomPolicy, SelectPolicy, SRGPolicy
+from repro.data.generators import uniform
+from repro.scoring.functions import Avg, Min
+from repro.sources.cost import CostModel
+from repro.sources.middleware import Middleware
+from repro.types import AccessType
+from tests.conftest import mw_over
+
+
+class ReplayPolicy(SelectPolicy):
+    """Theorem 2's construction: follow a recorded access log, always
+    choosing the earliest not-yet-performed recorded access that appears
+    among the offered alternatives."""
+
+    def __init__(self, log):
+        self.log = list(log)
+        self._cursor = 0
+
+    def select(self, alternatives, ctx):
+        remaining = self.log[self._cursor :]
+        for access in remaining:
+            if access in alternatives:
+                return access
+        # Completeness of alternatives (Section 6.2) guarantees any
+        # algorithm that performed a prefix of the log must take one of
+        # the offered accesses; if the log has none, the recorded
+        # algorithm performed *extra* accesses NC does not need -- take
+        # any alternative (it must also appear later in a longer run).
+        return alternatives[0]
+
+    def reset(self):
+        self._cursor = 0
+
+
+class TestTheorem2Consequences:
+    @pytest.mark.parametrize("seed", [0, 1, 2, 3])
+    def test_nc_replay_never_costs_more_than_arbitrary_run(self, seed):
+        """Replay a random TG run inside NC: the NC counterpart must halt
+        within the recorded budget (Theorem 2's P_j subset invariant)."""
+        data = uniform(60, 2, seed=seed)
+        fn = Min(2)
+        model = CostModel.uniform(2)
+
+        recorder = Middleware.over(data, model, record_log=True)
+        FrameworkTG(recorder, fn, 3, RandomPolicy(seed=seed)).run()
+        recorded_cost = recorder.stats.total_cost()
+
+        replayer = Middleware.over(data, model)
+        result = FrameworkNC(
+            replayer, fn, 3, ReplayPolicy(recorder.stats.log)
+        ).run()
+        assert replayer.stats.total_cost() <= recorded_cost
+        assert result.objects == [e.obj for e in data.topk(fn, 3)]
+
+    def test_nc_replay_of_nc_run_is_identical(self):
+        """Replaying an NC run through NC reproduces it access for access
+        (the framework is deterministic given the policy)."""
+        data = uniform(40, 2, seed=9)
+        fn = Avg(2)
+        first = Middleware.over(data, CostModel.uniform(2), record_log=True)
+        FrameworkNC(first, fn, 2, SRGPolicy([0.7, 0.7])).run()
+
+        second = Middleware.over(data, CostModel.uniform(2), record_log=True)
+        FrameworkNC(second, fn, 2, ReplayPolicy(first.stats.log)).run()
+        assert second.stats.log == first.stats.log
+
+
+class TestLemma1SRCounterpart:
+    def test_sr_counterpart_no_costlier_on_concrete_runs(self):
+        """Lemma 1 flavour: interleaved sorted/random policies admit an SR
+        counterpart (same depths, sorted first) with no higher cost."""
+        data = uniform(200, 2, seed=5)
+        fn = Min(2)
+        model = CostModel.uniform(2)
+
+        class Interleaved(SelectPolicy):
+            """Alternates random-then-sorted whenever both are offered."""
+
+            def __init__(self):
+                self._flip = False
+
+            def select(self, alternatives, ctx):
+                self._flip = not self._flip
+                preferred = (
+                    AccessType.RANDOM if self._flip else AccessType.SORTED
+                )
+                for acc in alternatives:
+                    if acc.kind is preferred:
+                        return acc
+                return alternatives[0]
+
+            def reset(self):
+                self._flip = False
+
+        mw_mixed = Middleware.over(data, model)
+        FrameworkNC(mw_mixed, fn, 5, Interleaved()).run()
+
+        # The SR counterpart family: sweep depths; its best member must
+        # not exceed the interleaved plan's cost.
+        best_sr = min(
+            self._sr_cost(data, fn, model, (d0, d1))
+            for d0 in (0.0, 0.5, 0.75, 1.0)
+            for d1 in (0.0, 0.5, 0.75, 1.0)
+        )
+        assert best_sr <= mw_mixed.stats.total_cost()
+
+    @staticmethod
+    def _sr_cost(data, fn, model, depths):
+        mw = Middleware.over(data, model)
+        FrameworkNC(mw, fn, 5, SRGPolicy(depths)).run()
+        return mw.stats.total_cost()
+
+
+class TestCompletenessProperty:
+    def test_alternatives_complete_wrt_continuation(self):
+        """Section 6.2: any continuation must intersect the offered
+        alternatives -- verified by exhaustively checking that skipping
+        ALL alternatives leaves the query unanswered."""
+        from repro.core.choices import necessary_choices
+        from repro.core.state import ScoreState
+        from repro.core.tasks import all_tasks_satisfied, unsatisfied_objects, UNSEEN
+
+        data = uniform(12, 2, seed=2)
+        fn = Min(2)
+        mw = mw_over(data)
+        state = ScoreState(mw, fn)
+        # Advance a few steps.
+        for _ in range(4):
+            obj, score = mw.sorted_access(0)
+            state.record(0, obj, score)
+        assert not all_tasks_satisfied(state, 2)
+        target = unsatisfied_objects(state, 2)[0]
+        if target == UNSEEN:
+            return  # sorted-only choices; trivially necessary
+        choices = set(necessary_choices(state, target))
+        # Fulfil everything EXCEPT the target's choices: its task stays
+        # unsatisfied, so the query cannot be answered without touching
+        # the alternatives.
+        for obj in range(data.n):
+            if obj == target:
+                continue
+            if not mw.is_seen(obj):
+                continue
+            for i in state.undetermined(obj):
+                state.record(i, obj, mw.random_access(i, obj))
+        assert not state.is_complete(target)
+        assert not all_tasks_satisfied(state, 2) or state.is_complete(target)

@@ -1,0 +1,85 @@
+"""Tests for the access-trace analytics."""
+
+import pytest
+
+from repro.analysis.trace import format_trace_summary, summarize_trace
+from repro.core.framework import FrameworkNC
+from repro.core.policies import SRGPolicy
+from repro.sources.cost import CostModel
+from repro.types import Access
+from tests.conftest import mw_over
+from repro.scoring.functions import Min
+
+
+def manual_log():
+    return [
+        Access.sorted(0),
+        Access.sorted(0),
+        Access.random(1, 3),
+        Access.random(1, 3),
+        Access.sorted(1),
+    ]
+
+
+class TestSummarizeTrace:
+    def test_per_predicate_counts_and_costs(self):
+        model = CostModel((1.0, 2.0), (5.0, 10.0))
+        summary = summarize_trace(manual_log(), model)
+        p0, p1 = summary.predicates
+        assert (p0.sorted_accesses, p0.random_accesses) == (2, 0)
+        assert (p1.sorted_accesses, p1.random_accesses) == (1, 2)
+        assert p0.sorted_cost == 2.0
+        assert p1.random_cost == 20.0
+        assert p1.total_cost == 22.0
+        assert summary.total_cost == pytest.approx(24.0)
+
+    def test_phase_detection(self):
+        model = CostModel.uniform(2)
+        summary = summarize_trace(manual_log(), model)
+        assert summary.phases == [("sorted", 2), ("random", 2), ("sorted", 1)]
+        assert summary.phase_switches == 2
+        assert not summary.is_sorted_then_random
+
+    def test_sr_schedule_recognized(self):
+        model = CostModel.uniform(1)
+        log = [Access.sorted(0), Access.sorted(0), Access.random(0, 1)]
+        summary = summarize_trace(log, model)
+        assert summary.is_sorted_then_random
+
+    def test_probe_distribution(self):
+        summary = summarize_trace(manual_log(), CostModel.uniform(2))
+        assert summary.probes_per_object == {3: 2}
+
+    def test_empty_log(self):
+        summary = summarize_trace([], CostModel.uniform(2))
+        assert summary.total_cost == 0.0
+        assert summary.phases == []
+        assert summary.is_sorted_then_random  # vacuously
+
+    def test_agrees_with_middleware_accounting(self, small_uniform):
+        mw = mw_over(small_uniform, record_log=True)
+        FrameworkNC(mw, Min(2), 3, SRGPolicy([0.7, 0.7])).run()
+        summary = summarize_trace(mw.stats.log, mw.cost_model)
+        assert summary.total_cost == mw.stats.total_cost()
+        assert summary.total_sorted == mw.stats.total_sorted
+        assert summary.total_random == mw.stats.total_random
+
+
+class TestFormatTraceSummary:
+    def test_renders_key_facts(self):
+        summary = summarize_trace(manual_log(), CostModel.uniform(2))
+        text = format_trace_summary(summary)
+        assert "total cost 5" in text
+        assert "p0:" in text and "p1:" in text
+        assert "phases:" in text
+        assert "probed objects: 1" in text
+
+    def test_truncates_long_phase_chains(self):
+        log = []
+        for i in range(30):
+            log.append(Access.sorted(0))
+            log.append(Access.random(0, i))
+        # Wild alternation: 60 phases; rendering must truncate.
+        summary = summarize_trace(log, CostModel.uniform(1))
+        text = format_trace_summary(summary)
+        assert "..." in text

@@ -1,0 +1,56 @@
+"""Tests for the reconstructed travel-agent benchmark data."""
+
+import numpy as np
+import pytest
+
+from repro.data.travel import hotels_dataset, restaurants_dataset
+
+
+class TestRestaurants:
+    def test_shape(self):
+        ds = restaurants_dataset(500, seed=1)
+        assert ds.n == 500
+        assert ds.m == 2  # (rating, close)
+
+    def test_deterministic(self):
+        a = restaurants_dataset(100, seed=4)
+        b = restaurants_dataset(100, seed=4)
+        assert np.array_equal(a.matrix, b.matrix)
+
+    def test_scores_in_unit_interval(self):
+        ds = restaurants_dataset(500, seed=1)
+        assert ds.matrix.min() >= 0.0
+        assert ds.matrix.max() <= 1.0
+
+    def test_ratings_are_banded(self):
+        ds = restaurants_dataset(3000, seed=1)
+        # Ratings come in half-star bands plus tiny jitter: the empirical
+        # distribution is strongly multimodal, unlike proximity scores.
+        hist, _ = np.histogram(ds.column(0), bins=50)
+        assert (hist == 0).sum() > 5
+
+    def test_ratings_skew_high(self):
+        ds = restaurants_dataset(3000, seed=1)
+        assert ds.column(0).mean() > 0.55
+
+
+class TestHotels:
+    def test_shape(self):
+        ds = hotels_dataset(500, seed=2)
+        assert ds.n == 500
+        assert ds.m == 3  # (close, stars, cheap)
+
+    def test_deterministic(self):
+        a = hotels_dataset(100, seed=9)
+        b = hotels_dataset(100, seed=9)
+        assert np.array_equal(a.matrix, b.matrix)
+
+    def test_stars_and_cheap_anticorrelated(self):
+        ds = hotels_dataset(3000, seed=2)
+        r = np.corrcoef(ds.column(1), ds.column(2))[0, 1]
+        assert r < -0.1  # pricier hotels have more stars
+
+    def test_scores_in_unit_interval(self):
+        ds = hotels_dataset(500, seed=2)
+        assert ds.matrix.min() >= 0.0
+        assert ds.matrix.max() <= 1.0

@@ -1,0 +1,112 @@
+"""Tests for the shared value types (accesses, rankings, ordering)."""
+
+import pytest
+
+from repro.types import (
+    Access,
+    AccessType,
+    QueryResult,
+    RankedObject,
+    rank_key,
+    rank_objects,
+)
+from repro.sources.cost import CostModel
+from repro.sources.stats import AccessStats
+
+
+class TestAccess:
+    def test_sorted_constructor(self):
+        acc = Access.sorted(2)
+        assert acc.kind is AccessType.SORTED
+        assert acc.predicate == 2
+        assert acc.obj is None
+        assert acc.is_sorted and not acc.is_random
+
+    def test_random_constructor(self):
+        acc = Access.random(1, 42)
+        assert acc.kind is AccessType.RANDOM
+        assert acc.predicate == 1
+        assert acc.obj == 42
+        assert acc.is_random and not acc.is_sorted
+
+    def test_sorted_rejects_object(self):
+        with pytest.raises(ValueError):
+            Access(AccessType.SORTED, 0, obj=3)
+
+    def test_random_requires_object(self):
+        with pytest.raises(ValueError):
+            Access(AccessType.RANDOM, 0)
+
+    def test_equality_and_hash(self):
+        assert Access.sorted(1) == Access.sorted(1)
+        assert Access.sorted(1) != Access.sorted(2)
+        assert Access.random(1, 5) == Access.random(1, 5)
+        assert Access.random(1, 5) != Access.random(1, 6)
+        assert len({Access.sorted(0), Access.sorted(0), Access.random(0, 1)}) == 2
+
+    def test_str_forms(self):
+        assert str(Access.sorted(0)) == "sa_0"
+        assert str(Access.random(1, 7)) == "ra_1(7)"
+
+
+class TestRankKey:
+    def test_orders_by_score_descending(self):
+        assert rank_key(0.9, 1) < rank_key(0.8, 1)
+
+    def test_breaks_ties_by_higher_oid(self):
+        # The paper's worked examples break ties with the higher object id.
+        assert rank_key(0.5, 9) < rank_key(0.5, 3)
+
+    def test_sorted_with_rank_key_is_best_first(self):
+        pairs = [(1, 0.3), (2, 0.9), (3, 0.9), (4, 0.1)]
+        ordered = sorted(pairs, key=lambda p: rank_key(p[1], p[0]))
+        assert [obj for obj, _ in ordered] == [3, 2, 1, 4]
+
+
+class TestRankObjects:
+    def test_keeps_top_k(self):
+        ranking = rank_objects([(0, 0.2), (1, 0.8), (2, 0.5)], k=2)
+        assert [entry.obj for entry in ranking] == [1, 2]
+
+    def test_k_larger_than_input(self):
+        ranking = rank_objects([(0, 0.2)], k=5)
+        assert len(ranking) == 1
+
+    def test_tie_break(self):
+        ranking = rank_objects([(0, 0.5), (1, 0.5)], k=1)
+        assert ranking[0].obj == 1
+
+
+class TestRankedObject:
+    def test_unpacking(self):
+        obj, score = RankedObject(3, 0.7)
+        assert obj == 3
+        assert score == 0.7
+
+    def test_frozen(self):
+        entry = RankedObject(1, 0.5)
+        with pytest.raises(AttributeError):
+            entry.score = 0.9  # type: ignore[misc]
+
+
+class TestQueryResult:
+    def _result(self) -> QueryResult:
+        stats = AccessStats(CostModel.uniform(2, cs=1.0, cr=3.0))
+        stats.record(Access.sorted(0))
+        stats.record(Access.random(1, 0))
+        return QueryResult(
+            ranking=[RankedObject(5, 0.9), RankedObject(2, 0.7)],
+            stats=stats,
+            algorithm="test",
+        )
+
+    def test_objects_and_scores(self):
+        result = self._result()
+        assert result.objects == [5, 2]
+        assert result.scores == [0.9, 0.7]
+
+    def test_total_cost_delegates_to_stats(self):
+        assert self._result().total_cost() == 4.0
+
+    def test_len(self):
+        assert len(self._result()) == 2

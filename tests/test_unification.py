@@ -1,0 +1,130 @@
+"""Unification and contrast (Section 8): NC vs the specialists.
+
+The paper's headline claims, made executable:
+
+* in TA's home scenario with a symmetric function, the optimized NC plan
+  behaves like TA (equal-ish depths) and costs no more;
+* in asymmetric scenarios NC departs from TA's three signature behaviours
+  and saves substantially;
+* in every other matrix cell, cost-optimized NC is competitive with (or
+  beats) the specialist designed for that cell;
+* in the unexplored ``?`` cell (cheap/free random access) NC wins big,
+  because nothing else adapts there.
+"""
+
+import pytest
+
+from repro.algorithms.ca import CA
+from repro.algorithms.mpro import MPro
+from repro.algorithms.nc import NC
+from repro.algorithms.nra import NRA
+from repro.algorithms.ta import TA
+from repro.algorithms.upper import Upper
+from repro.data.generators import uniform
+from repro.optimizer.optimizer import NCOptimizer
+from repro.optimizer.search import NaiveGrid
+from repro.scoring.functions import Avg, Min
+from repro.sources.cost import CostModel
+from repro.sources.middleware import Middleware
+
+
+@pytest.fixture(scope="module")
+def data():
+    return uniform(1000, 2, seed=42)
+
+
+def run_cost(algorithm, data, fn, k, model, universe=False):
+    mw = Middleware.over(data, model, no_wild_guesses=not universe)
+    algorithm.run(mw, fn, k)
+    return mw.stats.total_cost()
+
+
+def make_nc():
+    return NC(sample_size=150, optimizer=NCOptimizer(scheme=NaiveGrid(6)))
+
+
+class TestUnifiesTA:
+    def test_symmetric_scenario_nc_matches_ta(self, data):
+        """Figure 11(a): under F=avg, cs=cr=1, NC ~ TA (within a few %)."""
+        model = CostModel.uniform(2)
+        ta = run_cost(TA(), data, Avg(2), 10, model)
+        nc = run_cost(make_nc(), data, Avg(2), 10, model)
+        assert nc <= ta * 1.05
+
+    def test_asymmetric_scenario_nc_beats_ta(self, data):
+        """Figure 11(b): under F=min NC saves ~30% or more over TA by
+        focusing sorted accesses."""
+        model = CostModel.uniform(2)
+        ta = run_cost(TA(), data, Min(2), 10, model)
+        nc = run_cost(make_nc(), data, Min(2), 10, model)
+        assert nc <= ta * 0.8
+
+    def test_nc_avoids_exhaustive_random_access(self, data):
+        """Section 8.1 contrast (2): pinned to TA's own equal-depth sorted
+        behaviour, NC still performs fewer probes, because it only probes
+        objects whose tasks remain unsatisfied (no exhaustive evaluation)."""
+        from repro.optimizer.plan import SRGPlan
+
+        model = CostModel.uniform(2)
+        mw_ta = Middleware.over(data, model)
+        TA().run(mw_ta, Avg(2), 10)
+        # Equal depths at the score level TA actually reached.
+        reached = min(mw_ta.last_seen(0), mw_ta.last_seen(1))
+        plan = SRGPlan(depths=(reached, reached), schedule=(0, 1))
+        mw_nc = Middleware.over(data, model)
+        NC(plan=plan).run(mw_nc, Avg(2), 10)
+        assert mw_nc.stats.total_random < mw_ta.stats.total_random
+        assert mw_nc.stats.total_cost() <= mw_ta.stats.total_cost()
+
+
+class TestMatrixCells:
+    def test_expensive_random_vs_ca(self, data):
+        model = CostModel.expensive_random(2, ratio=10.0)
+        ca = run_cost(CA(), data, Min(2), 10, model)
+        nc = run_cost(make_nc(), data, Min(2), 10, model)
+        assert nc <= ca * 1.1
+
+    def test_no_random_vs_nra(self, data):
+        model = CostModel.no_random(2)
+        nra = run_cost(NRA(), data, Min(2), 10, model)
+        nc = run_cost(make_nc(), data, Min(2), 10, model)
+        assert nc <= nra * 1.05
+
+    def test_no_sorted_vs_mpro(self, data):
+        model = CostModel.no_sorted(2)
+        mpro = run_cost(MPro(), data, Min(2), 10, model, universe=True)
+        nc = run_cost(make_nc(), data, Min(2), 10, model, universe=True)
+        assert nc <= mpro * 1.1
+
+    def test_no_sorted_vs_upper(self, data):
+        model = CostModel.no_sorted(2)
+        upper = run_cost(Upper(), data, Min(2), 10, model, universe=True)
+        nc = run_cost(make_nc(), data, Min(2), 10, model, universe=True)
+        assert nc <= upper * 1.1
+
+    def test_question_mark_cell_nc_beats_everyone(self, data):
+        """Example 2 / the '?' cell: with cr=0 the specialists still pay
+        for behaviours designed against expensive probes; NC adapts."""
+        model = CostModel.uniform(2, cs=1.0, cr=0.0)
+        nc = run_cost(make_nc(), data, Min(2), 10, model)
+        ta = run_cost(TA(), data, Min(2), 10, model)
+        nra = run_cost(NRA(), data, Min(2), 10, model)
+        assert nc <= ta
+        assert nc < nra * 0.5  # NRA ignores the free probes entirely
+
+
+class TestAdaptivityAcrossScenarios:
+    def test_nc_plan_depth_profile_tracks_cost_ratio(self, data):
+        """As probes get cheaper, the optimized plan shifts from descent
+        (low depths) toward probing (depths at 1.0)."""
+        nc = make_nc()
+        fn = Min(2)
+
+        def max_depth(model):
+            mw = Middleware.over(data, model)
+            return max(nc.resolve_plan(mw, fn, 10).depths)
+
+        dear = max_depth(CostModel.expensive_random(2, ratio=10.0))
+        free = max_depth(CostModel.uniform(2, cs=1.0, cr=0.0))
+        assert dear < 1.0
+        assert free == 1.0

@@ -1,0 +1,86 @@
+"""Tests for workload generation and batch execution."""
+
+import pytest
+
+from repro.algorithms.ta import TA
+from repro.bench.workloads import QuerySpec, random_workload, run_workload
+from repro.data.generators import uniform
+from repro.scoring.functions import Min
+from repro.sources.cost import CostModel
+
+
+class TestRandomWorkload:
+    def test_size_and_arity(self):
+        workload = random_workload(3, 25, seed=1)
+        assert len(workload) == 25
+        assert all(spec.fn.arity == 3 for spec in workload)
+
+    def test_deterministic(self):
+        a = random_workload(2, 10, seed=4)
+        b = random_workload(2, 10, seed=4)
+        assert [(s.fn.name, s.k) for s in a] == [(s.fn.name, s.k) for s in b]
+
+    def test_k_choices_respected(self):
+        workload = random_workload(2, 50, seed=2, k_choices=(3, 7))
+        assert {spec.k for spec in workload} <= {3, 7}
+
+    def test_mixes_function_families(self):
+        workload = random_workload(2, 60, seed=3)
+        families = {spec.fn.name.split("[")[0] for spec in workload}
+        assert len(families) >= 3
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            random_workload(0, 5)
+        with pytest.raises(ValueError):
+            random_workload(2, 0)
+
+
+class TestRunWorkload:
+    def test_aggregates_and_verifies(self):
+        data = uniform(150, 2, seed=5)
+        workload = [QuerySpec(Min(2), 3), QuerySpec(Min(2), 5)]
+        report = run_workload(
+            data, CostModel.uniform(2), workload, TA, label="ta"
+        )
+        assert report.queries == 2
+        assert report.failures == 0
+        assert report.total_access_cost > 0
+        assert report.total_sorted + report.total_random > 0
+        assert report.mean_access_cost == pytest.approx(
+            report.total_access_cost / 2
+        )
+        assert len(report.results) == 2
+
+    def test_planning_overhead_from_nc(self):
+        from repro.bench.harness import nc_with_dummy_planner
+        from repro.optimizer.search import Strategies
+
+        data = uniform(150, 2, seed=6)
+        workload = [QuerySpec(Min(2), 3)]
+        report = run_workload(
+            data,
+            CostModel.uniform(2),
+            workload,
+            lambda: nc_with_dummy_planner(scheme=Strategies(), sample_size=60),
+            label="nc",
+        )
+        assert report.planning_runs > 0
+        assert report.failures == 0
+
+    def test_fixed_algorithms_report_zero_planning(self):
+        data = uniform(100, 2, seed=7)
+        report = run_workload(
+            data, CostModel.uniform(2), [QuerySpec(Min(2), 2)], TA
+        )
+        assert report.planning_runs == 0
+
+    def test_probe_only_scenario_auto_universe(self):
+        from repro.algorithms.mpro import MPro
+
+        data = uniform(100, 2, seed=8)
+        report = run_workload(
+            data, CostModel.no_sorted(2), [QuerySpec(Min(2), 2)], MPro
+        )
+        assert report.failures == 0
+        assert report.total_sorted == 0

@@ -1,0 +1,119 @@
+"""Generate docs/API.md from the library's docstrings.
+
+Walks every public module of :mod:`repro`, collecting module docstrings,
+public classes (with their public methods' signatures and first doc
+lines) and public functions. Run from the repository root::
+
+    python tools/gen_api_docs.py
+
+The output is deterministic, so the checked-in ``docs/API.md`` can be
+diffed in review; ``tests/test_api_docs.py`` fails when it drifts from
+the code.
+"""
+
+from __future__ import annotations
+
+import importlib
+import inspect
+import pathlib
+import pkgutil
+import sys
+
+sys.path.insert(0, str(pathlib.Path(__file__).parent.parent / "src"))
+
+import repro  # noqa: E402
+
+
+def first_line(doc: str | None) -> str:
+    if not doc:
+        return ""
+    return doc.strip().splitlines()[0]
+
+
+def signature_of(member) -> str:
+    try:
+        return str(inspect.signature(member))
+    except (TypeError, ValueError):
+        return "(...)"
+
+
+def public_modules() -> list[str]:
+    names = ["repro"]
+    for _finder, name, _ispkg in pkgutil.walk_packages(
+        repro.__path__, prefix="repro."
+    ):
+        if any(part.startswith("_") for part in name.split(".")):
+            continue
+        names.append(name)
+    return sorted(names)
+
+
+def document_class(name: str, cls) -> list[str]:
+    lines = [f"### class `{name}`", "", first_line(cls.__doc__), ""]
+    methods = []
+    for attr_name, attr in sorted(vars(cls).items()):
+        if attr_name.startswith("_"):
+            continue
+        if inspect.isfunction(attr):
+            methods.append(
+                f"- `{attr_name}{signature_of(attr)}` — {first_line(attr.__doc__)}"
+            )
+        elif isinstance(attr, property):
+            methods.append(
+                f"- `{attr_name}` *(property)* — {first_line(attr.fget.__doc__ if attr.fget else None)}"
+            )
+        elif isinstance(attr, (classmethod, staticmethod)):
+            inner = attr.__func__
+            methods.append(
+                f"- `{attr_name}{signature_of(inner)}` — {first_line(inner.__doc__)}"
+            )
+    if methods:
+        lines.extend(methods)
+        lines.append("")
+    return lines
+
+
+def generate() -> str:
+    lines = [
+        "# API reference",
+        "",
+        "_Generated from docstrings by `tools/gen_api_docs.py`; do not edit_",
+        "_by hand — regenerate after changing public APIs._",
+        "",
+    ]
+    for module_name in public_modules():
+        module = importlib.import_module(module_name)
+        members = [
+            (name, member)
+            for name, member in sorted(vars(module).items())
+            if not name.startswith("_")
+            and (inspect.isclass(member) or inspect.isfunction(member))
+            and getattr(member, "__module__", None) == module.__name__
+        ]
+        if not members and module_name != "repro":
+            continue
+        lines.append(f"## `{module_name}`")
+        lines.append("")
+        lines.append(first_line(module.__doc__))
+        lines.append("")
+        for name, member in members:
+            if inspect.isclass(member):
+                lines.extend(document_class(name, member))
+            else:
+                lines.append(
+                    f"### `{name}{signature_of(member)}`"
+                )
+                lines.append("")
+                lines.append(first_line(member.__doc__))
+                lines.append("")
+    return "\n".join(lines).rstrip() + "\n"
+
+
+def main() -> None:
+    target = pathlib.Path(__file__).parent.parent / "docs" / "API.md"
+    target.write_text(generate())
+    print(f"wrote {target} ({len(generate().splitlines())} lines)")
+
+
+if __name__ == "__main__":
+    main()
