@@ -1,0 +1,182 @@
+"""E19 -- fault tolerance: completion rate and cost overhead under chaos.
+
+Sweeps the transient-failure rate over scenario S2's sources while the
+middleware retries with the default policy (docs/FAULTS.md). For each
+rate the table reports, per algorithm:
+
+* completion -- fraction of runs that returned the exact verified top-k
+  (the acceptance bar is 1.0 at a 10% fault rate: transient faults plus
+  sufficient retries must never change the answer);
+* cost overhead -- Eq. 1 cost relative to the fault-free run of the same
+  algorithm. Retries are charged like first attempts, so the overhead is
+  the real price of flakiness under the paper's cost model.
+
+A second table exercises the degradation contract: a random-only
+predicate whose random channel is permanently dead forces the NC engine
+to finish bound-only -- flagged partial, never an exception.
+"""
+
+from repro.algorithms import NRA, TA
+from repro.bench.harness import compare, nc_with_dummy_planner, run_algorithm
+from repro.exceptions import RetryExhaustedError, SourceUnavailableError
+from repro.bench.reporting import ascii_table
+from repro.bench.scenarios import s2
+from repro.core.framework import FrameworkNC
+from repro.core.policies import RoundRobinPolicy
+from repro.faults import (
+    FaultInjectingSource,
+    FaultProfile,
+    RetryPolicy,
+    chaos_middleware,
+)
+from repro.optimizer.search import HillClimb
+from repro.sources.cost import CostModel
+from repro.sources.middleware import Middleware
+from repro.sources.simulated import sources_for
+
+FAULT_RATES = (0.0, 0.05, 0.1, 0.2)
+SEEDS = (1, 2, 3)
+
+
+def algorithms():
+    return [
+        nc_with_dummy_planner(scheme=HillClimb(restarts=2), sample_size=100),
+        TA(),
+        NRA(),
+    ]
+
+
+def chaos_factory(rate, seed):
+    profile = FaultProfile.transient(rate)
+
+    def factory(scenario):
+        return chaos_middleware(
+            scenario.dataset,
+            scenario.cost_model,
+            profile,
+            seed=seed,
+            retry_policy=RetryPolicy(),
+            no_wild_guesses=scenario.no_wild_guesses,
+        )
+
+    return factory
+
+
+def run_sweep(scenario):
+    """completion rate + mean cost overhead per (algorithm, fault rate).
+
+    A run counts as completed only when it returned the exact verified
+    top-k. Baselines without the NC engine's degradation path may abort
+    with ``RetryExhaustedError`` once the retry budget is overwhelmed
+    (expected beyond the 10% acceptance bar); those count as failures.
+    """
+    clean_rows = compare(scenario, algorithms())
+    clean = {row.algorithm: row.cost for row in clean_rows}
+    labels = [row.algorithm for row in clean_rows]
+    rows = []
+    completions = {}
+    for rate in FAULT_RATES:
+        tally = {name: [] for name in clean}
+        failures = {name: 0 for name in clean}
+        for seed in SEEDS:
+            for label, algorithm in zip(labels, algorithms()):
+                try:
+                    row = run_algorithm(
+                        algorithm, scenario, chaos_factory(rate, seed)
+                    )
+                except (RetryExhaustedError, SourceUnavailableError):
+                    failures[label] += 1
+                else:
+                    tally[label].append(row)
+        for name in clean:
+            runs = tally[name]
+            total = len(runs) + failures[name]
+            completed = sum(1 for row in runs if row.correct and row.result.is_exact)
+            completion = completed / total
+            overhead = (
+                sum(row.cost / clean[name] for row in runs) / len(runs)
+                if runs
+                else float("nan")
+            )
+            retries = (
+                sum(row.result.stats.total_retries for row in runs) / len(runs)
+                if runs
+                else float("nan")
+            )
+            completions[(name, rate)] = completion
+            rows.append([name, rate, completion, 100.0 * overhead, retries])
+    return rows, completions
+
+
+def degradation_rows():
+    """NC on a random-only predicate whose random channel is dead."""
+    scenario = s2(n=400, k=5)
+    costs = CostModel(
+        cs=[scenario.cost_model.cs[0], float("inf")],
+        cr=list(scenario.cost_model.cr),
+    )
+    rows = []
+    for label, dead in (("healthy", False), ("ra_1 dead", True)):
+        inner = sources_for(
+            scenario.dataset, sorted_capable=[True, False], random_capable=[True, True]
+        )
+        if dead:
+            inner[1] = FaultInjectingSource(
+                inner[1],
+                random_profile=FaultProfile.outage(),
+                seed=7,
+                predicate=1,
+            )
+        middleware = Middleware(inner, costs, retry_policy=RetryPolicy(max_attempts=2))
+        engine = FrameworkNC(
+            middleware, scenario.fn, scenario.k, RoundRobinPolicy()
+        )
+        result = engine.run()
+        rows.append(
+            [
+                label,
+                "partial" if result.partial else "exact",
+                len(result.uncertainty),
+                result.total_cost(),
+            ]
+        )
+    return rows
+
+
+def test_fault_sweep(benchmark, report):
+    scenario = s2(n=400, k=5)
+    rows, completions = run_sweep(scenario)
+    report(
+        "E19",
+        "Completion rate and cost overhead vs transient fault rate (S2)",
+        ascii_table(
+            ["algorithm", "fault rate", "completion", "cost % of clean", "retries"],
+            rows,
+        ),
+    )
+    # Acceptance: every algorithm absorbs transient rates up to 10% exactly.
+    for (name, rate), completion in completions.items():
+        if rate <= 0.1:
+            assert completion == 1.0, (name, rate)
+    # Retries are charged: chaos can only cost more than the clean run.
+    for row in rows:
+        if row[3] == row[3]:  # skip NaN (no completed runs at that rate)
+            assert row[3] >= 100.0 - 1e-9
+
+    degradation = degradation_rows()
+    report(
+        "E19b",
+        "Graceful degradation: dead random channel on a random-only predicate",
+        ascii_table(["sources", "answer", "bound-only objects", "cost"], degradation),
+    )
+    healthy, dead = degradation
+    assert healthy[1] == "exact" and healthy[2] == 0
+    assert dead[1] == "partial" and dead[2] > 0
+
+    benchmark.pedantic(
+        lambda: compare(
+            scenario, algorithms(), middleware_factory=chaos_factory(0.1, 1)
+        ),
+        rounds=1,
+        iterations=1,
+    )

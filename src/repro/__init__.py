@@ -11,6 +11,8 @@ UIUC TR). The library provides:
 * the cost-based optimizer searching SR/G plans (:mod:`repro.optimizer`);
 * the specialized baselines of the literature (:mod:`repro.algorithms`);
 * bounded-concurrency execution (:mod:`repro.parallel`);
+* fault tolerance for flaky sources -- injection, retry/backoff,
+  circuit breakers, graceful degradation (:mod:`repro.faults`);
 * the benchmark harness regenerating the paper's experiments
   (:mod:`repro.bench`).
 
@@ -71,8 +73,23 @@ from repro.exceptions import (
     NotMonotoneError,
     OptimizationError,
     ReproError,
+    RetryExhaustedError,
+    SourceFaultError,
+    SourceTimeoutError,
+    SourceUnavailableError,
+    TransientSourceError,
     UnanswerableQueryError,
     WildGuessError,
+)
+from repro.faults import (
+    BreakerPolicy,
+    BreakerState,
+    chaos_middleware,
+    CircuitBreaker,
+    FaultInjectingSource,
+    FaultProfile,
+    faulty_sources_for,
+    RetryPolicy,
 )
 from repro.optimizer import (
     CostEstimator,
@@ -209,6 +226,15 @@ __all__ = [
     "instance_profile",
     "summarize_trace",
     "format_trace_summary",
+    # faults
+    "FaultProfile",
+    "FaultInjectingSource",
+    "faulty_sources_for",
+    "chaos_middleware",
+    "RetryPolicy",
+    "BreakerPolicy",
+    "BreakerState",
+    "CircuitBreaker",
     # exceptions
     "ReproError",
     "CapabilityError",
@@ -219,4 +245,9 @@ __all__ = [
     "NotMonotoneError",
     "OptimizationError",
     "BudgetExceededError",
+    "SourceFaultError",
+    "TransientSourceError",
+    "SourceTimeoutError",
+    "SourceUnavailableError",
+    "RetryExhaustedError",
 ]

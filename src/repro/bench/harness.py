@@ -11,7 +11,7 @@ suite is exact by construction.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional, Sequence
+from typing import Callable, Optional, Sequence
 
 from repro.algorithms.base import TopKAlgorithm
 from repro.algorithms.nc import NC
@@ -57,9 +57,21 @@ def verify(result: QueryResult, scenario: Scenario) -> bool:
     return got == want
 
 
-def run_algorithm(algorithm: TopKAlgorithm, scenario: Scenario) -> AlgoRow:
-    """Execute one algorithm on a fresh middleware and verify it."""
-    middleware = scenario.middleware()
+def run_algorithm(
+    algorithm: TopKAlgorithm,
+    scenario: Scenario,
+    middleware_factory: Optional[Callable[[Scenario], "Middleware"]] = None,
+) -> AlgoRow:
+    """Execute one algorithm on a fresh middleware and verify it.
+
+    ``middleware_factory`` substitutes a custom middleware per run --
+    the chaos benchmarks use it to wrap the scenario's sources in fault
+    injectors while keeping verification against the clean oracle.
+    """
+    if middleware_factory is not None:
+        middleware = middleware_factory(scenario)
+    else:
+        middleware = scenario.middleware()
     result = algorithm.run(middleware, scenario.fn, scenario.k)
     return AlgoRow(
         scenario=scenario.name,
@@ -76,6 +88,7 @@ def compare(
     scenario: Scenario,
     algorithms: Sequence[TopKAlgorithm],
     skip_incapable: bool = True,
+    middleware_factory: Optional[Callable[[Scenario], "Middleware"]] = None,
 ) -> list[AlgoRow]:
     """Run several algorithms on the same scenario.
 
@@ -86,7 +99,7 @@ def compare(
     rows = []
     for algorithm in algorithms:
         try:
-            rows.append(run_algorithm(algorithm, scenario))
+            rows.append(run_algorithm(algorithm, scenario, middleware_factory))
         except CapabilityError:
             if not skip_incapable:
                 raise

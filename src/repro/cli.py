@@ -43,6 +43,7 @@ from repro.bench.reporting import ascii_table
 from repro.bench.scenarios import matrix_scenarios, s1, s2, s3, travel_q1, travel_q2
 from repro.data.generators import uniform
 from repro.exceptions import ReproError
+from repro.faults import FaultProfile, RetryPolicy, chaos_middleware
 from repro.optimizer.search import HillClimb, NaiveGrid, Strategies
 from repro.query import parse_query, run_query
 from repro.sources.cost import CostModel
@@ -99,6 +100,38 @@ def _cmd_scenarios(_args) -> int:
     return 0
 
 
+def _retry_policy(args) -> RetryPolicy:
+    """Translate the fault-related CLI flags into a retry policy."""
+    try:
+        return RetryPolicy(max_attempts=args.retry_max, timeout=args.timeout)
+    except ValueError as exc:
+        raise ReproError(str(exc)) from exc
+
+
+def _fault_factory(args):
+    """A per-scenario chaos-middleware factory, or ``None`` when no faults
+    were requested on the command line."""
+    if args.fault_rate == 0.0 and args.timeout is None:
+        return None
+    try:
+        profile = FaultProfile.transient(args.fault_rate)
+    except ValueError as exc:
+        raise ReproError(str(exc)) from exc
+    policy = _retry_policy(args)
+
+    def factory(scenario):
+        return chaos_middleware(
+            scenario.dataset,
+            scenario.cost_model,
+            profile,
+            seed=args.fault_seed,
+            retry_policy=policy,
+            no_wild_guesses=scenario.no_wild_guesses,
+        )
+
+    return factory
+
+
 def _cmd_compare(args) -> int:
     scenario = _resolve_scenario(args.scenario)
     wanted = [token.strip().upper() for token in args.algorithms.split(",")]
@@ -109,30 +142,37 @@ def _cmd_compare(args) -> int:
             f"{', '.join(sorted(_ALGORITHM_FACTORIES))}"
         )
     algorithms = [_ALGORITHM_FACTORIES[name]() for name in wanted]
-    rows = compare(scenario, algorithms)
+    factory = _fault_factory(args)
+    rows = compare(scenario, algorithms, middleware_factory=factory)
     if not rows:
         raise ReproError(
             "none of the requested algorithms support this scenario's "
             "capabilities"
         )
     best = min(row.cost for row in rows)
-    print(
-        ascii_table(
-            ["algorithm", "total cost", "sa", "ra", "% of best", "answer ok"],
-            [
-                [
-                    row.algorithm,
-                    row.cost,
-                    row.sorted_accesses,
-                    row.random_accesses,
-                    100.0 * row.cost / best,
-                    "yes" if row.correct else "NO",
-                ]
-                for row in rows
-            ],
-            title=f"{scenario.name}: {scenario.description}",
+    headers = ["algorithm", "total cost", "sa", "ra", "% of best", "answer ok"]
+    table = [
+        [
+            row.algorithm,
+            row.cost,
+            row.sorted_accesses,
+            row.random_accesses,
+            100.0 * row.cost / best,
+            "yes" if row.correct else "NO",
+        ]
+        for row in rows
+    ]
+    if factory is not None:
+        headers.append("retries")
+        for line, row in zip(table, rows):
+            line.append(row.result.stats.total_retries)
+    print(ascii_table(headers, table, title=f"{scenario.name}: {scenario.description}"))
+    if factory is not None:
+        print(
+            f"faults: transient rate {args.fault_rate:g}, "
+            f"retry budget {args.retry_max}, "
+            f"timeout {args.timeout if args.timeout is not None else '-'}"
         )
-    )
     return 0 if all(row.correct for row in rows) else 1
 
 
@@ -160,7 +200,20 @@ def _cmd_query(args) -> int:
     m = len(parsed.predicates)
     data = uniform(args.n, m, seed=args.seed)
     model = CostModel.uniform(m, cs=args.cs, cr=args.cr)
-    middleware = Middleware.over(data, model)
+    if args.fault_rate != 0.0 or args.timeout is not None:
+        try:
+            profile = FaultProfile.transient(args.fault_rate)
+        except ValueError as exc:
+            raise ReproError(str(exc)) from exc
+        middleware = chaos_middleware(
+            data,
+            model,
+            profile,
+            seed=args.fault_seed,
+            retry_policy=_retry_policy(args),
+        )
+    else:
+        middleware = Middleware.over(data, model)
     result = run_query(parsed, middleware, schema=list(parsed.predicates))
     print(f"query     : {parsed}")
     print(f"predicates: {', '.join(parsed.predicates)} (synthetic uniform scores)")
@@ -174,11 +227,19 @@ def _cmd_query(args) -> int:
             ],
         )
     )
-    print(
+    line = (
         f"total access cost {result.total_cost():g}  "
         f"({middleware.stats.total_sorted} sorted, "
         f"{middleware.stats.total_random} random)"
     )
+    if middleware.stats.total_retries or middleware.stats.total_faults:
+        line += (
+            f"  [{middleware.stats.total_faults} faults, "
+            f"{middleware.stats.total_retries} retries]"
+        )
+    print(line)
+    if result.partial:
+        print("warning: partial result -- some scores are bound-only")
     return 0
 
 
@@ -192,6 +253,33 @@ def build_parser() -> argparse.ArgumentParser:
 
     sub.add_parser("scenarios", help="list built-in scenarios")
 
+    def add_fault_flags(p: argparse.ArgumentParser) -> None:
+        group = p.add_argument_group("fault injection (docs/FAULTS.md)")
+        group.add_argument(
+            "--fault-rate",
+            type=float,
+            default=0.0,
+            help="transient-failure probability per access (default 0: off)",
+        )
+        group.add_argument(
+            "--retry-max",
+            type=int,
+            default=5,
+            help="attempts per logical access before giving up (default 5)",
+        )
+        group.add_argument(
+            "--timeout",
+            type=float,
+            default=None,
+            help="per-access deadline in virtual time units (default none)",
+        )
+        group.add_argument(
+            "--fault-seed",
+            type=int,
+            default=0,
+            help="seed of the fault-injection RNG (default 0)",
+        )
+
     cmp_parser = sub.add_parser("compare", help="run algorithms on a scenario")
     cmp_parser.add_argument("--scenario", required=True)
     cmp_parser.add_argument(
@@ -199,6 +287,7 @@ def build_parser() -> argparse.ArgumentParser:
         default="NC,TA,CA,NRA",
         help="comma-separated names (NC,TA,FA,CA,NRA,MPRO,UPPER,QC,SC,SRC)",
     )
+    add_fault_flags(cmp_parser)
 
     opt_parser = sub.add_parser("optimize", help="show the optimizer's plan")
     opt_parser.add_argument("--scenario", required=True)
@@ -211,6 +300,7 @@ def build_parser() -> argparse.ArgumentParser:
     query_parser.add_argument("--seed", type=int, default=0)
     query_parser.add_argument("--cs", type=float, default=1.0)
     query_parser.add_argument("--cr", type=float, default=1.0)
+    add_fault_flags(query_parser)
 
     return parser
 

@@ -16,6 +16,15 @@ for all undiscovered objects (Figure 10): it ranks with bound
 ``F(l_1..l_m)``, only admits sorted accesses, and disappears once every
 object has been seen.
 
+**Graceful degradation** (docs/FAULTS.md): when a source dies -- its
+circuit breaker opens or it raises a permanent outage -- the engine does
+not crash. Accesses on refusing sources are filtered out of the choice
+sets; an object whose remaining unknowns cannot be refined any more is
+answered *bound-only* -- reported at its proven lower bound, carrying the
+score interval ``[F_min, F_max]`` -- and the result is flagged partial.
+This is NRA-style scheduling localized to the dead predicate: interval
+``[0, l_i]`` stands in for its scores.
+
 :class:`FrameworkTG` is the trivially-general reference engine: identical
 loop and stopping rule, but Select ranges over *all* currently-legal
 accesses rather than one task's necessary choices. It exists to make the
@@ -33,7 +42,12 @@ from repro.core.heap import LazyMaxHeap
 from repro.core.policies import SelectContext, SelectPolicy
 from repro.core.state import ScoreState
 from repro.core.tasks import UNSEEN
-from repro.exceptions import ReproError, UnanswerableQueryError
+from repro.exceptions import (
+    ReproError,
+    RetryExhaustedError,
+    SourceUnavailableError,
+    UnanswerableQueryError,
+)
 from repro.scoring.functions import ScoringFunction
 from repro.sources.middleware import Middleware
 from repro.types import Access, QueryResult, RankedObject
@@ -106,6 +120,12 @@ class FrameworkNC:
         self._in_heap: set[int] = set()
         self._steps = 0
         self._prepared = False
+        # Degradation bookkeeping (docs/FAULTS.md): objects answered
+        # bound-only with their proven intervals, and human-readable
+        # reasons the answer is partial.
+        self._bound_only: dict[int, tuple[float, float]] = {}
+        self._fault_events: list[str] = []
+        self._unseen_abandoned = False
 
     # ------------------------------------------------------------------
     # Engine plumbing (shared with the parallel executor)
@@ -147,9 +167,9 @@ class FrameworkNC:
             entry = self._heap.pop_current(self._priority_of)
             if entry is None:
                 break
-            if (
-                entry[0] == UNSEEN
-                and len(self.middleware.seen) >= self.middleware.n_objects
+            if entry[0] == UNSEEN and (
+                self._unseen_abandoned
+                or len(self.middleware.seen) >= self.middleware.n_objects
             ):
                 self._in_heap.discard(UNSEEN)
                 continue
@@ -159,11 +179,12 @@ class FrameworkNC:
     def _push_back(self, entries: Sequence[tuple[int, float]]) -> None:
         """Reinsert popped entries with refreshed bounds.
 
-        The UNSEEN entry is dropped once every object has been discovered.
+        The UNSEEN entry is dropped once every object has been discovered
+        (or discovery became impossible and it was abandoned).
         """
         all_seen = len(self.middleware.seen) >= self.middleware.n_objects
         for obj, _stale in entries:
-            if obj == UNSEEN and all_seen:
+            if obj == UNSEEN and (all_seen or self._unseen_abandoned):
                 self._in_heap.discard(UNSEEN)
                 continue
             self._heap.push(obj, self._priority_of(obj))
@@ -205,18 +226,102 @@ class FrameworkNC:
         """The choice set for this iteration: the task's necessary choices."""
         return necessary_choices(self.state, target)
 
+    # ------------------------------------------------------------------
+    # Fault handling and graceful degradation (docs/FAULTS.md)
+    # ------------------------------------------------------------------
+
+    def _usable_choices(self, target: int) -> Optional[list[Access]]:
+        """The target's choices on sources still accepting accesses.
+
+        Returns ``None`` when every choice sits behind an open circuit
+        breaker -- the target cannot be refined and must be answered
+        bound-only. Half-open breakers count as usable (a trial access is
+        how recovery is discovered).
+        """
+        choices = [
+            access
+            for access in self._alternatives(target)
+            if self.middleware.access_allowed(access.predicate, access.kind)
+        ]
+        return choices or None
+
+    def _mark_fault(self, access: Access, error: Exception) -> None:
+        """Note a logical access failure for the result's fault report."""
+        event = f"{access}: {type(error).__name__}"
+        if event not in self._fault_events:
+            self._fault_events.append(event)
+
+    def _degrade(self, obj: int) -> RankedObject:
+        """Answer ``obj`` bound-only: proven interval, reported at F_min."""
+        lower = self.state.lower_bound(obj)
+        upper = self.state.upper_bound(obj)
+        self._bound_only[obj] = (lower, upper)
+        return RankedObject(obj, lower)
+
+    def _abandon_unseen(self) -> None:
+        """Give up on discovering new objects (all sorted sources down)."""
+        self._unseen_abandoned = True
+        self._in_heap.discard(UNSEEN)
+
+    def _annotate(self, result: QueryResult) -> QueryResult:
+        """Attach fault events and degradation flags to a finished result.
+
+        ``partial`` is set only when the *answer* is degraded (bound-only
+        entries, or discovery was abandoned) -- a run that absorbed faults
+        through retries but finished exactly stays exact, with the fault
+        events still on record in the metadata.
+        """
+        if self._fault_events:
+            result.metadata["fault_events"] = list(self._fault_events)
+        if self._bound_only or self._unseen_abandoned:
+            result.partial = True
+            result.uncertainty = dict(self._bound_only)
+            reasons = [
+                f"object {obj}: score proven only within [{lo:g}, {hi:g}]"
+                for obj, (lo, hi) in self._bound_only.items()
+            ]
+            if self._unseen_abandoned:
+                reasons.append(
+                    "undiscovered objects abandoned: no sorted source was "
+                    "accepting accesses"
+                )
+            result.metadata["partial_reasons"] = reasons
+            result.metadata["degraded_predicates"] = (
+                self.middleware.degraded_predicates()
+            )
+        return result
+
     def _finish(self, entries: Sequence[tuple[int, float]], label: str) -> QueryResult:
-        ranking = [RankedObject(obj, bound) for obj, bound in entries]
-        return QueryResult(
-            ranking=ranking,
-            stats=self.middleware.stats,
-            algorithm=label,
-            metadata={"policy": self.policy.describe(), "iterations": self._steps},
+        ranking = [
+            RankedObject(obj, bound)
+            if obj not in self._bound_only
+            else RankedObject(obj, self._bound_only[obj][0])
+            for obj, bound in entries
+        ]
+        return self._annotate(
+            QueryResult(
+                ranking=ranking,
+                stats=self.middleware.stats,
+                algorithm=label,
+                metadata={
+                    "policy": self.policy.describe(),
+                    "iterations": self._steps,
+                },
+            )
         )
 
-    def _iterate(self, target: int) -> None:
-        """One Figure-6 iteration: build choices, Select, perform, record."""
-        alternatives = self._alternatives(target)
+    def _iterate(
+        self, target: int, alternatives: Optional[list[Access]] = None
+    ) -> None:
+        """One Figure-6 iteration: build choices, Select, perform, record.
+
+        A logical access failure (retries exhausted, breaker open, source
+        permanently gone) is absorbed, not raised: the failure is noted
+        for the partial-result report and scheduling moves on -- the now
+        refusing source is filtered from future choice sets.
+        """
+        if alternatives is None:
+            alternatives = self._alternatives(target)
         ctx = SelectContext(
             state=self.state, middleware=self.middleware, target=target
         )
@@ -226,7 +331,11 @@ class FrameworkNC:
                 f"policy {self.policy.describe()} selected {access}, which "
                 "is outside the offered alternatives"
             )
-        result = self._apply(access)
+        try:
+            result = self._apply(access)
+        except (RetryExhaustedError, SourceUnavailableError) as exc:
+            self._mark_fault(access, exc)
+            result = exc
         self._steps += 1
         self._check_budget()
         if self.observer is not None:
@@ -268,9 +377,9 @@ class FrameworkNC:
                 return
             obj, bound = entry
             all_seen = len(self.middleware.seen) >= self.middleware.n_objects
-            if obj == UNSEEN and all_seen:
-                # Every object has been discovered; the virtual stand-in
-                # retires (Figure 10).
+            if obj == UNSEEN and (all_seen or self._unseen_abandoned):
+                # Every object has been discovered (or discovery became
+                # impossible); the virtual stand-in retires (Figure 10).
                 self._in_heap.discard(UNSEEN)
                 continue
             if obj != UNSEEN and self.state.is_complete(obj):
@@ -287,7 +396,16 @@ class FrameworkNC:
             ):
                 yield RankedObject(obj, self.state.lower_bound(obj))
                 continue
-            self._iterate(obj)
+            choices = self._usable_choices(obj)
+            if choices is None:
+                # Every remaining access for this target sits behind an
+                # open breaker: degrade instead of crashing or spinning.
+                if obj == UNSEEN:
+                    self._abandon_unseen()
+                    continue
+                yield self._degrade(obj)
+                continue
+            self._iterate(obj, choices)
             self._heap.push(obj, self._priority_of(obj))
 
     def _approximately_confirmed(self, obj: int) -> bool:
@@ -324,11 +442,13 @@ class FrameworkNC:
         }
         if self.theta > 1.0:
             metadata["theta"] = self.theta
-        return QueryResult(
-            ranking=ranking,
-            stats=self.middleware.stats,
-            algorithm=label,
-            metadata=metadata,
+        return self._annotate(
+            QueryResult(
+                ranking=ranking,
+                stats=self.middleware.stats,
+                algorithm=label,
+                metadata=metadata,
+            )
         )
 
     def _label(self) -> str:

@@ -78,3 +78,86 @@ class BudgetExceededError(ReproError):
     remains valid; callers can surface partial results or re-plan with a
     cheaper configuration.
     """
+
+
+class SourceFaultError(ReproError):
+    """Base class of web-source failure conditions (see docs/FAULTS.md).
+
+    Every fault error carries the context needed to reason about it
+    programmatically: the predicate whose source failed, the targeted
+    object for random accesses (``None`` for sorted accesses), and the
+    access kind as a string (``"sorted"`` / ``"random"``).
+    """
+
+    def __init__(
+        self,
+        message: str,
+        predicate: int | None = None,
+        obj: int | None = None,
+        kind: str | None = None,
+    ):
+        parts = [message]
+        if predicate is not None:
+            target = f"predicate {predicate}"
+            if obj is not None:
+                target += f", object {obj}"
+            if kind is not None:
+                target += f", {kind} access"
+            parts.append(f"({target})")
+        super().__init__(" ".join(parts))
+        self.predicate = predicate
+        self.obj = obj
+        self.kind = kind
+
+
+class TransientSourceError(SourceFaultError):
+    """A source attempt failed in a retryable way (flaky connection, 5xx).
+
+    Transient faults model the everyday failure mode of deep-web sources:
+    the request can simply be retried, and with enough attempts it is
+    expected to succeed. The middleware's :class:`~repro.faults.RetryPolicy`
+    absorbs these; algorithms only ever see them wrapped in a
+    :class:`RetryExhaustedError` once retries run out.
+    """
+
+
+class SourceTimeoutError(TransientSourceError):
+    """A source attempt exceeded its per-access deadline.
+
+    Timeouts are transient (a later attempt may be fast), so they are
+    retried exactly like :class:`TransientSourceError`; they are a
+    distinct type because real middlewares account waiting time and
+    data-transfer failures differently.
+    """
+
+
+class SourceUnavailableError(SourceFaultError):
+    """A source is (currently) unreachable and retrying cannot help.
+
+    Raised by a source suffering a permanent outage, or by the middleware
+    itself when a predicate's :class:`~repro.faults.CircuitBreaker` is
+    open. NC-family engines react by degrading to bound-only scheduling
+    on the affected predicate instead of crashing (docs/FAULTS.md).
+    """
+
+
+class RetryExhaustedError(SourceFaultError):
+    """All retry attempts of one logical access failed.
+
+    Carries the number of ``attempts`` made and the ``last_error`` that
+    ended the final attempt. Each failed attempt was still charged into
+    the cost accounting -- retries against web sources cost real money.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        predicate: int | None = None,
+        obj: int | None = None,
+        kind: str | None = None,
+        attempts: int = 0,
+        last_error: Exception | None = None,
+    ):
+        super().__init__(message, predicate=predicate, obj=obj, kind=kind)
+        self.attempts = attempts
+        self.last_error = last_error

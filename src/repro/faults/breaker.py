@@ -1,0 +1,118 @@
+"""Per-source circuit breakers: fail fast instead of hammering dead sources.
+
+A :class:`CircuitBreaker` guards one predicate's source inside the
+middleware. It follows the classic three-state protocol, adapted to this
+library's deterministic, clockless simulation: "time" is the
+middleware-wide count of recorded access attempts, so cooldowns elapse as
+the query performs work elsewhere and runs replay exactly.
+
+* **closed** -- accesses flow through; consecutive logical-access failures
+  are counted.
+* **open** -- reached after ``failure_threshold`` consecutive failures (or
+  immediately on a permanent :class:`~repro.exceptions.
+  SourceUnavailableError`); the middleware rejects accesses *without
+  charging them* until ``cooldown`` further attempts have been recorded
+  elsewhere.
+* **half_open** -- after the cooldown, one trial access is let through;
+  success closes the breaker, failure re-opens it for another cooldown.
+
+The degradation contract built on top of this state machine is specified
+in docs/FAULTS.md.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+
+class BreakerState(enum.Enum):
+    """The three circuit-breaker states."""
+
+    CLOSED = "closed"
+    OPEN = "open"
+    HALF_OPEN = "half_open"
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.value
+
+
+@dataclass(frozen=True)
+class BreakerPolicy:
+    """Tuning knobs shared by every breaker of one middleware.
+
+    Attributes:
+        failure_threshold: consecutive logical-access failures that trip
+            the breaker (permanent outages trip it immediately).
+        cooldown: recorded access attempts that must elapse middleware-wide
+            before an open breaker offers a half-open trial.
+    """
+
+    failure_threshold: int = 3
+    cooldown: int = 16
+
+    def __post_init__(self) -> None:
+        if self.failure_threshold < 1:
+            raise ValueError(
+                f"failure_threshold must be >= 1, got {self.failure_threshold}"
+            )
+        if self.cooldown < 1:
+            raise ValueError(f"cooldown must be >= 1, got {self.cooldown}")
+
+
+class CircuitBreaker:
+    """Failure-counting state machine guarding one predicate's source."""
+
+    def __init__(self, policy: BreakerPolicy | None = None):
+        self.policy = policy if policy is not None else BreakerPolicy()
+        self._failures = 0
+        self._opened_at: int | None = None
+
+    def state(self, now: int) -> BreakerState:
+        """The breaker's state at attempt-count ``now``."""
+        if self._opened_at is None:
+            return BreakerState.CLOSED
+        if now - self._opened_at < self.policy.cooldown:
+            return BreakerState.OPEN
+        return BreakerState.HALF_OPEN
+
+    def allows(self, now: int) -> bool:
+        """Whether an access may be attempted (closed or half-open trial)."""
+        return self.state(now) is not BreakerState.OPEN
+
+    def record_success(self) -> None:
+        """A logical access succeeded: close and forget past failures."""
+        self._failures = 0
+        self._opened_at = None
+
+    def record_failure(self, now: int, permanent: bool = False) -> bool:
+        """A logical access failed; returns whether the breaker is now open.
+
+        A failure during a half-open trial re-opens immediately, as does a
+        permanent outage; otherwise the breaker opens once consecutive
+        failures reach the policy's threshold.
+        """
+        trial_failed = self.state(now) is BreakerState.HALF_OPEN
+        self._failures += 1
+        if (
+            permanent
+            or trial_failed
+            or self._failures >= self.policy.failure_threshold
+        ):
+            self._opened_at = now
+            return True
+        return False
+
+    @property
+    def consecutive_failures(self) -> int:
+        """Consecutive logical-access failures since the last success."""
+        return self._failures
+
+    def reset(self) -> None:
+        """Rewind to pristine closed state (middleware reset)."""
+        self._failures = 0
+        self._opened_at = None
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        status = "closed" if self._opened_at is None else f"opened@{self._opened_at}"
+        return f"CircuitBreaker({status}, failures={self._failures})"

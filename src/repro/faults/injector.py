@@ -1,0 +1,297 @@
+"""Deterministic fault injection over any :class:`~repro.sources.base.Source`.
+
+:class:`FaultInjectingSource` wraps a real source and makes it misbehave
+the way deep-web sources do in production: transient errors, timeouts,
+slow responses (composing with a
+:class:`~repro.sources.latency.LatencyModel`), and permanent outages --
+each configurable per access type through a :class:`FaultProfile` and
+driven by a seeded generator, so every chaos run replays exactly.
+
+Faults are decided *before* the wrapped source is touched: a failed
+attempt never advances the sorted cursor or leaks a score, exactly like a
+request that died on the wire. Successful attempts report a simulated
+``last_duration`` which the middleware can feed into a
+:class:`~repro.sources.monitor.CostMonitor`.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+from repro.data.dataset import Dataset
+from repro.exceptions import (
+    SourceTimeoutError,
+    SourceUnavailableError,
+    TransientSourceError,
+)
+from repro.sources.base import Source
+from repro.sources.latency import LatencyModel
+from repro.sources.simulated import sources_for
+from repro.types import Access, AccessType
+
+
+@dataclass(frozen=True)
+class FaultProfile:
+    """Failure behaviour of one source for one (or both) access types.
+
+    Attributes:
+        transient_rate: probability that an attempt fails with a
+            retryable :class:`~repro.exceptions.TransientSourceError`.
+        timeout_rate: probability that an attempt fails with a
+            :class:`~repro.exceptions.SourceTimeoutError` outright.
+        slow_rate: probability that an attempt is served ``slowdown``
+            times slower than its base latency; slow responses succeed
+            unless a deadline is configured and exceeded.
+        slowdown: multiplicative latency factor of slow responses.
+        fail_after: permanent outage after this many *successful*
+            accesses (``None`` = never); models a source dying mid-query.
+        dead: the source is permanently unavailable from the start.
+    """
+
+    transient_rate: float = 0.0
+    timeout_rate: float = 0.0
+    slow_rate: float = 0.0
+    slowdown: float = 10.0
+    fail_after: Optional[int] = None
+    dead: bool = False
+
+    def __post_init__(self) -> None:
+        for label, rate in (
+            ("transient_rate", self.transient_rate),
+            ("timeout_rate", self.timeout_rate),
+            ("slow_rate", self.slow_rate),
+        ):
+            if not 0.0 <= rate <= 1.0:
+                raise ValueError(f"{label} must be in [0, 1], got {rate}")
+        if self.transient_rate + self.timeout_rate > 1.0:
+            raise ValueError("transient_rate + timeout_rate must not exceed 1")
+        if self.slowdown < 1.0:
+            raise ValueError(f"slowdown must be >= 1, got {self.slowdown}")
+        if self.fail_after is not None and self.fail_after < 0:
+            raise ValueError(f"fail_after must be >= 0, got {self.fail_after}")
+
+    @staticmethod
+    def transient(rate: float) -> "FaultProfile":
+        """Purely transient faults at the given per-attempt rate."""
+        return FaultProfile(transient_rate=rate)
+
+    @staticmethod
+    def outage() -> "FaultProfile":
+        """A permanently dead source."""
+        return FaultProfile(dead=True)
+
+
+class FaultInjectingSource(Source):
+    """A source wrapper that injects seeded, per-access-type faults.
+
+    Args:
+        inner: the wrapped source; only touched by attempts that survive
+            injection, so failed attempts have no side effects.
+        profile: fault behaviour applied to both access types.
+        sorted_profile / random_profile: per-access-type overrides of
+            ``profile``.
+        latency_model: base duration of successful attempts; defaults to
+            one virtual time unit per access.
+        seed: drives the injection stream deterministically.
+        predicate: predicate index used in error context and latency
+            lookups; derived from ``inner.predicate`` when available.
+    """
+
+    def __init__(
+        self,
+        inner: Source,
+        profile: Optional[FaultProfile] = None,
+        sorted_profile: Optional[FaultProfile] = None,
+        random_profile: Optional[FaultProfile] = None,
+        latency_model: Optional[LatencyModel] = None,
+        seed: int = 0,
+        predicate: Optional[int] = None,
+    ):
+        base = profile if profile is not None else FaultProfile()
+        self._inner = inner
+        self._sorted_profile = sorted_profile if sorted_profile is not None else base
+        self._random_profile = random_profile if random_profile is not None else base
+        self._latency_model = latency_model
+        self._seed = seed
+        self._predicate = (
+            predicate
+            if predicate is not None
+            else int(getattr(inner, "predicate", 0))
+        )
+        self._rng = random.Random(seed)
+        self._deadline: Optional[float] = None
+        self._delivered = 0
+        self._faults_injected = 0
+        self._last_duration: Optional[float] = None
+
+    # ------------------------------------------------------------------
+    # Fault machinery
+    # ------------------------------------------------------------------
+
+    @property
+    def inner(self) -> Source:
+        """The wrapped source."""
+        return self._inner
+
+    @property
+    def predicate(self) -> int:
+        """The predicate index this source serves."""
+        return self._predicate
+
+    @property
+    def faults_injected(self) -> int:
+        """How many attempts this wrapper has failed so far."""
+        return self._faults_injected
+
+    @property
+    def last_duration(self) -> Optional[float]:
+        """Simulated duration of the last successful attempt."""
+        return self._last_duration
+
+    def set_deadline(self, deadline: Optional[float]) -> None:
+        """Set the per-access deadline slow responses are held against.
+
+        The middleware wires its retry policy's ``timeout`` here; a
+        successful-but-slow response whose simulated duration exceeds the
+        deadline is abandoned as a
+        :class:`~repro.exceptions.SourceTimeoutError` before the wrapped
+        source is touched.
+        """
+        if deadline is not None and deadline <= 0:
+            raise ValueError(f"deadline must be > 0, got {deadline}")
+        self._deadline = deadline
+
+    def _profile_for(self, kind: AccessType) -> FaultProfile:
+        if kind is AccessType.SORTED:
+            return self._sorted_profile
+        return self._random_profile
+
+    def _base_duration(self, access: Access) -> float:
+        if self._latency_model is None:
+            return 1.0
+        return self._latency_model.duration(access)
+
+    def _inject(self, access: Access) -> None:
+        """Decide this attempt's fate before the inner source is touched."""
+        profile = self._profile_for(access.kind)
+        context = {
+            "predicate": self._predicate,
+            "obj": access.obj,
+            "kind": str(access.kind),
+        }
+        if profile.dead or (
+            profile.fail_after is not None and self._delivered >= profile.fail_after
+        ):
+            self._faults_injected += 1
+            raise SourceUnavailableError(
+                "source is permanently unavailable", **context
+            )
+        roll = self._rng.random()
+        if roll < profile.transient_rate:
+            self._faults_injected += 1
+            raise TransientSourceError("injected transient failure", **context)
+        if roll < profile.transient_rate + profile.timeout_rate:
+            self._faults_injected += 1
+            raise SourceTimeoutError("injected attempt timeout", **context)
+        duration = self._base_duration(access)
+        if profile.slow_rate and self._rng.random() < profile.slow_rate:
+            duration *= profile.slowdown
+        if self._deadline is not None and duration > self._deadline:
+            self._faults_injected += 1
+            raise SourceTimeoutError(
+                f"response of {duration:g} time units exceeded the deadline "
+                f"of {self._deadline:g}",
+                **context,
+            )
+        self._last_duration = duration
+
+    # ------------------------------------------------------------------
+    # Source interface (faults first, then delegate)
+    # ------------------------------------------------------------------
+
+    @property
+    def supports_sorted(self) -> bool:
+        return self._inner.supports_sorted
+
+    @property
+    def supports_random(self) -> bool:
+        return self._inner.supports_random
+
+    def sorted_access(self) -> Optional[tuple[int, float]]:
+        self._inject(Access.sorted(self._predicate))
+        result = self._inner.sorted_access()
+        self._delivered += 1
+        return result
+
+    def random_access(self, obj: int) -> float:
+        self._inject(Access.random(self._predicate, obj))
+        score = self._inner.random_access(obj)
+        self._delivered += 1
+        return score
+
+    @property
+    def last_seen(self) -> float:
+        return self._inner.last_seen
+
+    @property
+    def depth(self) -> int:
+        return self._inner.depth
+
+    @property
+    def exhausted(self) -> bool:
+        return self._inner.exhausted
+
+    @property
+    def size(self) -> int:
+        """Size of the wrapped source's list (when it exposes one)."""
+        return self._inner.size  # type: ignore[attr-defined]
+
+    def reset(self) -> None:
+        """Rewind the inner source *and* the injection stream."""
+        self._inner.reset()
+        self._rng = random.Random(self._seed)
+        self._delivered = 0
+        self._faults_injected = 0
+        self._last_duration = None
+
+
+def faulty_sources_for(
+    dataset: Dataset,
+    profile: FaultProfile,
+    seed: int = 0,
+    sorted_capable: Optional[Sequence[bool]] = None,
+    random_capable: Optional[Sequence[bool]] = None,
+    profiles: Optional[Sequence[Optional[FaultProfile]]] = None,
+    latency_model: Optional[LatencyModel] = None,
+) -> list[FaultInjectingSource]:
+    """One fault-injecting simulated source per dataset predicate.
+
+    ``profiles`` overrides the shared ``profile`` per predicate (``None``
+    entries fall back to it). Each wrapper gets an independent seed
+    derived from ``seed`` so fault streams do not correlate across
+    predicates.
+    """
+    inner = sources_for(
+        dataset,
+        sorted_capable=list(sorted_capable) if sorted_capable is not None else None,
+        random_capable=list(random_capable) if random_capable is not None else None,
+    )
+    if profiles is not None and len(profiles) != dataset.m:
+        raise ValueError("profiles must have one entry per predicate")
+    wrapped = []
+    for i, source in enumerate(inner):
+        chosen = profile
+        if profiles is not None and profiles[i] is not None:
+            chosen = profiles[i]
+        wrapped.append(
+            FaultInjectingSource(
+                source,
+                profile=chosen,
+                latency_model=latency_model,
+                seed=seed * 7919 + i,
+                predicate=i,
+            )
+        )
+    return wrapped

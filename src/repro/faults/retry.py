@@ -1,0 +1,74 @@
+"""Retry policies: bounded attempts with exponential backoff and jitter.
+
+A :class:`RetryPolicy` tells the middleware how to absorb transient
+source faults (see docs/FAULTS.md): how many attempts one logical access
+gets, how long to back off between them, and the per-access deadline
+beyond which a slow response counts as a :class:`~repro.exceptions.
+SourceTimeoutError`. Backoff delays occupy (virtual) *time*, not access
+cost; every attempt -- including failed ones -- is charged into the Eq. 1
+accounting, because a retried request against a paid web source costs
+real money.
+
+Jitter is drawn from a seeded generator so chaos runs replay exactly.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Optional
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """How the middleware retries transient source faults.
+
+    Attributes:
+        max_attempts: total attempts per logical access (first try
+            included); ``1`` disables retrying. The default of 5 drives
+            the per-access failure probability below ``rate**5`` -- at a
+            10% transient rate, one in 10^5 accesses -- so whole-query
+            completion stays at 1.0 on realistic fault rates.
+        base_delay: backoff before the first retry, in virtual time units.
+        multiplier: exponential backoff factor between consecutive retries.
+        jitter: relative jitter band; each delay is scaled by a factor
+            drawn uniformly from ``[1 - jitter, 1 + jitter]``.
+        timeout: per-access deadline in virtual time units; ``None``
+            disables deadline enforcement. Deadline-aware sources (the
+            fault injector) raise
+            :class:`~repro.exceptions.SourceTimeoutError` when an
+            attempt's simulated duration exceeds it.
+        seed: seed of the jitter stream.
+    """
+
+    max_attempts: int = 5
+    base_delay: float = 0.5
+    multiplier: float = 2.0
+    jitter: float = 0.1
+    timeout: Optional[float] = None
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise ValueError(f"max_attempts must be >= 1, got {self.max_attempts}")
+        if self.base_delay < 0:
+            raise ValueError(f"base_delay must be >= 0, got {self.base_delay}")
+        if self.multiplier < 1.0:
+            raise ValueError(f"multiplier must be >= 1, got {self.multiplier}")
+        if not 0.0 <= self.jitter < 1.0:
+            raise ValueError(f"jitter must be in [0, 1), got {self.jitter}")
+        if self.timeout is not None and self.timeout <= 0:
+            raise ValueError(f"timeout must be > 0, got {self.timeout}")
+
+    def backoff(self, retry: int, rng: random.Random) -> float:
+        """Jittered delay before retry number ``retry`` (1-based)."""
+        if retry < 1:
+            raise ValueError(f"retry must be >= 1, got {retry}")
+        base = self.base_delay * self.multiplier ** (retry - 1)
+        if self.jitter == 0.0:
+            return base
+        return base * (1.0 + self.jitter * rng.uniform(-1.0, 1.0))
+
+    def fresh_rng(self) -> random.Random:
+        """A new jitter stream; the middleware rebuilds one on reset()."""
+        return random.Random(self.seed)

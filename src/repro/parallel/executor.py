@@ -28,6 +28,7 @@ from repro.core.choices import necessary_choices
 from repro.core.framework import FrameworkNC
 from repro.core.policies import SelectContext, SelectPolicy
 from repro.core.tasks import UNSEEN
+from repro.exceptions import RetryExhaustedError, SourceUnavailableError
 from repro.parallel.clock import VirtualClock
 from repro.scoring.functions import ScoringFunction
 from repro.sources.latency import ConstantLatency, LatencyModel
@@ -84,27 +85,28 @@ class ParallelExecutor(FrameworkNC):
         self.clock = VirtualClock()
         self.waves = 0
 
-    def _plan_wave(self, popped: list[tuple[int, float]]) -> list[Access]:
+    def _plan_wave(self, targets: list[int]) -> list[Access]:
         """Choose up to ``c`` distinct compatible accesses for this wave.
 
-        Each incomplete top-k object contributes at most one access -- the
-        one the sequential policy would pick for it. Every access in the
-        wave is therefore individually justified by Theorem 1 (its target's
-        task must be worked on eventually); the only speculation is
-        ordering, which keeps the total-cost overhead of concurrency small.
+        Each refinable incomplete top-k object contributes at most one
+        access -- the one the sequential policy would pick for it. Every
+        access in the wave is therefore individually justified by Theorem 1
+        (its target's task must be worked on eventually); the only
+        speculation is ordering, which keeps the total-cost overhead of
+        concurrency small. Accesses behind an open circuit breaker are
+        never scheduled.
         """
-        targets = [
-            obj
-            for obj, _bound in popped
-            if obj == UNSEEN or not self.state.is_complete(obj)
-        ]
         batch: list[Access] = []
         used_sorted: set[int] = set()
         used: set[Access] = set()
         for target in targets:
             if len(batch) >= self.concurrency:
                 break
-            alternatives = necessary_choices(self.state, target)
+            alternatives = self._usable_choices(target)
+            if alternatives is None:
+                # A breaker opened mid-wave-planning; skip the target, the
+                # collect phase degrades it next round.
+                continue
             ctx = SelectContext(
                 state=self.state, middleware=self.middleware, target=target
             )
@@ -149,6 +151,7 @@ class ParallelExecutor(FrameworkNC):
                     for acc in necessary_choices(self.state, target)
                     if acc not in used
                     and not (acc.is_sorted and acc.predicate in used_sorted)
+                    and self.middleware.access_allowed(acc.predicate, acc.kind)
                 ]
                 if not alternatives:
                     continue
@@ -163,11 +166,33 @@ class ParallelExecutor(FrameworkNC):
                 progressed = True
 
     def execute(self) -> ParallelResult:
-        """Run the query to completion under the concurrency bound."""
+        """Run the query to completion under the concurrency bound.
+
+        Source outages degrade the run instead of crashing it: targets
+        whose remaining accesses all sit behind open circuit breakers are
+        answered bound-only, mirroring the sequential engine's contract
+        (docs/FAULTS.md).
+        """
         self._prepare()
         while True:
             popped = self._collect_topk()
-            if self._first_incomplete(popped) is None:
+            workable: list[int] = []
+            abandoned_unseen = False
+            for obj, _bound in popped:
+                if obj != UNSEEN and self.state.is_complete(obj):
+                    continue
+                if self._usable_choices(obj) is None:
+                    if obj == UNSEEN:
+                        abandoned_unseen = True
+                    else:
+                        self._degrade(obj)
+                else:
+                    workable.append(obj)
+            if abandoned_unseen:
+                self._abandon_unseen()
+                self._push_back(popped)
+                continue
+            if not workable:
                 result = self._finish(popped, self._label())
                 result.metadata["waves"] = self.waves
                 result.metadata["concurrency"] = self.concurrency
@@ -177,14 +202,17 @@ class ParallelExecutor(FrameworkNC):
                     waves=self.waves,
                     concurrency=self.concurrency,
                 )
-            batch = self._plan_wave(popped)
-            assert batch, "incomplete top-k objects always admit an access"
+            batch = self._plan_wave(workable)
+            assert batch, "refinable top-k objects always admit an access"
             durations = [self.latency_model.duration(acc) for acc in batch]
             # Fold results in randoms-first: a concurrent sa_i may deliver an
             # object the same wave also probed on i, and applying the probe
             # after the delivery would look like a duplicate fetch.
             for access in sorted(batch, key=lambda acc: acc.is_sorted):
-                self._apply(access)
+                try:
+                    self._apply(access)
+                except (RetryExhaustedError, SourceUnavailableError) as exc:
+                    self._mark_fault(access, exc)
             self.clock.run_wave(durations, self.concurrency)
             self.waves += 1
             self._check_budget()

@@ -9,7 +9,13 @@
 * rejects **duplicate score retrievals** in strict mode -- random accesses
   are not progressive, so refetching a known score is an algorithm bug;
 * exposes the sorted-access side-effect state (last-seen scores ``l_i``,
-  depths, exhaustion) that bound reasoning builds on.
+  depths, exhaustion) that bound reasoning builds on;
+* absorbs **source faults** (docs/FAULTS.md): transient failures are
+  retried under a :class:`~repro.faults.RetryPolicy` with every attempt
+  charged into Eq. 1, and a per-source
+  :class:`~repro.faults.CircuitBreaker` fails fast on predicates that
+  keep dying, surfacing :class:`~repro.exceptions.SourceUnavailableError`
+  so engines can degrade to bound-only answers.
 
 Running every algorithm -- the NC framework and all baselines -- through
 this one layer is what makes the paper's cross-algorithm cost comparisons
@@ -18,7 +24,7 @@ exact and the unification claims directly testable.
 
 from __future__ import annotations
 
-from typing import Optional, Sequence
+from typing import Callable, Optional, Sequence
 
 from repro.data.dataset import Dataset
 from repro.exceptions import (
@@ -26,11 +32,17 @@ from repro.exceptions import (
     CapabilityError,
     DuplicateAccessError,
     ExhaustedSourceError,
+    RetryExhaustedError,
+    SourceUnavailableError,
+    TransientSourceError,
     WildGuessError,
 )
+from repro.faults.breaker import BreakerPolicy, BreakerState, CircuitBreaker
+from repro.faults.retry import RetryPolicy
 from repro.sources.base import Source
 from repro.sources.cost import CostModel
-from repro.sources.simulated import SimulatedSource, sources_for
+from repro.sources.monitor import CostMonitor
+from repro.sources.simulated import sources_for
 from repro.sources.stats import AccessStats
 from repro.types import Access, AccessType
 
@@ -55,6 +67,15 @@ class Middleware:
             that would exceed it raises
             :class:`~repro.exceptions.BudgetExceededError` *before* being
             performed, so spending never passes the cap.
+        retry_policy: how transient source faults are retried; ``None``
+            (the default) performs exactly one attempt per access. Every
+            attempt -- retries included -- is charged and counted.
+        breaker_policy: tuning of the per-source circuit breakers; the
+            library default when ``None``. Breakers only change behaviour
+            once sources actually fail.
+        monitor: optional :class:`~repro.sources.monitor.CostMonitor` fed
+            with the simulated duration of every successful access whose
+            source reports one (e.g. the fault injector).
     """
 
     def __init__(
@@ -66,6 +87,9 @@ class Middleware:
         strict: bool = True,
         record_log: bool = False,
         budget: Optional[float] = None,
+        retry_policy: Optional[RetryPolicy] = None,
+        breaker_policy: Optional[BreakerPolicy] = None,
+        monitor: Optional[CostMonitor] = None,
     ):
         if len(sources) != cost_model.m:
             raise ValueError(
@@ -84,8 +108,12 @@ class Middleware:
                     "source does not support it"
                 )
         if n_objects is None:
+            # Wrappers (e.g. FaultInjectingSource) proxy their inner
+            # source's size, so derivation is duck-typed, not type-tested.
             sizes = {
-                source.size for source in sources if isinstance(source, SimulatedSource)
+                source.size
+                for source in sources
+                if hasattr(source, "size")
             }
             if len(sizes) != 1:
                 raise ValueError(
@@ -103,9 +131,31 @@ class Middleware:
         self._no_wild_guesses = no_wild_guesses
         self._strict = strict
         self._record_log = record_log
+        self._retry_policy = retry_policy
+        self._breaker_policy = (
+            breaker_policy if breaker_policy is not None else BreakerPolicy()
+        )
+        self._monitor = monitor
         self._stats = AccessStats(cost_model, record_log=record_log)
         self._seen: set[int] = set()
         self._delivered: set[tuple[int, int]] = set()
+        # One breaker per source *channel* (predicate x access kind): a dead
+        # random-access channel must not take down the same source's healthy
+        # sorted stream -- that stream is exactly what the NRA-style
+        # degradation falls back to (docs/FAULTS.md).
+        self._breakers = {
+            (i, kind): CircuitBreaker(self._breaker_policy)
+            for i in range(len(self._sources))
+            for kind in AccessType
+        }
+        self._retry_rng = (
+            retry_policy.fresh_rng() if retry_policy is not None else None
+        )
+        if retry_policy is not None and retry_policy.timeout is not None:
+            for source in self._sources:
+                deadline_setter = getattr(source, "set_deadline", None)
+                if deadline_setter is not None:
+                    deadline_setter(retry_policy.timeout)
 
     # ------------------------------------------------------------------
     # Construction helpers
@@ -120,6 +170,9 @@ class Middleware:
         strict: bool = True,
         record_log: bool = False,
         budget: Optional[float] = None,
+        retry_policy: Optional[RetryPolicy] = None,
+        breaker_policy: Optional[BreakerPolicy] = None,
+        monitor: Optional[CostMonitor] = None,
     ) -> "Middleware":
         """Build a middleware over simulated sources for ``dataset``.
 
@@ -145,6 +198,9 @@ class Middleware:
             strict=strict,
             record_log=record_log,
             budget=budget,
+            retry_policy=retry_policy,
+            breaker_policy=breaker_policy,
+            monitor=monitor,
         )
 
     # ------------------------------------------------------------------
@@ -178,6 +234,42 @@ class Middleware:
     def budget(self) -> Optional[float]:
         """The configured cost cap, or ``None`` for unbounded."""
         return self._budget
+
+    @property
+    def retry_policy(self) -> Optional[RetryPolicy]:
+        """The active retry policy (``None`` = single attempt per access)."""
+        return self._retry_policy
+
+    @property
+    def monitor(self) -> Optional[CostMonitor]:
+        """The attached cost monitor, if any."""
+        return self._monitor
+
+    def breaker_state(self, predicate: int, kind: AccessType) -> BreakerState:
+        """The circuit-breaker state of one source channel, right now."""
+        return self._breakers[(predicate, kind)].state(
+            self._stats.total_accesses
+        )
+
+    def access_allowed(self, predicate: int, kind: AccessType) -> bool:
+        """Whether the channel's breaker admits an attempt right now.
+
+        ``True`` for closed breakers and for half-open ones (a trial is
+        permitted); ``False`` while the breaker is open. Engines use this
+        to steer scheduling away from tripped sources without paying for
+        rejected accesses.
+        """
+        return self._breakers[(predicate, kind)].allows(
+            self._stats.total_accesses
+        )
+
+    def degraded_predicates(self) -> list[int]:
+        """Predicates with at least one channel currently refusing accesses."""
+        return [
+            i
+            for i in range(self.m)
+            if any(not self.access_allowed(i, kind) for kind in AccessType)
+        ]
 
     def remaining_budget(self) -> Optional[float]:
         """Budget left to spend (``None`` when unbounded)."""
@@ -254,28 +346,106 @@ class Middleware:
     # Accesses
     # ------------------------------------------------------------------
 
+    def _gate(self, access: Access) -> None:
+        """Fail fast (uncharged) when the channel's breaker is open."""
+        if not self._breakers[(access.predicate, access.kind)].allows(
+            self._stats.total_accesses
+        ):
+            raise SourceUnavailableError(
+                "circuit breaker is open; access refused without charge",
+                predicate=access.predicate,
+                obj=access.obj,
+                kind=str(access.kind),
+            )
+
+    def _observe(self, access: Access) -> None:
+        """Feed a successful attempt's simulated duration to the monitor."""
+        if self._monitor is None:
+            return
+        duration = getattr(
+            self._sources[access.predicate], "last_duration", None
+        )
+        if duration is not None:
+            self._monitor.observe(access, duration)
+
+    def _execute(self, access: Access, attempt: Callable[[], object]) -> object:
+        """Run one logical access under the retry policy and breaker.
+
+        Every attempt -- retries included -- is budget-checked, charged,
+        and counted before the source is touched: failed requests against
+        web sources cost real money (docs/FAULTS.md). Transient faults
+        are retried up to the policy's attempt cap; exhaustion raises
+        :class:`~repro.exceptions.RetryExhaustedError` and counts one
+        logical failure against the breaker. Permanent outages trip the
+        breaker immediately.
+        """
+        breaker = self._breakers[(access.predicate, access.kind)]
+        policy = self._retry_policy
+        max_attempts = policy.max_attempts if policy is not None else 1
+        cost = self._cost_model.access_cost(access)
+        last_error: Optional[Exception] = None
+        for attempt_no in range(1, max_attempts + 1):
+            if attempt_no > 1:
+                assert policy is not None and self._retry_rng is not None
+                self._stats.record_backoff(
+                    policy.backoff(attempt_no - 1, self._retry_rng)
+                )
+            self._charge(cost)
+            self._stats.record(access)
+            if attempt_no > 1:
+                self._stats.record_retry(access)
+            try:
+                result = attempt()
+            except SourceUnavailableError:
+                self._stats.record_fault(access)
+                breaker.record_failure(
+                    self._stats.total_accesses, permanent=True
+                )
+                raise
+            except TransientSourceError as exc:
+                # Includes SourceTimeoutError: both are retryable.
+                self._stats.record_fault(access)
+                last_error = exc
+                continue
+            breaker.record_success()
+            self._observe(access)
+            return result
+        tripped = breaker.record_failure(self._stats.total_accesses)
+        raise RetryExhaustedError(
+            f"all {max_attempts} attempt(s) failed"
+            + ("; circuit opened" if tripped else ""),
+            predicate=access.predicate,
+            obj=access.obj,
+            kind=str(access.kind),
+            attempts=max_attempts,
+            last_error=last_error,
+        )
+
     def sorted_access(self, predicate: int) -> Optional[tuple[int, float]]:
         """Perform ``sa_i``: fetch the next object of predicate ``i``.
 
         Charges ``cs_i`` and returns ``(obj, score)``. Accessing an
         exhausted list raises in strict mode (it can never help) and
-        otherwise charges the access and returns ``None``.
+        otherwise charges the access and returns ``None``. Under a retry
+        policy, transient source faults are retried (each attempt
+        charged); an open circuit breaker refuses the access up front.
         """
         if not self.supports_sorted(predicate):
             raise CapabilityError(
                 f"predicate {predicate}: sorted access not in cost model"
             )
-        self._charge(self._cost_model.sorted_cost(predicate))
+        access = Access.sorted(predicate)
+        self._gate(access)
         source = self._sources[predicate]
         if source.exhausted:
+            self._charge(self._cost_model.sorted_cost(predicate))
             if self._strict:
                 raise ExhaustedSourceError(
                     f"predicate {predicate}: sorted list exhausted"
                 )
-            self._stats.record(Access.sorted(predicate))
+            self._stats.record(access)
             return None
-        result = source.sorted_access()
-        self._stats.record(Access.sorted(predicate))
+        result = self._execute(access, source.sorted_access)
         if result is None:  # pragma: no cover - guarded by exhaustion check
             return None
         obj, score = result
@@ -288,12 +458,16 @@ class Middleware:
 
         Charges ``cr_i``. Enforces no-wild-guesses and, in strict mode,
         rejects refetching a score already delivered (by either access
-        type).
+        type). Under a retry policy, transient source faults are retried
+        (each attempt charged); an open circuit breaker refuses the
+        access up front.
         """
         if not self.supports_random(predicate):
             raise CapabilityError(
                 f"predicate {predicate}: random access not in cost model"
             )
+        access = Access.random(predicate, obj)
+        self._gate(access)
         if self._no_wild_guesses and obj not in self._seen:
             raise WildGuessError(
                 f"random access to object {obj} before it was seen from any "
@@ -304,11 +478,11 @@ class Middleware:
                 f"score of object {obj} on predicate {predicate} was already "
                 "retrieved; random accesses must not be repeated"
             )
-        self._charge(self._cost_model.random_cost(predicate))
-        score = self._sources[predicate].random_access(obj)
-        self._stats.record(Access.random(predicate, obj))
+        score = self._execute(
+            access, lambda: self._sources[predicate].random_access(obj)
+        )
         self._delivered.add((predicate, obj))
-        return score
+        return float(score)  # type: ignore[arg-type]
 
     def perform(self, access: Access):
         """Dispatch a descriptor to the right access method.
@@ -322,9 +496,24 @@ class Middleware:
         return self.random_access(access.predicate, access.obj)
 
     def reset(self) -> None:
-        """Rewind sources and zero all accounting for a fresh run."""
+        """Rewind sources and zero all accounting for a fresh run.
+
+        Everything stateful is rewound: access counts and cost (which also
+        restores the full budget), the seen/delivered sets, every circuit
+        breaker, the retry jitter stream, and the attached cost monitor --
+        so a reset middleware replays a run bit-for-bit.
+        """
         for source in self._sources:
             source.reset()
         self._stats = AccessStats(self._cost_model, record_log=self._record_log)
         self._seen.clear()
         self._delivered.clear()
+        for breaker in self._breakers.values():
+            breaker.reset()
+        self._retry_rng = (
+            self._retry_policy.fresh_rng()
+            if self._retry_policy is not None
+            else None
+        )
+        if self._monitor is not None:
+            self._monitor.reset()

@@ -52,6 +52,11 @@ class CostMonitor:
         self._sorted = [_RunningMean() for _ in range(assumed.m)]
         self._random = [_RunningMean() for _ in range(assumed.m)]
 
+    def reset(self) -> None:
+        """Drop every observation (a middleware reset starts a fresh run)."""
+        self._sorted = [_RunningMean() for _ in range(self.assumed.m)]
+        self._random = [_RunningMean() for _ in range(self.assumed.m)]
+
     def observe(self, access: Access, duration: float) -> None:
         """Record one access's measured duration (>= 0)."""
         if duration < 0:

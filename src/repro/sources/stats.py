@@ -25,6 +25,11 @@ class AccessStats:
         self._cost_model = cost_model
         self._ns = [0] * cost_model.m
         self._nr = [0] * cost_model.m
+        self._retries_s = [0] * cost_model.m
+        self._retries_r = [0] * cost_model.m
+        self._faults_s = [0] * cost_model.m
+        self._faults_r = [0] * cost_model.m
+        self._backoff = 0.0
         self._log: Optional[list[Access]] = [] if record_log else None
 
     @property
@@ -44,6 +49,32 @@ class AccessStats:
             self._nr[access.predicate] += 1
         if self._log is not None:
             self._log.append(access)
+
+    def record_retry(self, access: Access) -> None:
+        """Count one retry attempt (an attempt beyond an access's first).
+
+        Retry attempts are *additionally* recorded as ordinary accesses via
+        :meth:`record` -- they are real, charged requests -- so these
+        counters make the overhead of flaky sources visible without
+        changing Eq. 1.
+        """
+        if access.kind is AccessType.SORTED:
+            self._retries_s[access.predicate] += 1
+        else:
+            self._retries_r[access.predicate] += 1
+
+    def record_fault(self, access: Access) -> None:
+        """Count one failed (faulted) attempt on an access."""
+        if access.kind is AccessType.SORTED:
+            self._faults_s[access.predicate] += 1
+        else:
+            self._faults_r[access.predicate] += 1
+
+    def record_backoff(self, delay: float) -> None:
+        """Accumulate virtual time spent backing off between retries."""
+        if delay < 0:
+            raise ValueError(f"delay must be >= 0, got {delay}")
+        self._backoff += delay
 
     @property
     def sorted_counts(self) -> tuple[int, ...]:
@@ -66,6 +97,41 @@ class AccessStats:
     @property
     def total_accesses(self) -> int:
         return self.total_sorted + self.total_random
+
+    @property
+    def retry_sorted_counts(self) -> tuple[int, ...]:
+        """Retry attempts (beyond each access's first) per predicate, sorted."""
+        return tuple(self._retries_s)
+
+    @property
+    def retry_random_counts(self) -> tuple[int, ...]:
+        """Retry attempts (beyond each access's first) per predicate, random."""
+        return tuple(self._retries_r)
+
+    @property
+    def total_retries(self) -> int:
+        """All retry attempts across predicates and access kinds."""
+        return sum(self._retries_s) + sum(self._retries_r)
+
+    @property
+    def fault_sorted_counts(self) -> tuple[int, ...]:
+        """Failed attempts per predicate, sorted accesses."""
+        return tuple(self._faults_s)
+
+    @property
+    def fault_random_counts(self) -> tuple[int, ...]:
+        """Failed attempts per predicate, random accesses."""
+        return tuple(self._faults_r)
+
+    @property
+    def total_faults(self) -> int:
+        """All failed attempts across predicates and access kinds."""
+        return sum(self._faults_s) + sum(self._faults_r)
+
+    @property
+    def backoff_time(self) -> float:
+        """Virtual time spent in retry backoff (not part of Eq. 1 cost)."""
+        return self._backoff
 
     @property
     def log(self) -> list[Access]:
@@ -101,6 +167,11 @@ class AccessStats:
         for i in range(self.m):
             self._ns[i] += other._ns[i]
             self._nr[i] += other._nr[i]
+            self._retries_s[i] += other._retries_s[i]
+            self._retries_r[i] += other._retries_r[i]
+            self._faults_s[i] += other._faults_s[i]
+            self._faults_r[i] += other._faults_r[i]
+        self._backoff += other._backoff
         if self._log is not None and other._log is not None:
             self._log.extend(other._log)
 
@@ -112,6 +183,9 @@ class AccessStats:
             "total_sorted": self.total_sorted,
             "total_random": self.total_random,
             "total_cost": self.total_cost(),
+            "total_retries": self.total_retries,
+            "total_faults": self.total_faults,
+            "backoff_time": self.backoff_time,
         }
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic

@@ -90,17 +90,25 @@ class QueryResult:
 
     Attributes:
         ranking: the top-k objects in rank order (best first), each with its
-            exact overall score.
+            exact overall score -- or, for entries listed in
+            ``uncertainty``, the proven lower bound of a bound-only answer.
         stats: the access accounting of the run (Eq. 1 bookkeeping).
         algorithm: a human-readable label of the algorithm that produced it.
         metadata: free-form extra information (e.g. the plan parameters a
             cost-based run used).
+        partial: whether source outages forced a degraded, bound-only
+            answer (docs/FAULTS.md); exact results leave this ``False``.
+        uncertainty: for partial results, the proven score interval
+            ``(lower, upper)`` of every ranked object whose exact score
+            could not be established; empty for exact results.
     """
 
     ranking: list[RankedObject]
     stats: "AccessStats"
     algorithm: str = ""
     metadata: dict = field(default_factory=dict)
+    partial: bool = False
+    uncertainty: dict[int, tuple[float, float]] = field(default_factory=dict)
 
     @property
     def objects(self) -> list[int]:
@@ -111,6 +119,24 @@ class QueryResult:
     def scores(self) -> list[float]:
         """The exact scores aligned with :attr:`objects`."""
         return [entry.score for entry in self.ranking]
+
+    @property
+    def is_exact(self) -> bool:
+        """Whether every reported score is the object's exact ``F`` value."""
+        return not self.partial
+
+    def score_interval(self, obj: int) -> tuple[float, float]:
+        """The proven ``(lower, upper)`` interval of a ranked object.
+
+        Exactly-scored objects collapse to a zero-width interval at their
+        score; bound-only objects report their degradation interval.
+        """
+        if obj in self.uncertainty:
+            return self.uncertainty[obj]
+        for entry in self.ranking:
+            if entry.obj == obj:
+                return (entry.score, entry.score)
+        raise KeyError(f"object {obj} is not part of this ranking")
 
     def total_cost(self) -> float:
         """Total access cost of the run under its cost model (Eq. 1)."""

@@ -81,6 +81,75 @@ class TestQuery:
         assert "error" in capsys.readouterr().err
 
 
+class TestFaultFlags:
+    def test_compare_under_faults_stays_correct_and_shows_retries(self, capsys):
+        code = main(
+            [
+                "compare",
+                "--scenario",
+                "S1",
+                "--algorithms",
+                "TA,NRA",
+                "--fault-rate",
+                "0.1",
+                "--retry-max",
+                "6",
+                "--fault-seed",
+                "2",
+            ]
+        )
+        assert code == 0  # exit 0 means every answer verified correct
+        out = capsys.readouterr().out
+        assert "retries" in out
+        assert "transient rate 0.1" in out
+        assert "NO" not in out
+
+    def test_compare_without_faults_has_no_retry_column(self, capsys):
+        assert main(["compare", "--scenario", "S1", "--algorithms", "TA"]) == 0
+        out = capsys.readouterr().out
+        assert "retries" not in out
+        assert "faults:" not in out
+
+    def test_query_reports_fault_accounting(self, capsys):
+        code = main(
+            [
+                "query",
+                "SELECT * FROM r ORDER BY min(a, b) STOP AFTER 3",
+                "--n",
+                "150",
+                "--fault-rate",
+                "0.2",
+                "--retry-max",
+                "8",
+                "--fault-seed",
+                "4",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "retries]" in out
+        assert "faults" in out
+
+    def test_fault_run_matches_fault_free_answer(self, capsys):
+        query = ["query", "SELECT * FROM r ORDER BY min(a, b) STOP AFTER 3",
+                 "--n", "150", "--seed", "9"]
+        assert main(query) == 0
+        clean = capsys.readouterr().out
+        assert main(query + ["--fault-rate", "0.1", "--retry-max", "6"]) == 0
+        chaos = capsys.readouterr().out
+        # Same ranking table lines; only the cost line differs.
+        clean_table = [l for l in clean.splitlines() if l.strip().startswith(("1", "2", "3"))]
+        chaos_table = [l for l in chaos.splitlines() if l.strip().startswith(("1", "2", "3"))]
+        assert clean_table == chaos_table
+
+    def test_fault_flag_defaults(self):
+        args = build_parser().parse_args(["compare", "--scenario", "S1"])
+        assert args.fault_rate == 0.0
+        assert args.retry_max == 5
+        assert args.timeout is None
+        assert args.fault_seed == 0
+
+
 class TestParser:
     def test_requires_subcommand(self):
         with pytest.raises(SystemExit):

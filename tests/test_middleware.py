@@ -188,6 +188,106 @@ class TestReset:
         assert obj2 == obj
         mw.random_access(1, obj2)
 
+    def test_reset_restores_full_budget(self, ds1):
+        mw = mw_over(ds1, budget=5.0)
+        mw.sorted_access(0)
+        mw.sorted_access(1)
+        assert mw.remaining_budget() == 3.0
+        mw.reset()
+        assert mw.remaining_budget() == 5.0
+        assert mw.budget == 5.0
+
+    def test_reset_zeroes_fault_accounting(self):
+        from repro.faults import FaultProfile, RetryPolicy, chaos_middleware
+
+        data = uniform(40, 2, seed=6)
+        mw = chaos_middleware(
+            data,
+            CostModel.uniform(2),
+            FaultProfile.transient(0.4),
+            seed=3,
+            retry_policy=RetryPolicy(max_attempts=10),
+        )
+        for _ in range(10):
+            mw.sorted_access(0)
+        assert mw.stats.total_retries > 0
+        mw.reset()
+        assert mw.stats.total_retries == 0
+        assert mw.stats.total_faults == 0
+        assert mw.stats.backoff_time == 0.0
+        assert mw.stats.total_cost() == 0.0
+
+    def test_reset_rewinds_breakers_and_jitter_stream(self):
+        from repro.faults import (
+            BreakerState,
+            FaultProfile,
+            RetryPolicy,
+            chaos_middleware,
+        )
+        from repro.exceptions import SourceUnavailableError
+        from repro.types import AccessType
+
+        data = uniform(40, 2, seed=6)
+
+        def spend(mw):
+            with pytest.raises(SourceUnavailableError):
+                mw.sorted_access(0)
+            return mw.stats.total_cost()
+
+        mw = chaos_middleware(
+            data,
+            CostModel.uniform(2),
+            FaultProfile(dead=True),
+            retry_policy=RetryPolicy(max_attempts=2),
+        )
+        first = spend(mw)
+        assert mw.breaker_state(0, AccessType.SORTED) is BreakerState.OPEN
+        mw.reset()
+        assert mw.breaker_state(0, AccessType.SORTED) is BreakerState.CLOSED
+        assert mw.access_allowed(0, AccessType.SORTED)
+        assert mw.degraded_predicates() == []
+        # The rerun replays bit-for-bit: same charge, same breaker trip.
+        assert spend(mw) == first
+
+    def test_reset_replays_chaos_run_exactly(self):
+        from repro.faults import FaultProfile, RetryPolicy, chaos_middleware
+
+        data = uniform(40, 2, seed=6)
+        mw = chaos_middleware(
+            data,
+            CostModel.uniform(2),
+            FaultProfile.transient(0.3),
+            seed=12,
+            retry_policy=RetryPolicy(max_attempts=6),
+        )
+
+        def run():
+            out = [mw.sorted_access(0) for _ in range(12)]
+            return out, mw.stats.total_cost(), mw.stats.backoff_time
+
+        first = run()
+        mw.reset()
+        assert run() == first
+
+    def test_reset_clears_cost_monitor(self):
+        from repro.faults import FaultProfile, RetryPolicy, chaos_middleware
+        from repro.sources.monitor import CostMonitor
+        from repro.types import AccessType
+
+        costs = CostModel.uniform(2)
+        monitor = CostMonitor(costs)
+        mw = chaos_middleware(
+            uniform(30, 2, seed=8),
+            costs,
+            FaultProfile(),
+            retry_policy=RetryPolicy(),
+            monitor=monitor,
+        )
+        mw.sorted_access(0)
+        assert monitor.observations(0, AccessType.SORTED) == 1
+        mw.reset()
+        assert monitor.observations(0, AccessType.SORTED) == 0
+
 
 class TestFullScanDeliversEverything:
     def test_exhausting_one_list_sees_all_objects(self):
