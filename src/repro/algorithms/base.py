@@ -132,6 +132,14 @@ class BoundTracker:
     def record(self, predicate: int, obj: int, score: float) -> None:
         """Fold a delivered score in; newly discovered objects join the heap."""
         self.state.record(predicate, obj, score)
+        checker = self.middleware.contracts
+        if checker is not None:
+            checker.observe_threshold(self.state.unseen_bound())
+            checker.check_interval(
+                obj,
+                self.state.lower_bound(obj),
+                self.state.upper_bound(obj),
+            )
         if obj not in self._in_heap:
             self._heap.push(obj, self.state.upper_bound(obj))
             self._in_heap.add(obj)

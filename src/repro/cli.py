@@ -17,6 +17,13 @@ Usage (also via ``python -m repro``)::
         Parse and execute an SQL-like query over a synthetic uniform
         database whose predicates are named by first appearance.
 
+    python -m repro lint src/repro [--format json] [--select RL001,RL002]
+        Run the domain-aware static-analysis pass (docs/LINTS.md) over
+        the given files/directories; exit 1 when findings remain.
+
+``compare`` and ``query`` additionally accept ``--contracts`` to arm the
+runtime invariant checker (docs/LINTS.md) for the run.
+
 Everything prints plain ASCII tables; exit status is nonzero on errors
 or on a verification failure.
 """
@@ -109,10 +116,22 @@ def _retry_policy(args) -> RetryPolicy:
 
 
 def _fault_factory(args):
-    """A per-scenario chaos-middleware factory, or ``None`` when no faults
-    were requested on the command line."""
+    """A per-scenario middleware factory, or ``None`` when neither faults
+    nor contract checking were requested on the command line."""
+    contracts = getattr(args, "contracts", False)
     if args.fault_rate == 0.0 and args.timeout is None:
-        return None
+        if not contracts:
+            return None
+
+        def plain_factory(scenario):
+            return Middleware.over(
+                scenario.dataset,
+                scenario.cost_model,
+                no_wild_guesses=scenario.no_wild_guesses,
+                contracts=True,
+            )
+
+        return plain_factory
     try:
         profile = FaultProfile.transient(args.fault_rate)
     except ValueError as exc:
@@ -127,6 +146,7 @@ def _fault_factory(args):
             seed=args.fault_seed,
             retry_policy=policy,
             no_wild_guesses=scenario.no_wild_guesses,
+            contracts=contracts,
         )
 
     return factory
@@ -162,12 +182,13 @@ def _cmd_compare(args) -> int:
         ]
         for row in rows
     ]
-    if factory is not None:
+    faults_on = args.fault_rate != 0.0 or args.timeout is not None
+    if faults_on:
         headers.append("retries")
         for line, row in zip(table, rows):
             line.append(row.result.stats.total_retries)
     print(ascii_table(headers, table, title=f"{scenario.name}: {scenario.description}"))
-    if factory is not None:
+    if faults_on:
         print(
             f"faults: transient rate {args.fault_rate:g}, "
             f"retry budget {args.retry_max}, "
@@ -211,9 +232,10 @@ def _cmd_query(args) -> int:
             profile,
             seed=args.fault_seed,
             retry_policy=_retry_policy(args),
+            contracts=args.contracts,
         )
     else:
-        middleware = Middleware.over(data, model)
+        middleware = Middleware.over(data, model, contracts=args.contracts)
     result = run_query(parsed, middleware, schema=list(parsed.predicates))
     print(f"query     : {parsed}")
     print(f"predicates: {', '.join(parsed.predicates)} (synthetic uniform scores)")
@@ -243,6 +265,27 @@ def _cmd_query(args) -> int:
     return 0
 
 
+def _cmd_lint(args) -> int:
+    from repro.lint import json_report, run_lint, text_report
+
+    select = None
+    if args.select:
+        select = [
+            token.strip().upper()
+            for token in args.select.split(",")
+            if token.strip()
+        ]
+    try:
+        report = run_lint(args.paths, select=select)
+    except ValueError as exc:
+        raise ReproError(str(exc)) from exc
+    if args.format == "json":
+        print(json_report(report))
+    else:
+        print(text_report(report))
+    return 0 if report.ok else 1
+
+
 def build_parser() -> argparse.ArgumentParser:
     """Build the argparse command tree."""
     parser = argparse.ArgumentParser(
@@ -252,6 +295,14 @@ def build_parser() -> argparse.ArgumentParser:
     sub = parser.add_subparsers(dest="command", required=True)
 
     sub.add_parser("scenarios", help="list built-in scenarios")
+
+    def add_contracts_flag(p: argparse.ArgumentParser) -> None:
+        p.add_argument(
+            "--contracts",
+            action="store_true",
+            help="assert paper invariants (bounds, thresholds, "
+            "monotonicity) at runtime; see docs/LINTS.md",
+        )
 
     def add_fault_flags(p: argparse.ArgumentParser) -> None:
         group = p.add_argument_group("fault injection (docs/FAULTS.md)")
@@ -288,6 +339,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="comma-separated names (NC,TA,FA,CA,NRA,MPRO,UPPER,QC,SC,SRC)",
     )
     add_fault_flags(cmp_parser)
+    add_contracts_flag(cmp_parser)
 
     opt_parser = sub.add_parser("optimize", help="show the optimizer's plan")
     opt_parser.add_argument("--scenario", required=True)
@@ -301,6 +353,28 @@ def build_parser() -> argparse.ArgumentParser:
     query_parser.add_argument("--cs", type=float, default=1.0)
     query_parser.add_argument("--cr", type=float, default=1.0)
     add_fault_flags(query_parser)
+    add_contracts_flag(query_parser)
+
+    lint_parser = sub.add_parser(
+        "lint", help="run the domain static-analysis pass (docs/LINTS.md)"
+    )
+    lint_parser.add_argument(
+        "paths",
+        nargs="*",
+        default=["src/repro"],
+        help="files and/or directories to lint (default: src/repro)",
+    )
+    lint_parser.add_argument(
+        "--format",
+        choices=("text", "json"),
+        default="text",
+        help="report format (default: text)",
+    )
+    lint_parser.add_argument(
+        "--select",
+        default=None,
+        help="comma-separated rule ids to run (default: all)",
+    )
 
     return parser
 
@@ -314,6 +388,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "compare": _cmd_compare,
         "optimize": _cmd_optimize,
         "query": _cmd_query,
+        "lint": _cmd_lint,
     }
     try:
         return handlers[args.command](args)

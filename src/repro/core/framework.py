@@ -255,6 +255,8 @@ class FrameworkNC:
         """Answer ``obj`` bound-only: proven interval, reported at F_min."""
         lower = self.state.lower_bound(obj)
         upper = self.state.upper_bound(obj)
+        if self.middleware.contracts is not None:
+            self.middleware.contracts.check_interval(obj, lower, upper)
         self._bound_only[obj] = (lower, upper)
         return RankedObject(obj, lower)
 
@@ -337,6 +339,15 @@ class FrameworkNC:
             self._mark_fault(access, exc)
             result = exc
         self._steps += 1
+        checker = self.middleware.contracts
+        if checker is not None:
+            checker.observe_threshold(self.state.unseen_bound())
+            if target != UNSEEN:
+                checker.check_interval(
+                    target,
+                    self.state.lower_bound(target),
+                    self.state.upper_bound(target),
+                )
         self._check_budget()
         if self.observer is not None:
             self.observer(

@@ -29,6 +29,7 @@ from dataclasses import dataclass
 from typing import Optional, Sequence
 
 from repro.core.state import ScoreState
+from repro.determinism import derive_rng
 from repro.sources.middleware import Middleware
 from repro.types import Access
 
@@ -172,17 +173,26 @@ class RandomPolicy(SelectPolicy):
     non-SR plans?) and by property tests (any policy must still terminate
     with the correct answer -- correctness is the framework's job, cost is
     the policy's).
+
+    Args:
+        seed: seed of the policy-owned generator (ignored when ``rng`` is
+            given).
+        rng: an injected, caller-owned generator. The caller controls the
+            stream, so :meth:`reset` leaves it untouched; seed-constructed
+            policies re-seed on reset for exact replay.
     """
 
-    def __init__(self, seed: int = 0):
+    def __init__(self, seed: int = 0, rng: Optional[random.Random] = None):
         self._seed = seed
-        self._rng = random.Random(seed)
+        self._injected = rng
+        self._rng = derive_rng(rng if rng is not None else seed)
 
     def select(self, alternatives: Sequence[Access], ctx: SelectContext) -> Access:
         return self._rng.choice(list(alternatives))
 
     def reset(self) -> None:
-        self._rng = random.Random(self._seed)
+        if self._injected is None:
+            self._rng = derive_rng(self._seed)
 
     def describe(self) -> str:
         return f"Random(seed={self._seed})"

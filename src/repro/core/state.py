@@ -38,6 +38,12 @@ class ScoreState:
                 f"scoring function arity {fn.arity} != middleware width "
                 f"{middleware.m}"
             )
+        if middleware.contracts is not None:
+            # Contract mode (repro.contracts): every algorithm builds its
+            # score state before its first access, so probing F here
+            # guards the whole library -- a non-monotone F makes Eq. 3's
+            # bounds (and thus any answer) unsound.
+            middleware.contracts.probe_scoring(fn)
         self._middleware = middleware
         self._fn = fn
         self._m = middleware.m

@@ -69,6 +69,18 @@ class OptimizationError(ReproError):
     """The optimizer was configured inconsistently or failed to search."""
 
 
+class ContractViolationError(ReproError):
+    """A runtime contract of the cost model or bound machinery failed.
+
+    Raised only in contract-checking mode (:mod:`repro.contracts`): a
+    last-seen bound ``l_i`` or threshold increased, a delivered score left
+    ``[0, 1]``, a proven interval inverted (``lower > upper``), or a
+    scoring function failed its monotonicity probe. Each of these breaks
+    a soundness precondition of Theorem 1 -- without the check the run
+    would not crash, it would return a *wrong top-k answer*.
+    """
+
+
 class BudgetExceededError(ReproError):
     """An access would push the middleware past its configured cost budget.
 
@@ -95,7 +107,7 @@ class SourceFaultError(ReproError):
         predicate: int | None = None,
         obj: int | None = None,
         kind: str | None = None,
-    ):
+    ) -> None:
         parts = [message]
         if predicate is not None:
             target = f"predicate {predicate}"
@@ -157,7 +169,7 @@ class RetryExhaustedError(SourceFaultError):
         kind: str | None = None,
         attempts: int = 0,
         last_error: Exception | None = None,
-    ):
+    ) -> None:
         super().__init__(message, predicate=predicate, obj=obj, kind=kind)
         self.attempts = attempts
         self.last_error = last_error

@@ -1,0 +1,37 @@
+"""Domain-aware static analysis for the repro library (docs/LINTS.md).
+
+The paper's guarantees rest on invariants plain review keeps missing:
+every access charged into Eq. 1 (RL001), replayable randomness (RL002),
+one exception root (RL003), complete framework plug-points (RL004), and
+no definition-time shared mutable state (RL005). ``repro lint`` makes
+them machine-checked; CI runs it on every change.
+
+Programmatic use::
+
+    from repro.lint import run_lint
+    report = run_lint(["src/repro"])
+    assert report.ok, [f.format() for f in report.findings]
+"""
+
+from repro.lint.core import (
+    Finding,
+    LintReport,
+    ModuleContext,
+    Rule,
+    register,
+    registered_rules,
+    run_lint,
+)
+from repro.lint.reporters import json_report, text_report
+
+__all__ = [
+    "Finding",
+    "LintReport",
+    "ModuleContext",
+    "Rule",
+    "register",
+    "registered_rules",
+    "run_lint",
+    "json_report",
+    "text_report",
+]

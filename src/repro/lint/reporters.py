@@ -1,0 +1,43 @@
+"""Render a :class:`~repro.lint.core.LintReport` as text or JSON.
+
+The text form is the human/CI-log view; the JSON form is stable,
+machine-readable output for editor integrations and the CI annotation
+step (one object per finding, schema documented in docs/LINTS.md).
+"""
+
+from __future__ import annotations
+
+import json
+
+from repro.lint.core import LintReport
+
+
+def text_report(report: LintReport) -> str:
+    """One line per finding plus a summary line."""
+    lines = [finding.format() for finding in report.findings]
+    noun = "finding" if len(report.findings) == 1 else "findings"
+    lines.append(
+        f"{len(report.findings)} {noun} in {report.files_checked} file(s) "
+        f"[rules: {', '.join(report.rules_run)}]"
+    )
+    return "\n".join(lines)
+
+
+def json_report(report: LintReport) -> str:
+    """The stable machine-readable form."""
+    payload = {
+        "findings": [
+            {
+                "rule": finding.rule,
+                "path": finding.path,
+                "line": finding.line,
+                "col": finding.col,
+                "message": finding.message,
+            }
+            for finding in report.findings
+        ],
+        "files_checked": report.files_checked,
+        "rules_run": report.rules_run,
+        "ok": report.ok,
+    }
+    return json.dumps(payload, indent=2, sort_keys=True)

@@ -1,0 +1,124 @@
+"""Project-wide class-graph helper shared by the inheritance rules.
+
+RL003 (exception rooting) and RL004 (algorithm interface) both reason
+about inheritance across modules. Classes are collected by simple name
+and bases are resolved by the *last segment* of their dotted form, which
+is exact for this codebase's layout (one definition per class name) and
+degrades to "unknown base" -- never a false match -- otherwise.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from typing import Iterator, Optional, Sequence
+
+from repro.lint.core import ModuleContext
+
+
+@dataclass
+class ClassInfo:
+    """One class definition with enough structure for inheritance rules."""
+
+    name: str
+    module: ModuleContext
+    node: ast.ClassDef
+    base_names: tuple[str, ...]
+    methods: frozenset[str]
+    class_attrs: frozenset[str]
+    is_abstract: bool = field(default=False)
+
+
+def _last_segment(expr: ast.expr) -> Optional[str]:
+    if isinstance(expr, ast.Name):
+        return expr.id
+    if isinstance(expr, ast.Attribute):
+        return expr.attr
+    if isinstance(expr, ast.Subscript):  # Generic[...] style bases
+        return _last_segment(expr.value)
+    return None
+
+
+def _is_abstract(node: ast.ClassDef) -> bool:
+    for keyword in node.keywords:
+        if keyword.arg == "metaclass":
+            seg = _last_segment(keyword.value)
+            if seg == "ABCMeta":
+                return True
+    for base in node.bases:
+        if _last_segment(base) == "ABC":
+            return True
+    for stmt in node.body:
+        if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            for deco in stmt.decorator_list:
+                if _last_segment(deco) in (
+                    "abstractmethod",
+                    "abstractproperty",
+                ):
+                    return True
+    return False
+
+
+def collect_classes(modules: Sequence[ModuleContext]) -> dict[str, ClassInfo]:
+    """Every class definition across ``modules``, keyed by simple name."""
+    table: dict[str, ClassInfo] = {}
+    for module in modules:
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.ClassDef):
+                continue
+            bases = tuple(
+                seg
+                for seg in (_last_segment(base) for base in node.bases)
+                if seg is not None
+            )
+            methods = set()
+            attrs = set()
+            for stmt in node.body:
+                if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                    methods.add(stmt.name)
+                elif isinstance(stmt, ast.Assign):
+                    for target in stmt.targets:
+                        if isinstance(target, ast.Name):
+                            attrs.add(target.id)
+                elif isinstance(stmt, ast.AnnAssign) and isinstance(
+                    stmt.target, ast.Name
+                ):
+                    if stmt.value is not None:
+                        attrs.add(stmt.target.id)
+            table[node.name] = ClassInfo(
+                name=node.name,
+                module=module,
+                node=node,
+                base_names=bases,
+                methods=frozenset(methods),
+                class_attrs=frozenset(attrs),
+                is_abstract=_is_abstract(node),
+            )
+    return table
+
+
+def ancestors(
+    name: str, table: dict[str, ClassInfo]
+) -> Iterator[ClassInfo]:
+    """All project-local ancestors of ``name`` (excluding itself)."""
+    seen: set[str] = {name}
+    frontier = list(table[name].base_names) if name in table else []
+    while frontier:
+        base = frontier.pop()
+        if base in seen:
+            continue
+        seen.add(base)
+        info = table.get(base)
+        if info is None:
+            continue
+        yield info
+        frontier.extend(info.base_names)
+
+
+def descends_from(
+    name: str, root: str, table: dict[str, ClassInfo]
+) -> bool:
+    """Whether ``name`` transitively inherits from ``root`` in-project."""
+    if name == root:
+        return True
+    return any(info.name == root for info in ancestors(name, table))

@@ -1,0 +1,84 @@
+"""RL001: every source access must be charged into the Eq. 1 cost model.
+
+The paper's metric *is* access cost: Eq. 1 sums the unit cost of every
+``sa_i`` / ``ra_i`` performed. The only component allowed to touch a
+:class:`~repro.sources.base.Source` directly is the middleware (it prices,
+counts, and rule-checks each access) -- an algorithm calling
+``source.sorted_access()`` would execute accesses invisible to the cost
+accounting, silently corrupting every cross-algorithm comparison.
+
+The rule flags any ``<recv>.sorted_access(...)`` / ``<recv>.random_access(...)``
+call whose receiver does not syntactically identify the middleware
+(its name must mention ``middleware`` or be ``mw``), outside the files
+that *are* the metering layer (``sources/middleware.py``) or wrap sources
+beneath it (``faults/injector.py``) and outside tests.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.lint.core import (
+    Finding,
+    ModuleContext,
+    Rule,
+    dotted_name,
+    path_matches,
+    register,
+)
+
+_ACCESS_METHODS = frozenset({"sorted_access", "random_access"})
+
+#: Files that legitimately touch raw sources: the metering layer itself
+#: and source wrappers that live *below* it.
+_ALLOWED_PATHS = (
+    "sources/middleware.py",
+    "faults/injector.py",
+    "tests/*",
+    "conftest.py",
+)
+
+
+def _receiver_is_middleware(node: ast.expr) -> bool:
+    name = dotted_name(node)
+    if name is None:
+        # Subscripts, calls, etc. -- recover what text we can.
+        name = ast.unparse(node)
+    lowered = name.lower()
+    return "middleware" in lowered or lowered in {"mw", "self.mw", "self"}
+
+
+@register
+class UnchargedAccessRule(Rule):
+    """Flag source accesses performed outside the metering middleware."""
+
+    rule_id = "RL001"
+    title = "uncharged source access"
+    rationale = (
+        "Direct sorted_access/random_access calls on raw sources bypass "
+        "the middleware and escape the Eq. 1 cost accounting."
+    )
+
+    def check(self, module: ModuleContext) -> Iterator[Finding]:
+        if path_matches(module.posix, _ALLOWED_PATHS):
+            return
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            func = node.func
+            if (
+                not isinstance(func, ast.Attribute)
+                or func.attr not in _ACCESS_METHODS
+            ):
+                continue
+            if _receiver_is_middleware(func.value):
+                continue
+            yield self.finding(
+                module,
+                node,
+                f"direct {func.attr}() on "
+                f"{ast.unparse(func.value)!r} bypasses the middleware; "
+                "route the access through Middleware so it is charged "
+                "into the Eq. 1 cost model",
+            )

@@ -1,0 +1,164 @@
+"""RL002: all randomness and time must be injected and replayable.
+
+Reproducibility is a correctness property of this library: the chaos
+fuzz suite (docs/FAULTS.md) asserts bit-for-bit replay, and every cost
+number in the paper reproduction is only comparable because runs are
+deterministic. Three things break that silently:
+
+* calls on the **shared module-level generator** (``random.random()``,
+  ``random.choice()``, ...): its state is global, so any unrelated call
+  anywhere reorders the stream;
+* **unseeded generators** (``random.Random()`` with no arguments,
+  ``random.SystemRandom``): seeded from OS entropy, unreplayable;
+* **wall-clock reads** (``time.time()``, ``datetime.now()``, ...): a
+  different answer on every run.
+
+Even *seeded* ``random.Random(seed)`` construction is restricted to the
+sanctioned randomness roots (:mod:`repro.determinism`, the fault layer,
+the workload generators): everything else must accept an injected
+generator via :func:`repro.determinism.derive_rng`, so one audit of the
+roots covers the whole library.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, Optional
+
+from repro.lint.core import (
+    Finding,
+    ModuleContext,
+    Rule,
+    import_aliases,
+    path_matches,
+    register,
+    resolve_call,
+)
+
+#: Sanctioned randomness roots: constructing a seeded generator is legal
+#: only here (and in tests/benchmarks, which own their seeds).
+_RNG_ROOT_PATHS = (
+    "determinism.py",
+    "faults/*",
+    "bench/*",
+    "tests/*",
+    "benchmarks/*",
+    "examples/*",
+    "conftest.py",
+)
+
+#: Wall-clock and entropy reads that are nondeterministic everywhere.
+_BANNED_CALLS = {
+    "time.time": "wall-clock read",
+    "time.time_ns": "wall-clock read",
+    "time.monotonic": "wall-clock read",
+    "time.monotonic_ns": "wall-clock read",
+    "time.perf_counter": "wall-clock read",
+    "time.perf_counter_ns": "wall-clock read",
+    "datetime.datetime.now": "wall-clock read",
+    "datetime.datetime.utcnow": "wall-clock read",
+    "datetime.datetime.today": "wall-clock read",
+    "datetime.date.today": "wall-clock read",
+    "os.urandom": "OS entropy",
+    "uuid.uuid1": "clock/MAC-derived id",
+    "uuid.uuid4": "OS entropy",
+    "secrets.token_bytes": "OS entropy",
+    "secrets.token_hex": "OS entropy",
+    "secrets.token_urlsafe": "OS entropy",
+}
+
+
+def _normalize(resolved: str) -> Optional[str]:
+    """Map a resolved dotted call name onto the banned-call vocabulary."""
+    if resolved in _BANNED_CALLS:
+        return resolved
+    # ``from datetime import datetime`` resolves datetime.now() to
+    # ``datetime.datetime.now`` already; a bare ``date.today`` resolves to
+    # ``datetime.date.today``. Nothing further to normalize.
+    return None
+
+
+@register
+class NondeterminismRule(Rule):
+    """Flag global-RNG calls, unseeded generators, and wall-clock reads."""
+
+    rule_id = "RL002"
+    title = "nondeterminism"
+    rationale = (
+        "Global-RNG calls, unseeded generators, and wall-clock reads make "
+        "runs unreplayable; randomness must flow through injected seeded "
+        "generators (repro.determinism.derive_rng)."
+    )
+
+    def check(self, module: ModuleContext) -> Iterator[Finding]:
+        aliases = import_aliases(module.tree)
+        in_rng_root = path_matches(module.posix, _RNG_ROOT_PATHS)
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            resolved = resolve_call(node, aliases)
+            if resolved is None:
+                continue
+            banned = _normalize(resolved)
+            if banned is not None:
+                yield self.finding(
+                    module,
+                    node,
+                    f"{resolved}() is nondeterministic "
+                    f"({_BANNED_CALLS[banned]}); inject the value through "
+                    "the run configuration instead",
+                )
+                continue
+            if resolved == "random.SystemRandom":
+                yield self.finding(
+                    module,
+                    node,
+                    "random.SystemRandom draws OS entropy and can never "
+                    "be replayed; use an injected seeded random.Random",
+                )
+                continue
+            if resolved == "random.Random":
+                if not node.args and not node.keywords:
+                    yield self.finding(
+                        module,
+                        node,
+                        "random.Random() without a seed is seeded from OS "
+                        "entropy; pass an explicit seed or inject a "
+                        "generator via repro.determinism.derive_rng",
+                    )
+                elif not in_rng_root:
+                    yield self.finding(
+                        module,
+                        node,
+                        "seeded random.Random(...) constructed outside the "
+                        "sanctioned randomness roots; accept an injected "
+                        "generator and fall back through "
+                        "repro.determinism.derive_rng",
+                    )
+                continue
+            if resolved.startswith("random.") and resolved.count(".") == 1:
+                yield self.finding(
+                    module,
+                    node,
+                    f"{resolved}() uses the shared module-level generator, "
+                    "whose global state makes every run order-dependent; "
+                    "use an injected seeded random.Random",
+                )
+                continue
+            if resolved == "numpy.random.default_rng":
+                if not node.args and not node.keywords:
+                    yield self.finding(
+                        module,
+                        node,
+                        "numpy.random.default_rng() without a seed is "
+                        "entropy-seeded; pass an explicit seed",
+                    )
+                continue
+            if resolved.startswith("numpy.random.") and resolved.count(".") == 2:
+                yield self.finding(
+                    module,
+                    node,
+                    f"{resolved}() uses numpy's shared global generator; "
+                    "construct a seeded Generator with "
+                    "numpy.random.default_rng(seed) instead",
+                )

@@ -1,0 +1,76 @@
+"""RL004: pluggable components must implement their framework hooks.
+
+The unification claim of the paper lives in a handful of plug-points:
+algorithms (:class:`~repro.algorithms.base.TopKAlgorithm`), Select
+policies (:class:`~repro.core.policies.SelectPolicy`), Delta-search
+schemes (:class:`~repro.optimizer.search.SearchScheme`) and scoring
+functions (:class:`~repro.scoring.functions.ScoringFunction`). A subclass
+missing a required hook fails only when first exercised -- in the worst
+case deep inside a benchmark sweep. This rule checks, purely statically,
+that every concrete subclass of a framework base defines (or inherits
+from a non-root ancestor) its required members.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Sequence
+
+from repro.lint.core import Finding, ModuleContext, Rule, register
+from repro.lint.rules._classes import ancestors, collect_classes
+
+#: Framework base -> members every concrete descendant must provide.
+_REQUIREMENTS: dict[str, tuple[str, ...]] = {
+    "TopKAlgorithm": ("run", "name"),
+    "SelectPolicy": ("select",),
+    "SearchScheme": ("search",),
+    "ScoringFunction": ("evaluate",),
+    "Source": (
+        "sorted_access",
+        "random_access",
+        "reset",
+    ),
+}
+
+
+@register
+class AlgorithmInterfaceRule(Rule):
+    """Flag concrete framework subclasses missing their required hooks."""
+
+    rule_id = "RL004"
+    title = "incomplete framework interface"
+    rationale = (
+        "A concrete algorithm/policy/scheme/source missing a required "
+        "hook only fails when first exercised; the interface contract "
+        "should be checkable before any query runs."
+    )
+
+    def finalize(self, modules: Sequence[ModuleContext]) -> Iterator[Finding]:
+        table = collect_classes(modules)
+        for name, info in sorted(table.items()):
+            if name in _REQUIREMENTS or info.is_abstract:
+                continue
+            chain = list(ancestors(name, table))
+            roots = [c.name for c in chain if c.name in _REQUIREMENTS]
+            if not roots:
+                continue
+            provided: set[str] = set(info.methods) | set(info.class_attrs)
+            for ancestor in chain:
+                if ancestor.name in _REQUIREMENTS:
+                    continue  # the root's own defaults don't count
+                provided |= set(ancestor.methods)
+                provided |= set(ancestor.class_attrs)
+            for root in roots:
+                missing = [
+                    member
+                    for member in _REQUIREMENTS[root]
+                    if member not in provided
+                ]
+                if missing:
+                    yield self.finding(
+                        info.module,
+                        info.node,
+                        f"class {name} subclasses {root} but does not "
+                        f"define {', '.join(missing)}; every concrete "
+                        f"{root} must provide "
+                        f"{', '.join(_REQUIREMENTS[root])}",
+                    )

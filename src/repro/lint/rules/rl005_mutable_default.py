@@ -1,0 +1,137 @@
+"""RL005: no mutable defaults or shared mutable class state.
+
+Python evaluates default values once, at definition time: a ``list`` /
+``dict`` / ``set`` default is shared by every call, and a mutable literal
+in a class body is shared by every instance. In this library that is how
+per-run state (seen sets, access logs, bound tables) leaks across runs --
+exactly the bug class the middleware's ``reset()`` hardening in PR 1
+fixed by hand. Dataclasses must use ``field(default_factory=...)``;
+functions must default to ``None`` and construct inside the body;
+deliberate class-level constants must be immutable (tuple, frozenset) or
+annotated ``ClassVar`` to mark the sharing as intended.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, Optional
+
+from repro.lint.core import Finding, ModuleContext, Rule, register
+
+_MUTABLE_CALLS = frozenset(
+    {"list", "dict", "set", "bytearray", "deque", "defaultdict", "Counter"}
+)
+
+
+def _mutable_kind(node: Optional[ast.expr]) -> Optional[str]:
+    """A human label when ``node`` evaluates to a fresh mutable object."""
+    if node is None:
+        return None
+    if isinstance(node, ast.List):
+        return "list literal"
+    if isinstance(node, ast.Dict):
+        return "dict literal"
+    if isinstance(node, ast.Set):
+        return "set literal"
+    if isinstance(node, (ast.ListComp, ast.DictComp, ast.SetComp)):
+        return "comprehension"
+    if isinstance(node, ast.Call) and isinstance(node.func, ast.Name):
+        if node.func.id in _MUTABLE_CALLS:
+            return f"{node.func.id}() call"
+    return None
+
+
+def _is_classvar(annotation: Optional[ast.expr]) -> bool:
+    if annotation is None:
+        return False
+    node = annotation
+    if isinstance(node, ast.Subscript):
+        node = node.value
+    if isinstance(node, ast.Name):
+        return node.id == "ClassVar"
+    if isinstance(node, ast.Attribute):
+        return node.attr == "ClassVar"
+    return False
+
+
+@register
+class MutableDefaultRule(Rule):
+    """Flag mutable defaults in signatures and mutable class-body state."""
+
+    rule_id = "RL005"
+    title = "mutable default / shared state"
+    rationale = (
+        "Definition-time mutable defaults and class-body mutable literals "
+        "are shared across calls and instances, leaking per-run state "
+        "between runs."
+    )
+
+    def check(self, module: ModuleContext) -> Iterator[Finding]:
+        for node in ast.walk(module.tree):
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                yield from self._check_signature(module, node)
+            elif isinstance(node, ast.ClassDef):
+                yield from self._check_class_body(module, node)
+
+    def _check_signature(
+        self, module: ModuleContext, node: ast.FunctionDef | ast.AsyncFunctionDef
+    ) -> Iterator[Finding]:
+        args = node.args
+        positional = args.posonlyargs + args.args
+        for arg, default in zip(
+            positional[len(positional) - len(args.defaults):], args.defaults
+        ):
+            kind = _mutable_kind(default)
+            if kind is not None:
+                yield self.finding(
+                    module,
+                    default,
+                    f"parameter {arg.arg!r} of {node.name}() defaults to a "
+                    f"{kind}, shared across every call; default to None "
+                    "and construct inside the body",
+                )
+        for arg, kw_default in zip(args.kwonlyargs, args.kw_defaults):
+            kind = _mutable_kind(kw_default)
+            if kind is not None:
+                assert kw_default is not None
+                yield self.finding(
+                    module,
+                    kw_default,
+                    f"parameter {arg.arg!r} of {node.name}() defaults to a "
+                    f"{kind}, shared across every call; default to None "
+                    "and construct inside the body",
+                )
+
+    def _check_class_body(
+        self, module: ModuleContext, node: ast.ClassDef
+    ) -> Iterator[Finding]:
+        for stmt in node.body:
+            if isinstance(stmt, ast.Assign):
+                kind = _mutable_kind(stmt.value)
+                if kind is None:
+                    continue
+                names = ", ".join(
+                    ast.unparse(target) for target in stmt.targets
+                )
+                yield self.finding(
+                    module,
+                    stmt,
+                    f"class attribute {names} of {node.name} is a {kind} "
+                    "shared by every instance; use an immutable value, "
+                    "ClassVar, or (in dataclasses) "
+                    "field(default_factory=...)",
+                )
+            elif isinstance(stmt, ast.AnnAssign):
+                if _is_classvar(stmt.annotation):
+                    continue
+                kind = _mutable_kind(stmt.value)
+                if kind is None:
+                    continue
+                yield self.finding(
+                    module,
+                    stmt,
+                    f"class attribute {ast.unparse(stmt.target)} of "
+                    f"{node.name} is a {kind} shared by every instance; "
+                    "use an immutable value, ClassVar, or (in dataclasses) "
+                    "field(default_factory=...)",
+                )

@@ -28,6 +28,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro.determinism import derive_rng
 from repro.exceptions import OptimizationError
 from repro.optimizer.estimator import CostEstimator
 from repro.scoring.functions import Avg, Max, Min, ScoringFunction, WeightedSum
@@ -184,6 +185,10 @@ class HillClimb(SearchScheme):
     falls below ``min_step``. Starts combine the diagonal midpoint, the
     all-ones corner (probe-only), the all-zeros corner (scan-only), and
     ``restarts`` random points -- the paper's remedy against local minima.
+
+    Restart points are drawn from a scheme-owned generator seeded by
+    ``seed``, or from an injected caller-owned ``rng`` (which then spans
+    every subsequent :meth:`search` call on this instance).
     """
 
     def __init__(
@@ -192,6 +197,7 @@ class HillClimb(SearchScheme):
         step: float = 0.25,
         min_step: float = 0.04,
         seed: int = 0,
+        rng: random.Random | None = None,
     ):
         if restarts < 0:
             raise OptimizationError("restarts must be >= 0")
@@ -201,9 +207,13 @@ class HillClimb(SearchScheme):
         self.step = step
         self.min_step = min_step
         self.seed = seed
+        self._rng = rng
 
     def _starts(self, m: int) -> list[tuple[float, ...]]:
-        rng = random.Random(self.seed)
+        # A fresh seed-derived generator per search keeps repeated
+        # searches on one scheme instance identical; an injected one is
+        # caller-owned and advances across searches.
+        rng = self._rng if self._rng is not None else derive_rng(self.seed)
         starts = [
             tuple([0.5] * m),
             tuple([1.0] * m),

@@ -13,6 +13,7 @@ from __future__ import annotations
 import random
 from typing import Optional
 
+from repro.determinism import derive_rng
 from repro.exceptions import NotMonotoneError
 from repro.scoring.functions import ScoringFunction
 
@@ -22,6 +23,7 @@ def check_monotone(
     trials: int = 200,
     seed: int = 0,
     raise_on_failure: bool = True,
+    rng: Optional[random.Random] = None,
 ) -> Optional[tuple[tuple[float, ...], tuple[float, ...]]]:
     """Randomized-test that ``fn`` is monotone on the unit cube.
 
@@ -30,11 +32,14 @@ def check_monotone(
     otherwise returns the violating pair ``(x, y)``, or raises
     :class:`NotMonotoneError` when ``raise_on_failure`` is set.
 
+    Sampling is deterministic: a fresh generator derived from ``seed``,
+    or the injected caller-owned ``rng`` (which takes precedence).
+
     This is a falsifier, not a prover: passing it does not certify
     monotonicity, but it reliably catches the common mistakes (negated
     inputs, differences, distances used as raw scores).
     """
-    rng = random.Random(seed)
+    rng = derive_rng(rng if rng is not None else seed)
     m = fn.arity
     for _ in range(trials):
         lo = [rng.random() for _ in range(m)]

@@ -13,7 +13,9 @@ from __future__ import annotations
 
 import random
 from abc import ABC, abstractmethod
+from typing import Optional
 
+from repro.determinism import derive_rng
 from repro.sources.cost import CostModel
 from repro.types import Access
 
@@ -50,12 +52,18 @@ class NoisyLatency(LatencyModel):
     can neither stall a simulation nor complete for free.
     """
 
-    def __init__(self, cost_model: CostModel, sigma: float = 0.3, seed: int = 0):
+    def __init__(
+        self,
+        cost_model: CostModel,
+        sigma: float = 0.3,
+        seed: int = 0,
+        rng: Optional[random.Random] = None,
+    ):
         if sigma < 0:
             raise ValueError("sigma must be >= 0")
         self._cost_model = cost_model
         self._sigma = sigma
-        self._rng = random.Random(seed)
+        self._rng = derive_rng(rng if rng is not None else seed)
 
     def duration(self, access: Access) -> float:
         base = self._cost_model.access_cost(access)

@@ -24,8 +24,9 @@ exact and the unification claims directly testable.
 
 from __future__ import annotations
 
-from typing import Callable, Optional, Sequence
+from typing import Callable, Optional, Sequence, Union
 
+from repro.contracts import ContractChecker, resolve_checker
 from repro.data.dataset import Dataset
 from repro.exceptions import (
     BudgetExceededError,
@@ -76,6 +77,13 @@ class Middleware:
         monitor: optional :class:`~repro.sources.monitor.CostMonitor` fed
             with the simulated duration of every successful access whose
             source reports one (e.g. the fault injector).
+        contracts: runtime contract checking (:mod:`repro.contracts`).
+            ``True`` arms a default :class:`ContractChecker`; an explicit
+            checker instance is used as-is; the default ``False`` still
+            honours the ``REPRO_CONTRACTS`` environment switch. When
+            armed, every delivered score is checked against ``[0, 1]``
+            and every last-seen bound ``l_i`` against monotonicity, and
+            engines add threshold/interval checks on top.
     """
 
     def __init__(
@@ -90,6 +98,7 @@ class Middleware:
         retry_policy: Optional[RetryPolicy] = None,
         breaker_policy: Optional[BreakerPolicy] = None,
         monitor: Optional[CostMonitor] = None,
+        contracts: Union[bool, ContractChecker, None] = False,
     ):
         if len(sources) != cost_model.m:
             raise ValueError(
@@ -136,6 +145,7 @@ class Middleware:
             breaker_policy if breaker_policy is not None else BreakerPolicy()
         )
         self._monitor = monitor
+        self._contracts = resolve_checker(contracts)
         self._stats = AccessStats(cost_model, record_log=record_log)
         self._seen: set[int] = set()
         self._delivered: set[tuple[int, int]] = set()
@@ -173,6 +183,7 @@ class Middleware:
         retry_policy: Optional[RetryPolicy] = None,
         breaker_policy: Optional[BreakerPolicy] = None,
         monitor: Optional[CostMonitor] = None,
+        contracts: Union[bool, ContractChecker, None] = False,
     ) -> "Middleware":
         """Build a middleware over simulated sources for ``dataset``.
 
@@ -201,6 +212,7 @@ class Middleware:
             retry_policy=retry_policy,
             breaker_policy=breaker_policy,
             monitor=monitor,
+            contracts=contracts,
         )
 
     # ------------------------------------------------------------------
@@ -244,6 +256,15 @@ class Middleware:
     def monitor(self) -> Optional[CostMonitor]:
         """The attached cost monitor, if any."""
         return self._monitor
+
+    @property
+    def contracts(self) -> Optional[ContractChecker]:
+        """The armed contract checker, or ``None`` when checking is off.
+
+        Engines consult this to add their threshold/interval contracts on
+        top of the middleware's per-access score and bound checks.
+        """
+        return self._contracts
 
     def breaker_state(self, predicate: int, kind: AccessType) -> BreakerState:
         """The circuit-breaker state of one source channel, right now."""
@@ -449,6 +470,8 @@ class Middleware:
         if result is None:  # pragma: no cover - guarded by exhaustion check
             return None
         obj, score = result
+        if self._contracts is not None:
+            self._contracts.observe_sorted(predicate, score, source.last_seen)
         self._seen.add(obj)
         self._delivered.add((predicate, obj))
         return obj, score
@@ -481,6 +504,8 @@ class Middleware:
         score = self._execute(
             access, lambda: self._sources[predicate].random_access(obj)
         )
+        if self._contracts is not None:
+            self._contracts.check_score(predicate, obj, float(score))  # type: ignore[arg-type]
         self._delivered.add((predicate, obj))
         return float(score)  # type: ignore[arg-type]
 
@@ -517,3 +542,5 @@ class Middleware:
         )
         if self._monitor is not None:
             self._monitor.reset()
+        if self._contracts is not None:
+            self._contracts.reset()

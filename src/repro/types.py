@@ -9,7 +9,7 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass, field
-from typing import TYPE_CHECKING, Optional, Sequence
+from typing import TYPE_CHECKING, Any, Iterator, Optional, Sequence
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard for annotations
     from repro.sources.stats import AccessStats
@@ -78,7 +78,7 @@ class RankedObject:
     obj: int
     score: float
 
-    def __iter__(self):
+    def __iter__(self) -> Iterator[float]:
         """Allow ``obj, score = ranked`` unpacking."""
         yield self.obj
         yield self.score
@@ -106,7 +106,7 @@ class QueryResult:
     ranking: list[RankedObject]
     stats: "AccessStats"
     algorithm: str = ""
-    metadata: dict = field(default_factory=dict)
+    metadata: dict[str, Any] = field(default_factory=dict)
     partial: bool = False
     uncertainty: dict[int, tuple[float, float]] = field(default_factory=dict)
 

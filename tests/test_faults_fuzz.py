@@ -6,6 +6,11 @@ algorithm in the library, a chaos run over flaky sources must return the
 same top-k -- object ids AND scores -- as the fault-free run on the same
 data, differing only in cost (retries are charged) and fault accounting.
 Injection, jitter, and data are all seeded, so each case replays exactly.
+
+Every chaos run here is armed with the runtime contract checker
+(``contracts=True``, docs/LINTS.md): fault handling must preserve the
+paper's soundness invariants (non-increasing bounds and thresholds,
+scores in [0, 1]), not just the final answer.
 """
 
 import itertools
@@ -72,9 +77,12 @@ def test_transient_chaos_is_answer_invisible(algo_name, fault_seed):
             seed=fault_seed,
             retry_policy=RETRIES,
             no_wild_guesses=not wild,
+            contracts=True,
         )
         chaos = ALGORITHMS[algo_name]().run(chaos_mw, fn, 5)
         context = (algo_name, label, fault_seed)
+        assert chaos_mw.contracts is not None
+        assert chaos_mw.contracts.checks > 0, context
         assert chaos.objects == clean.objects, context
         assert chaos.scores == clean.scores, context
         assert chaos.is_exact and not chaos.partial, context
@@ -96,6 +104,7 @@ def test_mixed_timeouts_and_transients_also_invisible():
             FaultProfile(transient_rate=rate_t, timeout_rate=rate_to),
             seed=17,
             retry_policy=RETRIES,
+            contracts=True,
         )
         chaos = TA().run(mw, fn, 4)
         assert chaos.objects == clean.objects
@@ -113,10 +122,12 @@ def test_chaos_run_replays_exactly():
             FaultProfile.transient(0.2),
             seed=9,
             retry_policy=RETRIES,
+            contracts=True,
         )
         result = NRA().run(mw, Min(2), 5)
         return result.objects, result.scores, result.total_cost(), (
-            mw.stats.total_retries
+            mw.stats.total_retries,
+            mw.contracts.checks,
         )
 
     assert run() == run()
