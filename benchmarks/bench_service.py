@@ -1,0 +1,191 @@
+"""E20 -- serving: cross-query amortization of access cost (docs/SERVICE.md).
+
+Serves a batch of related top-k queries -- same predicates, varied
+scoring functions and retrieval sizes -- through one :class:`QueryServer`
+and compares the total *charged* cost against serving the identical batch
+cold (a fresh pool per query, the one-query-at-a-time regime the paper
+studies). The acceptance bar of the serving subsystem:
+
+* the warm batch's total charged cost is **strictly lower** than the cold
+  batch's, and
+* every warm answer is byte-identical to its cold counterpart -- the
+  cache amortizes cost, it never changes answers.
+
+A second table sweeps within-query concurrency: wave-parallel serving
+keeps the amortization while trading accesses for elapsed waves.
+
+Besides the usual ascii table, the raw measurements land as JSON in
+``benchmarks/results/`` for trend tracking.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+
+from repro.bench.reporting import ascii_table
+from repro.data.generators import uniform
+from repro.service import QueryServer, ServerConfig
+from repro.sources.cost import CostModel
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+N = 600
+SEED = 17
+SCHEMA = ("a", "b", "c")
+
+#: >= 20 related queries over the same three predicates: repeated exact
+#: texts (full cache rides), shared subexpressions, and varied k.
+QUERY_BATCH = tuple(
+    f"SELECT * FROM r ORDER BY {expr} STOP AFTER {k}"
+    for expr, k in [
+        ("min(a, b)", 5),
+        ("min(a, b)", 5),
+        ("avg(a, b)", 5),
+        ("min(a, b, c)", 5),
+        ("max(a, b)", 3),
+        ("min(a, b)", 7),
+        ("avg(a, b, c)", 5),
+        ("min(a, c)", 5),
+        ("min(a, b)", 10),
+        ("avg(a, b)", 8),
+        ("min(b, c)", 5),
+        ("max(a, b, c)", 4),
+        ("min(a, b, c)", 8),
+        ("avg(a, c)", 5),
+        ("min(a, b)", 5),
+        ("median(a, b, c)", 5),
+        ("avg(a, b)", 5),
+        ("min(a, b, c)", 5),
+        ("max(b, c)", 3),
+        ("min(a, b)", 12),
+    ]
+)
+
+
+def build_server(**config_kwargs) -> QueryServer:
+    data = uniform(N, len(SCHEMA), seed=SEED)
+    model = CostModel.uniform(len(SCHEMA), cs=1.0, cr=2.0)
+    return QueryServer(
+        model,
+        dataset=data,
+        schema=SCHEMA,
+        config=ServerConfig(max_in_flight=len(QUERY_BATCH), **config_kwargs),
+    )
+
+
+def serve_batch(server: QueryServer):
+    return [server.query(text) for text in QUERY_BATCH]
+
+
+def cold_batch():
+    """The same batch without amortization: a fresh pool per query."""
+    return [build_server().query(text) for text in QUERY_BATCH]
+
+
+def test_warm_batch_strictly_cheaper_and_identical(report):
+    cold = cold_batch()
+    server = build_server()
+    warm = serve_batch(server)
+
+    cold_cost = sum(s.charged_cost for s in cold)
+    warm_cost = sum(s.charged_cost for s in warm)
+    assert len(QUERY_BATCH) >= 20
+    assert warm_cost < cold_cost, "serving must amortize access cost"
+
+    free_rides = 0
+    for cold_s, warm_s in zip(cold, warm):
+        pairs_cold = [(e.obj, e.score) for e in cold_s.result.ranking]
+        pairs_warm = [(e.obj, e.score) for e in warm_s.result.ranking]
+        assert pairs_warm == pairs_cold, cold_s.text
+        assert warm_s.charged_cost <= cold_s.charged_cost
+        if warm_s.charged_cost == 0.0:
+            free_rides += 1
+    assert free_rides > 0  # repeated queries ride entirely on the cache
+
+    snap = server.stats()
+    rows = [
+        [
+            i + 1,
+            warm_s.text.split("ORDER BY ")[1],
+            f"{cold_s.charged_cost:g}",
+            f"{warm_s.charged_cost:g}",
+            warm_s.cache_hits,
+        ]
+        for i, (cold_s, warm_s) in enumerate(zip(cold, warm))
+    ]
+    rows.append(["", "TOTAL", f"{cold_cost:g}", f"{warm_cost:g}", ""])
+    table = ascii_table(
+        ["#", "query", "cold cost", "warm cost", "hits"],
+        rows,
+        title=(
+            f"E20: serving {len(QUERY_BATCH)} related queries "
+            f"(n={N}, m={len(SCHEMA)}) -- "
+            f"warm/cold charged cost {warm_cost / cold_cost:.2f}, "
+            f"cache hit rate {snap['cache']['hit_rate']:.2f}"
+        ),
+    )
+    report("E20", "service amortization", table)
+
+    RESULTS_DIR.mkdir(exist_ok=True)
+    payload = {
+        "experiment": "E20",
+        "n": N,
+        "m": len(SCHEMA),
+        "queries": len(QUERY_BATCH),
+        "cold_cost_total": cold_cost,
+        "warm_cost_total": warm_cost,
+        "savings_ratio": 1.0 - warm_cost / cold_cost,
+        "cache": snap["cache"],
+        "per_query": [
+            {
+                "query": warm_s.text,
+                "cold_cost": cold_s.charged_cost,
+                "warm_cost": warm_s.charged_cost,
+                "cache_hits": warm_s.cache_hits,
+            }
+            for cold_s, warm_s in zip(cold, warm)
+        ],
+    }
+    (RESULTS_DIR / "e20_service_amortization.json").write_text(
+        json.dumps(payload, indent=2, sort_keys=True) + "\n"
+    )
+
+
+def test_concurrency_sweep_keeps_amortization(report):
+    baseline = None
+    rows = []
+    sweep = []
+    for concurrency in (1, 2, 4, 8):
+        server = build_server(query_concurrency=concurrency)
+        sessions = serve_batch(server)
+        total = sum(s.charged_cost for s in sessions)
+        hit_rate = server.stats()["cache"]["hit_rate"]
+        if baseline is None:
+            baseline = [
+                [(e.obj, e.score) for e in s.result.ranking] for s in sessions
+            ]
+        else:
+            for expected, session in zip(baseline, sessions):
+                got = [(e.obj, e.score) for e in session.result.ranking]
+                assert got == expected, session.text
+        assert hit_rate > 0.0
+        rows.append([concurrency, f"{total:g}", f"{hit_rate:.2f}"])
+        sweep.append(
+            {
+                "concurrency": concurrency,
+                "charged_cost_total": total,
+                "cache_hit_rate": hit_rate,
+            }
+        )
+    table = ascii_table(
+        ["c", "charged cost", "hit rate"],
+        rows,
+        title="E20b: within-query concurrency x cross-query cache",
+    )
+    report("E20b", "service concurrency sweep", table)
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / "e20b_service_concurrency.json").write_text(
+        json.dumps({"experiment": "E20b", "sweep": sweep}, indent=2, sort_keys=True)
+        + "\n"
+    )

@@ -74,6 +74,7 @@ from repro.exceptions import (
     OptimizationError,
     ReproError,
     RetryExhaustedError,
+    ServiceOverloadError,
     SourceFaultError,
     SourceTimeoutError,
     SourceUnavailableError,
@@ -113,6 +114,7 @@ from repro.analysis import (
 )
 from repro.parallel import ParallelExecutor, ParallelResult
 from repro.query import ParsedQuery, QueryError, parse_query, run_query
+from repro.service import QueryServer, ServerConfig, Session
 from repro.scoring import (
     Avg,
     Geometric,
@@ -127,6 +129,8 @@ from repro.scoring import (
 )
 from repro.sources import (
     AccessStats,
+    CachedSource,
+    CacheStats,
     CallbackSource,
     ConstantLatency,
     CostModel,
@@ -135,6 +139,7 @@ from repro.sources import (
     Middleware,
     NoisyLatency,
     SimulatedSource,
+    SourceCache,
 )
 from repro.types import Access, AccessType, QueryResult, RankedObject
 
@@ -179,6 +184,9 @@ __all__ = [
     "LatencyModel",
     "ConstantLatency",
     "NoisyLatency",
+    "SourceCache",
+    "CachedSource",
+    "CacheStats",
     # core
     "ScoreState",
     "SelectPolicy",
@@ -220,6 +228,10 @@ __all__ = [
     "run_query",
     "ParsedQuery",
     "QueryError",
+    # service
+    "QueryServer",
+    "ServerConfig",
+    "Session",
     # analysis
     "offline_optimal",
     "competitive_ratio",
@@ -250,4 +262,5 @@ __all__ = [
     "SourceTimeoutError",
     "SourceUnavailableError",
     "RetryExhaustedError",
+    "ServiceOverloadError",
 ]

@@ -17,6 +17,11 @@ Usage (also via ``python -m repro``)::
         Parse and execute an SQL-like query over a synthetic uniform
         database whose predicates are named by first appearance.
 
+    python -m repro serve --n 1000 --schema a,b --seed 7
+        Serve many queries over one shared source pool with a cross-query
+        cache (docs/SERVICE.md): JSON-lines requests on stdin (or a local
+        socket with --socket PATH), responses on stdout.
+
     python -m repro lint src/repro [--format json] [--select RL001,RL002]
         Run the domain-aware static-analysis pass (docs/LINTS.md) over
         the given files/directories; exit 1 when findings remain.
@@ -50,7 +55,12 @@ from repro.bench.reporting import ascii_table
 from repro.bench.scenarios import matrix_scenarios, s1, s2, s3, travel_q1, travel_q2
 from repro.data.generators import uniform
 from repro.exceptions import ReproError
-from repro.faults import FaultProfile, RetryPolicy, chaos_middleware
+from repro.faults import (
+    FaultProfile,
+    RetryPolicy,
+    chaos_middleware,
+    faulty_sources_for,
+)
 from repro.optimizer.search import HillClimb, NaiveGrid, Strategies
 from repro.query import parse_query, run_query
 from repro.sources.cost import CostModel
@@ -265,6 +275,67 @@ def _cmd_query(args) -> int:
     return 0
 
 
+def _cmd_serve(args) -> int:
+    from repro.service import QueryServer, ServerConfig, serve_socket, serve_stream
+    from repro.sources.cache import SourceCache
+
+    schema = [name.strip() for name in args.schema.split(",") if name.strip()]
+    if not schema:
+        raise ReproError("--schema must name at least one predicate")
+    m = len(schema)
+    data = uniform(args.n, m, seed=args.seed)
+    model = CostModel.uniform(m, cs=args.cs, cr=args.cr)
+    retry_policy = None
+    if args.fault_rate != 0.0 or args.timeout is not None:
+        try:
+            profile = FaultProfile.transient(args.fault_rate)
+        except ValueError as exc:
+            raise ReproError(str(exc)) from exc
+        retry_policy = _retry_policy(args)
+        sources = faulty_sources_for(
+            data,
+            profile,
+            seed=args.fault_seed,
+            sorted_capable=model.sorted_capabilities,
+            random_capable=model.random_capabilities,
+        )
+        cache = SourceCache(
+            sources, ttl=args.cache_ttl, max_entries=args.cache_max_entries
+        )
+    else:
+        cache = SourceCache.over(
+            data, model, ttl=args.cache_ttl, max_entries=args.cache_max_entries
+        )
+    try:
+        config = ServerConfig(
+            max_in_flight=args.max_in_flight,
+            query_concurrency=args.concurrency,
+            default_budget=args.budget,
+            cache_ttl=args.cache_ttl,
+            cache_max_entries=args.cache_max_entries,
+            seed=args.seed,
+            contracts=args.contracts,
+            retry_policy=retry_policy,
+        )
+    except ValueError as exc:
+        raise ReproError(str(exc)) from exc
+    server = QueryServer(model, cache=cache, schema=schema, config=config)
+    if args.socket:
+        print(f"serving on {args.socket}", file=sys.stderr)
+        serve_socket(server, args.socket)
+    else:
+        serve_stream(server, sys.stdin, sys.stdout)
+    snapshot = server.stats()
+    print(
+        f"served {snapshot['completed']} queries "
+        f"({snapshot['failed']} failed, {snapshot['rejected']} rejected); "
+        f"charged cost {snapshot['charged_cost_total']:g}, "
+        f"cache hit rate {snapshot['cache']['hit_rate']:.2f}",
+        file=sys.stderr,
+    )
+    return 0
+
+
 def _cmd_lint(args) -> int:
     from repro.lint import json_report, run_lint, text_report
 
@@ -355,6 +426,56 @@ def build_parser() -> argparse.ArgumentParser:
     add_fault_flags(query_parser)
     add_contracts_flag(query_parser)
 
+    serve_parser = sub.add_parser(
+        "serve", help="serve queries over a shared cached source pool"
+    )
+    serve_parser.add_argument("--n", type=int, default=1000)
+    serve_parser.add_argument("--seed", type=int, default=0)
+    serve_parser.add_argument(
+        "--schema",
+        default="a,b",
+        help="comma-separated predicate names served (default: a,b)",
+    )
+    serve_parser.add_argument("--cs", type=float, default=1.0)
+    serve_parser.add_argument("--cr", type=float, default=1.0)
+    serve_parser.add_argument(
+        "--max-in-flight",
+        type=int,
+        default=8,
+        help="admission bound on open sessions (default 8)",
+    )
+    serve_parser.add_argument(
+        "--concurrency",
+        type=int,
+        default=1,
+        help="accesses issued concurrently within one query (default 1)",
+    )
+    serve_parser.add_argument(
+        "--budget",
+        type=float,
+        default=None,
+        help="default per-session cost cap (default: unbounded)",
+    )
+    serve_parser.add_argument(
+        "--cache-ttl",
+        type=int,
+        default=None,
+        help="idle queries before a cached predicate expires (default: never)",
+    )
+    serve_parser.add_argument(
+        "--cache-max-entries",
+        type=int,
+        default=None,
+        help="bound on cached records, LRU-evicted (default: unbounded)",
+    )
+    serve_parser.add_argument(
+        "--socket",
+        default=None,
+        help="serve on a unix socket at this path instead of stdio",
+    )
+    add_fault_flags(serve_parser)
+    add_contracts_flag(serve_parser)
+
     lint_parser = sub.add_parser(
         "lint", help="run the domain static-analysis pass (docs/LINTS.md)"
     )
@@ -388,6 +509,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "compare": _cmd_compare,
         "optimize": _cmd_optimize,
         "query": _cmd_query,
+        "serve": _cmd_serve,
         "lint": _cmd_lint,
     }
     try:

@@ -43,6 +43,7 @@ from repro.core.policies import SelectContext, SelectPolicy
 from repro.core.state import ScoreState
 from repro.core.tasks import UNSEEN
 from repro.exceptions import (
+    BudgetExceededError,
     ReproError,
     RetryExhaustedError,
     SourceUnavailableError,
@@ -90,6 +91,15 @@ class FrameworkNC:
             ``theta`` times its proven lower bound dominates every other
             candidate (Fagin-style theta-approximation), trading accuracy
             for access cost.
+        degrade_on_budget: how a middleware cost budget ending the run is
+            surfaced. ``False`` (the default, and the historical
+            behaviour) lets :class:`~repro.exceptions.BudgetExceededError`
+            propagate. ``True`` -- the serving layer's choice
+            (docs/SERVICE.md) -- reuses the fault-degradation path
+            instead: accesses the remaining budget cannot pay for are
+            filtered from the choice sets, targets left unrefinable are
+            answered bound-only, and the result comes back flagged
+            ``partial`` with its proven intervals rather than raising.
     """
 
     def __init__(
@@ -101,6 +111,7 @@ class FrameworkNC:
         observer: Optional[Callable[[TraceStep], None]] = None,
         max_accesses: Optional[int] = None,
         theta: float = 1.0,
+        degrade_on_budget: bool = False,
     ):
         if k < 1:
             raise ValueError(f"k must be >= 1, got {k}")
@@ -115,6 +126,8 @@ class FrameworkNC:
         self.observer = observer
         self.max_accesses = max_accesses
         self.theta = theta
+        self.degrade_on_budget = degrade_on_budget
+        self._budget_blocked = False
         self.state = ScoreState(middleware, fn)
         self._heap = LazyMaxHeap()
         self._in_heap: set[int] = set()
@@ -237,12 +250,28 @@ class FrameworkNC:
         breaker -- the target cannot be refined and must be answered
         bound-only. Half-open breakers count as usable (a trial access is
         how recovery is discovered).
+
+        With ``degrade_on_budget`` the remaining cost budget acts like one
+        more refusal condition: choices the budget cannot pay for are
+        filtered out (cache hits charge nothing and always stay), so an
+        exhausted budget degrades the answer exactly like a dead source.
         """
         choices = [
             access
             for access in self._alternatives(target)
             if self.middleware.access_allowed(access.predicate, access.kind)
         ]
+        if self.degrade_on_budget and choices:
+            remaining = self.middleware.remaining_budget()
+            if remaining is not None:
+                affordable = [
+                    access
+                    for access in choices
+                    if self.middleware.charged_cost(access) <= remaining + 1e-12
+                ]
+                if len(affordable) < len(choices):
+                    self._budget_blocked = True
+                choices = affordable
         return choices or None
 
     def _mark_fault(self, access: Access, error: Exception) -> None:
@@ -275,6 +304,8 @@ class FrameworkNC:
         """
         if self._fault_events:
             result.metadata["fault_events"] = list(self._fault_events)
+        if self._budget_blocked:
+            result.metadata["budget_exhausted"] = True
         if self._bound_only or self._unseen_abandoned:
             result.partial = True
             result.uncertainty = dict(self._bound_only)
@@ -286,6 +317,11 @@ class FrameworkNC:
                 reasons.append(
                     "undiscovered objects abandoned: no sorted source was "
                     "accepting accesses"
+                )
+            if self._budget_blocked:
+                reasons.append(
+                    "cost budget exhausted: remaining refinements were "
+                    "unaffordable"
                 )
             result.metadata["partial_reasons"] = reasons
             result.metadata["degraded_predicates"] = (
@@ -337,6 +373,15 @@ class FrameworkNC:
             result = self._apply(access)
         except (RetryExhaustedError, SourceUnavailableError) as exc:
             self._mark_fault(access, exc)
+            result = exc
+        except BudgetExceededError as exc:
+            # Budget checked affordable above but ran out mid-access (e.g.
+            # charged retries of a flaky source). Degrade instead of
+            # raising; the affordability filter ends further attempts.
+            if not self.degrade_on_budget:
+                raise
+            self._mark_fault(access, exc)
+            self._budget_blocked = True
             result = exc
         self._steps += 1
         checker = self.middleware.contracts

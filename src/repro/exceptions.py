@@ -92,6 +92,18 @@ class BudgetExceededError(ReproError):
     """
 
 
+class ServiceOverloadError(ReproError):
+    """The serving layer refused a new query session: admission control.
+
+    A :class:`~repro.service.QueryServer` bounds the number of sessions
+    open at once (``max_in_flight``); submissions beyond the bound are
+    rejected up front -- before any parsing state or source access is
+    spent on them -- so an overloaded server degrades by shedding load,
+    never by corrupting in-flight queries. Clients retry after draining
+    results.
+    """
+
+
 class SourceFaultError(ReproError):
     """Base class of web-source failure conditions (see docs/FAULTS.md).
 

@@ -23,7 +23,12 @@ from __future__ import annotations
 from typing import Optional
 
 from repro.data.dataset import Dataset
-from repro.faults.breaker import BreakerPolicy, BreakerState, CircuitBreaker
+from repro.faults.breaker import (
+    BreakerPolicy,
+    BreakerState,
+    CircuitBreaker,
+    breakers_for,
+)
 from repro.faults.injector import (
     FaultInjectingSource,
     FaultProfile,
@@ -40,6 +45,7 @@ __all__ = [
     "BreakerPolicy",
     "BreakerState",
     "CircuitBreaker",
+    "breakers_for",
     "chaos_middleware",
 ]
 

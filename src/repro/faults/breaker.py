@@ -25,6 +25,8 @@ from __future__ import annotations
 import enum
 from dataclasses import dataclass
 
+from repro.types import AccessType
+
 
 class BreakerState(enum.Enum):
     """The three circuit-breaker states."""
@@ -116,3 +118,23 @@ class CircuitBreaker:
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         status = "closed" if self._opened_at is None else f"opened@{self._opened_at}"
         return f"CircuitBreaker({status}, failures={self._failures})"
+
+
+def breakers_for(
+    m: int, policy: BreakerPolicy | None = None
+) -> dict[tuple[int, AccessType], CircuitBreaker]:
+    """One breaker per source channel, for sharing across middlewares.
+
+    The serving layer (docs/SERVICE.md) builds this map once and injects
+    it into every per-query middleware (``Middleware(..., breakers=...)``)
+    so that a source tripped by one session fails fast for every later
+    session instead of each query rediscovering the outage at full price.
+    """
+    if m < 1:
+        raise ValueError(f"m must be >= 1, got {m}")
+    chosen = policy if policy is not None else BreakerPolicy()
+    return {
+        (i, kind): CircuitBreaker(chosen)
+        for i in range(m)
+        for kind in AccessType
+    }

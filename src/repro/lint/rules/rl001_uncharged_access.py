@@ -31,9 +31,11 @@ from repro.lint.core import (
 _ACCESS_METHODS = frozenset({"sorted_access", "random_access"})
 
 #: Files that legitimately touch raw sources: the metering layer itself
-#: and source wrappers that live *below* it.
+#: and source wrappers that live *below* it (the fault injector and the
+#: cross-query cache both sit between the middleware and the raw source).
 _ALLOWED_PATHS = (
     "sources/middleware.py",
+    "sources/cache.py",
     "faults/injector.py",
     "tests/*",
     "conftest.py",

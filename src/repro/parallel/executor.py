@@ -28,7 +28,11 @@ from repro.core.choices import necessary_choices
 from repro.core.framework import FrameworkNC
 from repro.core.policies import SelectContext, SelectPolicy
 from repro.core.tasks import UNSEEN
-from repro.exceptions import RetryExhaustedError, SourceUnavailableError
+from repro.exceptions import (
+    BudgetExceededError,
+    RetryExhaustedError,
+    SourceUnavailableError,
+)
 from repro.parallel.clock import VirtualClock
 from repro.scoring.functions import ScoringFunction
 from repro.sources.latency import ConstantLatency, LatencyModel
@@ -69,8 +73,11 @@ class ParallelExecutor(FrameworkNC):
         concurrency: int,
         latency_model: Optional[LatencyModel] = None,
         speculation: str = "none",
+        degrade_on_budget: bool = False,
     ):
-        super().__init__(middleware, fn, k, policy)
+        super().__init__(
+            middleware, fn, k, policy, degrade_on_budget=degrade_on_budget
+        )
         if concurrency < 1:
             raise ValueError(f"concurrency must be >= 1, got {concurrency}")
         if speculation not in ("none", "eager"):
@@ -213,6 +220,11 @@ class ParallelExecutor(FrameworkNC):
                     self._apply(access)
                 except (RetryExhaustedError, SourceUnavailableError) as exc:
                     self._mark_fault(access, exc)
+                except BudgetExceededError as exc:
+                    if not self.degrade_on_budget:
+                        raise
+                    self._mark_fault(access, exc)
+                    self._budget_blocked = True
             self.clock.run_wave(durations, self.concurrency)
             self.waves += 1
             self._check_budget()

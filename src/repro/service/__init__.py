@@ -1,0 +1,29 @@
+"""Serving many top-k queries over one shared source pool (docs/SERVICE.md).
+
+The paper optimizes the access cost of *one* query; this package
+amortizes it over a query *stream*. The pieces:
+
+* :class:`QueryServer` -- session admission, deterministic FIFO
+  execution, per-session cost budgets, and warm per-query middlewares
+  over a shared :class:`~repro.sources.cache.SourceCache` and shared
+  circuit breakers;
+* :class:`ServerConfig` / :class:`Session` -- the tuning record and the
+  per-query lifecycle record;
+* :func:`handle_request` / :func:`serve_stream` / :func:`serve_socket` --
+  the JSON-lines protocol behind ``repro serve``.
+
+The cross-query substrate itself -- the cache and its metering
+integration -- lives in :mod:`repro.sources.cache`.
+"""
+
+from repro.service.protocol import handle_request, serve_socket, serve_stream
+from repro.service.server import QueryServer, ServerConfig, Session
+
+__all__ = [
+    "QueryServer",
+    "ServerConfig",
+    "Session",
+    "handle_request",
+    "serve_stream",
+    "serve_socket",
+]

@@ -1,0 +1,366 @@
+"""The multi-query server: sessions, admission control, warm middlewares.
+
+One :class:`QueryServer` owns the shared cross-query state of a source
+pool -- the :class:`~repro.sources.cache.SourceCache`, one shared circuit
+breaker per source channel, and the cumulative access clock those breakers
+live on -- and serves a stream of top-k query sessions against it. Each
+session gets its own *warm* :class:`~repro.sources.middleware.Middleware`
+(:meth:`Middleware.warm <repro.sources.middleware.Middleware.warm>`):
+cache hits replay at zero charged cost, only frontier accesses pay, and
+Eq. 1 keeps metering exactly what reaches a web source.
+
+The execution model is deliberately deterministic: sessions are admitted
+up to ``max_in_flight`` open at once, queued, and *executed in submission
+order* when their results are demanded (or :meth:`run_pending` is
+called). Parallelism lives where the paper puts it -- inside a query, via
+the bounded-concurrency :class:`~repro.parallel.ParallelExecutor`
+(``query_concurrency > 1``) -- so a serve run replays bit-for-bit under a
+fixed seed (session ids come from :func:`repro.determinism.derive_rng`,
+never from OS entropy).
+
+Per-session cost budgets ride the graceful-degradation path of
+docs/FAULTS.md: with ``degrade_on_budget`` (the server default) an
+exhausted budget yields a flagged ``partial`` bound-only answer instead
+of an exception, mirroring how dead sources degrade.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Sequence, Union
+
+from repro.algorithms.nc import NC
+from repro.contracts import ContractChecker
+from repro.core.framework import FrameworkNC
+from repro.core.policies import SRGPolicy
+from repro.data.dataset import Dataset
+from repro.determinism import SeedLike, derive_rng
+from repro.exceptions import ReproError, ServiceOverloadError
+from repro.faults.breaker import BreakerPolicy, breakers_for
+from repro.faults.retry import RetryPolicy
+from repro.parallel.executor import ParallelExecutor
+from repro.query.ast import ParsedQuery, QueryError
+from repro.query.compiler import compile_expression
+from repro.query.parser import parse_query
+from repro.sources.cache import SourceCache
+from repro.sources.cost import CostModel
+from repro.sources.middleware import Middleware
+from repro.types import QueryResult
+
+
+@dataclass(frozen=True)
+class ServerConfig:
+    """Tuning knobs of one :class:`QueryServer`.
+
+    Attributes:
+        max_in_flight: admission bound -- sessions open at once (submitted
+            and not yet retrieved). Submissions beyond it raise
+            :class:`~repro.exceptions.ServiceOverloadError`.
+        query_concurrency: accesses issued concurrently *within* one
+            query; ``1`` runs the sequential NC engine, larger values the
+            bounded-concurrency executor (Section 9.1.1).
+        speculation: the parallel executor's speculation mode (``"none"``
+            or ``"eager"``); ignored at concurrency 1.
+        default_budget: per-session cost cap applied when a submission
+            names none; ``None`` leaves those sessions unbounded.
+        degrade_on_budget: how an exhausted session budget surfaces --
+            ``True`` (server default) degrades to a flagged bound-only
+            partial answer; ``False`` fails the session loudly.
+        cache_ttl: idle ticks before a cached predicate expires (one tick
+            per completed query); ``None`` disables expiry.
+        cache_max_entries: bound on cached records, LRU-evicted at tick
+            boundaries; ``None`` disables the bound.
+        seed: root of the server's private RNG (session-id suffixes);
+            any :data:`~repro.determinism.SeedLike`.
+        contracts: runtime contract checking, forwarded to every
+            session's middleware (:mod:`repro.contracts`).
+        retry_policy: retry/backoff/timeout for flaky sources, forwarded
+            to every session's middleware.
+        breaker_policy: tuning of the server-wide shared circuit
+            breakers (library default when ``None``).
+        sample_size: planning sample size of the per-query optimizer.
+    """
+
+    max_in_flight: int = 8
+    query_concurrency: int = 1
+    speculation: str = "none"
+    default_budget: Optional[float] = None
+    degrade_on_budget: bool = True
+    cache_ttl: Optional[int] = None
+    cache_max_entries: Optional[int] = None
+    seed: SeedLike = 0
+    contracts: Union[bool, ContractChecker, None] = False
+    retry_policy: Optional[RetryPolicy] = None
+    breaker_policy: Optional[BreakerPolicy] = None
+    sample_size: int = 100
+
+    def __post_init__(self) -> None:
+        if self.max_in_flight < 1:
+            raise ValueError(
+                f"max_in_flight must be >= 1, got {self.max_in_flight}"
+            )
+        if self.query_concurrency < 1:
+            raise ValueError(
+                f"query_concurrency must be >= 1, got {self.query_concurrency}"
+            )
+
+
+@dataclass
+class Session:
+    """One submitted query's lifecycle record.
+
+    Status flow: ``queued`` -> ``done`` | ``failed``. A session stays
+    *open* (occupying an admission slot) until its outcome is retrieved.
+    """
+
+    id: str
+    query: ParsedQuery
+    text: str
+    budget: Optional[float]
+    status: str = "queued"
+    result: Optional[QueryResult] = None
+    error: Optional[str] = None
+    error_type: Optional[str] = None
+    charged_cost: float = 0.0
+    cache_hits: int = 0
+    charged_accesses: int = 0
+    retrieved: bool = False
+
+    @property
+    def open(self) -> bool:
+        """Whether the session still occupies an admission slot."""
+        return not self.retrieved
+
+
+class QueryServer:
+    """Serves many top-k queries over one shared, metered source pool.
+
+    Args:
+        cost_model: per-predicate unit costs, shared by every session.
+        cache: a pre-built :class:`SourceCache` to serve from -- the hook
+            for custom (e.g. fault-injected) sources. Its ``ttl`` /
+            ``max_entries`` settings win over the config's.
+        dataset: when no ``cache`` is given, build one over fresh
+            simulated sources for this dataset (capabilities derived
+            from the cost model).
+        schema: predicate names queries refer to, aligned with the
+            middleware's predicate order; defaults to ``p0..p{m-1}``.
+        config: server tuning; defaults to :class:`ServerConfig`.
+    """
+
+    def __init__(
+        self,
+        cost_model: CostModel,
+        cache: Optional[SourceCache] = None,
+        dataset: Optional[Dataset] = None,
+        schema: Optional[Sequence[str]] = None,
+        config: Optional[ServerConfig] = None,
+    ):
+        self.config = config if config is not None else ServerConfig()
+        if cache is None:
+            if dataset is None:
+                raise ValueError("pass a dataset or a pre-built cache")
+            cache = SourceCache.over(
+                dataset,
+                cost_model,
+                ttl=self.config.cache_ttl,
+                max_entries=self.config.cache_max_entries,
+            )
+        if cache.m != cost_model.m:
+            raise ValueError(
+                f"cache covers {cache.m} predicates but cost model "
+                f"{cost_model.m}"
+            )
+        if schema is None:
+            schema = [f"p{i}" for i in range(cost_model.m)]
+        if len(schema) != cost_model.m:
+            raise ValueError(
+                f"schema names {len(schema)} predicates but the pool "
+                f"serves {cost_model.m}"
+            )
+        self.cost_model = cost_model
+        self.cache = cache
+        self.schema = tuple(schema)
+        self.breakers = breakers_for(cost_model.m, self.config.breaker_policy)
+        self._rng = derive_rng(self.config.seed)
+        self._planner = NC(sample_size=self.config.sample_size)
+        self._sessions: dict[str, Session] = {}
+        self._queue: list[str] = []
+        self._counter = 0
+        self._clock_base = 0
+        self._charged_total = 0.0
+        self._rejected = 0
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+
+    @property
+    def open_sessions(self) -> int:
+        """Sessions currently occupying admission slots."""
+        return sum(1 for s in self._sessions.values() if s.open)
+
+    def session(self, session_id: str) -> Session:
+        """Look up a session record (raises on unknown ids)."""
+        try:
+            return self._sessions[session_id]
+        except KeyError:
+            raise ReproError(f"unknown session {session_id!r}") from None
+
+    def stats(self) -> dict:
+        """A JSON-safe snapshot of the server's shared state."""
+        sessions = self._sessions.values()
+        return {
+            "schema": list(self.schema),
+            "submitted": len(self._sessions),
+            "completed": sum(1 for s in sessions if s.status == "done"),
+            "failed": sum(1 for s in sessions if s.status == "failed"),
+            "queued": len(self._queue),
+            "open": self.open_sessions,
+            "rejected": self._rejected,
+            "charged_cost_total": self._charged_total,
+            "charged_accesses_total": self._clock_base,
+            "cache": self.cache.stats.snapshot(),
+            "cache_entries": self.cache.entry_count,
+            "degraded_predicates": [
+                i
+                for i in range(self.cost_model.m)
+                if any(
+                    not self.breakers[key].allows(self._clock_base)
+                    for key in self.breakers
+                    if key[0] == i
+                )
+            ],
+        }
+
+    # ------------------------------------------------------------------
+    # Session lifecycle
+    # ------------------------------------------------------------------
+
+    def submit(self, text: str, budget: Optional[float] = None) -> str:
+        """Admit a query session; returns its id.
+
+        The query is parsed and schema-checked up front so malformed
+        submissions fail immediately (and never occupy a slot); admission
+        control then bounds the open sessions.
+        """
+        parsed = parse_query(text)
+        unknown = [p for p in parsed.predicates if p not in self.schema]
+        if unknown:
+            raise QueryError(
+                f"predicates {unknown} are not in the served schema "
+                f"{list(self.schema)}"
+            )
+        if self.open_sessions >= self.config.max_in_flight:
+            self._rejected += 1
+            raise ServiceOverloadError(
+                f"{self.open_sessions} sessions already open "
+                f"(max_in_flight={self.config.max_in_flight}); retrieve "
+                "results before submitting more"
+            )
+        self._counter += 1
+        session_id = f"q{self._counter:06d}-{self._rng.getrandbits(32):08x}"
+        session = Session(
+            id=session_id,
+            query=parsed,
+            text=text,
+            budget=budget if budget is not None else self.config.default_budget,
+        )
+        self._sessions[session_id] = session
+        self._queue.append(session_id)
+        return session_id
+
+    def run_pending(self, until: Optional[str] = None) -> int:
+        """Execute queued sessions in submission order; returns how many.
+
+        With ``until``, stops after that session has been executed --
+        earlier submissions still run first, preserving the deterministic
+        FIFO execution order.
+        """
+        executed = 0
+        while self._queue:
+            session_id = self._queue.pop(0)
+            self._execute(self._sessions[session_id])
+            executed += 1
+            if until is not None and session_id == until:
+                break
+        return executed
+
+    def result(self, session_id: str) -> Session:
+        """Force a session to completion and close its admission slot.
+
+        Queued sessions submitted earlier are executed first (FIFO), so
+        retrieval order never changes what any query pays or answers.
+        """
+        session = self.session(session_id)
+        if session.status == "queued":
+            self.run_pending(until=session_id)
+        session.retrieved = True
+        return session
+
+    def query(self, text: str, budget: Optional[float] = None) -> Session:
+        """Convenience: submit, execute, and retrieve in one call."""
+        return self.result(self.submit(text, budget=budget))
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+
+    def _middleware(self, session: Session) -> Middleware:
+        return Middleware.warm(
+            self.cache,
+            self.cost_model,
+            budget=session.budget,
+            retry_policy=self.config.retry_policy,
+            contracts=self.config.contracts,
+            breakers=self.breakers,
+            clock_base=self._clock_base,
+        )
+
+    def _engine(self, middleware: Middleware, session: Session) -> FrameworkNC:
+        fn, _order = compile_expression(session.query.expr, schema=self.schema)
+        plan = self._planner.resolve_plan(middleware, fn, session.query.k)
+        policy = SRGPolicy(plan.depths, plan.schedule)
+        if self.config.query_concurrency > 1:
+            return ParallelExecutor(
+                middleware,
+                fn,
+                session.query.k,
+                policy,
+                concurrency=self.config.query_concurrency,
+                speculation=self.config.speculation,
+                degrade_on_budget=self.config.degrade_on_budget,
+            )
+        return FrameworkNC(
+            middleware,
+            fn,
+            session.query.k,
+            policy,
+            degrade_on_budget=self.config.degrade_on_budget,
+        )
+
+    def _execute(self, session: Session) -> None:
+        middleware = self._middleware(session)
+        try:
+            result = self._engine(middleware, session).run()
+        except ReproError as exc:
+            session.status = "failed"
+            session.error = str(exc)
+            session.error_type = type(exc).__name__
+        else:
+            result.algorithm = "NC-serve"
+            result.metadata["session"] = session.id
+            result.metadata["query"] = session.text
+            result.metadata["cache_hits"] = middleware.stats.total_cached
+            session.status = "done"
+            session.result = result
+        finally:
+            # Shared-state bookkeeping happens whether the query finished
+            # or died: accesses it charged advance the breaker clock, and
+            # the eviction clock ticks exactly once per completed session.
+            session.charged_cost = middleware.stats.total_cost()
+            session.cache_hits = middleware.stats.total_cached
+            session.charged_accesses = middleware.stats.total_accesses
+            self._charged_total += session.charged_cost
+            self._clock_base += session.charged_accesses
+            self.cache.tick()

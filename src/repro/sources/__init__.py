@@ -16,6 +16,7 @@ This package implements everything "below" the algorithms:
 """
 
 from repro.sources.base import Source
+from repro.sources.cache import CachedSource, CacheStats, SourceCache
 from repro.sources.callback import CallbackSource
 from repro.sources.cost import CostModel
 from repro.sources.latency import ConstantLatency, LatencyModel, NoisyLatency
@@ -29,6 +30,9 @@ __all__ = [
     "CallbackSource",
     "SimulatedSource",
     "sources_for",
+    "SourceCache",
+    "CachedSource",
+    "CacheStats",
     "CostModel",
     "AccessStats",
     "Middleware",

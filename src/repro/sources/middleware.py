@@ -10,6 +10,11 @@
   are not progressive, so refetching a known score is an algorithm bug;
 * exposes the sorted-access side-effect state (last-seen scores ``l_i``,
   depths, exhaustion) that bound reasoning builds on;
+* serves **cache hits free of charge** (docs/SERVICE.md): accesses a
+  cross-query :class:`~repro.sources.cache.SourceCache` view answers
+  without touching a web source are recorded as uncharged hits, so a
+  warm-started query replays shared prefixes and memoized probes at zero
+  Eq. 1 cost;
 * absorbs **source faults** (docs/FAULTS.md): transient failures are
   retried under a :class:`~repro.faults.RetryPolicy` with every attempt
   charged into Eq. 1, and a per-source
@@ -24,7 +29,10 @@ exact and the unification claims directly testable.
 
 from __future__ import annotations
 
-from typing import Callable, Optional, Sequence, Union
+from typing import TYPE_CHECKING, Callable, Mapping, Optional, Sequence, Union
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (cache -> middleware)
+    from repro.sources.cache import SourceCache
 
 from repro.contracts import ContractChecker, resolve_checker
 from repro.data.dataset import Dataset
@@ -84,6 +92,17 @@ class Middleware:
             armed, every delivered score is checked against ``[0, 1]``
             and every last-seen bound ``l_i`` against monotonicity, and
             engines add threshold/interval checks on top.
+        breakers: optional pre-built breaker map ``(predicate, kind) ->
+            CircuitBreaker`` covering every channel. The serving layer
+            (docs/SERVICE.md) passes one map to every per-query
+            middleware so outage knowledge is shared across sessions;
+            shared breakers are *not* rewound by :meth:`reset` (they
+            outlive any one query). ``None`` builds private breakers.
+        clock_base: offset added to this middleware's access count when
+            consulting breakers. Breaker cooldowns elapse in recorded
+            accesses; per-query middlewares start their counts at zero,
+            so the serving layer passes the accesses recorded by earlier
+            sessions to keep shared breakers' cooldowns meaningful.
     """
 
     def __init__(
@@ -99,6 +118,10 @@ class Middleware:
         breaker_policy: Optional[BreakerPolicy] = None,
         monitor: Optional[CostMonitor] = None,
         contracts: Union[bool, ContractChecker, None] = False,
+        breakers: Optional[
+            Mapping[tuple[int, AccessType], CircuitBreaker]
+        ] = None,
+        clock_base: int = 0,
     ):
         if len(sources) != cost_model.m:
             raise ValueError(
@@ -149,15 +172,35 @@ class Middleware:
         self._stats = AccessStats(cost_model, record_log=record_log)
         self._seen: set[int] = set()
         self._delivered: set[tuple[int, int]] = set()
+        if clock_base < 0:
+            raise ValueError(f"clock_base must be >= 0, got {clock_base}")
+        self._clock_base = clock_base
         # One breaker per source *channel* (predicate x access kind): a dead
         # random-access channel must not take down the same source's healthy
         # sorted stream -- that stream is exactly what the NRA-style
-        # degradation falls back to (docs/FAULTS.md).
-        self._breakers = {
-            (i, kind): CircuitBreaker(self._breaker_policy)
-            for i in range(len(self._sources))
-            for kind in AccessType
-        }
+        # degradation falls back to (docs/FAULTS.md). A serving layer may
+        # inject a shared map instead, so breaker knowledge survives the
+        # per-query middleware.
+        if breakers is not None:
+            missing = [
+                (i, kind)
+                for i in range(len(self._sources))
+                for kind in AccessType
+                if (i, kind) not in breakers
+            ]
+            if missing:
+                raise ValueError(
+                    f"shared breaker map is missing channels {missing}"
+                )
+            self._breakers = dict(breakers)
+            self._breakers_shared = True
+        else:
+            self._breakers = {
+                (i, kind): CircuitBreaker(self._breaker_policy)
+                for i in range(len(self._sources))
+                for kind in AccessType
+            }
+            self._breakers_shared = False
         self._retry_rng = (
             retry_policy.fresh_rng() if retry_policy is not None else None
         )
@@ -215,6 +258,51 @@ class Middleware:
             contracts=contracts,
         )
 
+    @classmethod
+    def warm(
+        cls,
+        cache: "SourceCache",
+        cost_model: CostModel,
+        n_objects: Optional[int] = None,
+        no_wild_guesses: bool = True,
+        strict: bool = True,
+        record_log: bool = False,
+        budget: Optional[float] = None,
+        retry_policy: Optional[RetryPolicy] = None,
+        breaker_policy: Optional[BreakerPolicy] = None,
+        monitor: Optional[CostMonitor] = None,
+        contracts: Union[bool, ContractChecker, None] = False,
+        breakers: Optional[
+            Mapping[tuple[int, AccessType], CircuitBreaker]
+        ] = None,
+        clock_base: int = 0,
+    ) -> "Middleware":
+        """A per-query middleware warm-started from a cross-query cache.
+
+        Builds fresh :class:`~repro.sources.cache.CachedSource` views over
+        ``cache`` (docs/SERVICE.md): the query replays the cached sorted
+        prefixes and random-access memos -- reconstructing ``AccessStats``
+        side effects and the implied ``l_i`` bounds -- at **zero charged
+        cost**; only accesses beyond the cached frontier reach (and pay)
+        the real sources. :meth:`reset` rewinds the per-query views and
+        accounting while leaving the shared cache intact.
+        """
+        return cls(
+            cache.views(),
+            cost_model,
+            n_objects=n_objects,
+            no_wild_guesses=no_wild_guesses,
+            strict=strict,
+            record_log=record_log,
+            budget=budget,
+            retry_policy=retry_policy,
+            breaker_policy=breaker_policy,
+            monitor=monitor,
+            contracts=contracts,
+            breakers=breakers,
+            clock_base=clock_base,
+        )
+
     # ------------------------------------------------------------------
     # Introspection
     # ------------------------------------------------------------------
@@ -266,11 +354,13 @@ class Middleware:
         """
         return self._contracts
 
+    def _now(self) -> int:
+        """The breaker clock: accesses recorded, plus the serving offset."""
+        return self._clock_base + self._stats.total_accesses
+
     def breaker_state(self, predicate: int, kind: AccessType) -> BreakerState:
         """The circuit-breaker state of one source channel, right now."""
-        return self._breakers[(predicate, kind)].state(
-            self._stats.total_accesses
-        )
+        return self._breakers[(predicate, kind)].state(self._now())
 
     def access_allowed(self, predicate: int, kind: AccessType) -> bool:
         """Whether the channel's breaker admits an attempt right now.
@@ -280,9 +370,7 @@ class Middleware:
         to steer scheduling away from tripped sources without paying for
         rejected accesses.
         """
-        return self._breakers[(predicate, kind)].allows(
-            self._stats.total_accesses
-        )
+        return self._breakers[(predicate, kind)].allows(self._now())
 
     def degraded_predicates(self) -> list[int]:
         """Predicates with at least one channel currently refusing accesses."""
@@ -297,6 +385,18 @@ class Middleware:
         if self._budget is None:
             return None
         return self._budget - self._stats.total_cost()
+
+    def charged_cost(self, access: Access) -> float:
+        """What performing ``access`` right now would charge (Eq. 1 terms).
+
+        Zero when a shared :class:`~repro.sources.cache.SourceCache` view
+        would serve it without touching the web source; the cost model's
+        unit cost otherwise. Engines use this to keep affordable-only
+        scheduling (``degrade_on_budget``) from discarding free hits.
+        """
+        if self._served_from_cache(access):
+            return 0.0
+        return self._cost_model.access_cost(access)
 
     def _charge(self, cost: float) -> None:
         """Refuse an access whose cost would overrun the budget."""
@@ -370,7 +470,7 @@ class Middleware:
     def _gate(self, access: Access) -> None:
         """Fail fast (uncharged) when the channel's breaker is open."""
         if not self._breakers[(access.predicate, access.kind)].allows(
-            self._stats.total_accesses
+            self._now()
         ):
             raise SourceUnavailableError(
                 "circuit breaker is open; access refused without charge",
@@ -389,7 +489,22 @@ class Middleware:
         if duration is not None:
             self._monitor.observe(access, duration)
 
-    def _execute(self, access: Access, attempt: Callable[[], object]) -> object:
+    def _served_from_cache(self, access: Access) -> bool:
+        """Whether the source would serve this access from a shared cache.
+
+        Duck-typed on :meth:`CachedSource.serves_free
+        <repro.sources.cache.CachedSource.serves_free>`: cache hits never
+        reach a web source, so they bypass budget, charging, retries and
+        breakers entirely and are recorded as uncharged hits.
+        """
+        serves_free = getattr(
+            self._sources[access.predicate], "serves_free", None
+        )
+        return serves_free is not None and bool(serves_free(access))
+
+    def _execute(
+        self, access: Access, attempt: Callable[[], object], cached: bool = False
+    ) -> object:
         """Run one logical access under the retry policy and breaker.
 
         Every attempt -- retries included -- is budget-checked, charged,
@@ -399,7 +514,16 @@ class Middleware:
         :class:`~repro.exceptions.RetryExhaustedError` and counts one
         logical failure against the breaker. Permanent outages trip the
         breaker immediately.
+
+        An access ``cached`` by the cross-query source cache skips all of
+        that: nothing is requested from a web source, so nothing is
+        charged, retried, or held against a breaker -- the delivery is
+        recorded as a free cache hit (docs/SERVICE.md).
         """
+        if cached:
+            result = attempt()
+            self._stats.record_cached(access)
+            return result
         breaker = self._breakers[(access.predicate, access.kind)]
         policy = self._retry_policy
         max_attempts = policy.max_attempts if policy is not None else 1
@@ -419,9 +543,7 @@ class Middleware:
                 result = attempt()
             except SourceUnavailableError:
                 self._stats.record_fault(access)
-                breaker.record_failure(
-                    self._stats.total_accesses, permanent=True
-                )
+                breaker.record_failure(self._now(), permanent=True)
                 raise
             except TransientSourceError as exc:
                 # Includes SourceTimeoutError: both are retryable.
@@ -431,7 +553,7 @@ class Middleware:
             breaker.record_success()
             self._observe(access)
             return result
-        tripped = breaker.record_failure(self._stats.total_accesses)
+        tripped = breaker.record_failure(self._now())
         raise RetryExhaustedError(
             f"all {max_attempts} attempt(s) failed"
             + ("; circuit opened" if tripped else ""),
@@ -456,7 +578,9 @@ class Middleware:
                 f"predicate {predicate}: sorted access not in cost model"
             )
         access = Access.sorted(predicate)
-        self._gate(access)
+        cached = self._served_from_cache(access)
+        if not cached:
+            self._gate(access)
         source = self._sources[predicate]
         if source.exhausted:
             self._charge(self._cost_model.sorted_cost(predicate))
@@ -466,7 +590,7 @@ class Middleware:
                 )
             self._stats.record(access)
             return None
-        result = self._execute(access, source.sorted_access)
+        result = self._execute(access, source.sorted_access, cached=cached)
         if result is None:  # pragma: no cover - guarded by exhaustion check
             return None
         obj, score = result
@@ -490,7 +614,9 @@ class Middleware:
                 f"predicate {predicate}: random access not in cost model"
             )
         access = Access.random(predicate, obj)
-        self._gate(access)
+        cached = self._served_from_cache(access)
+        if not cached:
+            self._gate(access)
         if self._no_wild_guesses and obj not in self._seen:
             raise WildGuessError(
                 f"random access to object {obj} before it was seen from any "
@@ -502,7 +628,9 @@ class Middleware:
                 "retrieved; random accesses must not be repeated"
             )
         score = self._execute(
-            access, lambda: self._sources[predicate].random_access(obj)
+            access,
+            lambda: self._sources[predicate].random_access(obj),
+            cached=cached,
         )
         if self._contracts is not None:
             self._contracts.check_score(predicate, obj, float(score))  # type: ignore[arg-type]
@@ -523,18 +651,24 @@ class Middleware:
     def reset(self) -> None:
         """Rewind sources and zero all accounting for a fresh run.
 
-        Everything stateful is rewound: access counts and cost (which also
-        restores the full budget), the seen/delivered sets, every circuit
-        breaker, the retry jitter stream, and the attached cost monitor --
-        so a reset middleware replays a run bit-for-bit.
+        Everything *per-query* is rewound: access counts and cost (which
+        also restores the full budget), the seen/delivered sets, private
+        circuit breakers, the retry jitter stream, and the attached cost
+        monitor -- so a reset middleware replays a run bit-for-bit.
+
+        Cross-query state survives on purpose: cached-source views rewind
+        only their cursors (the shared :class:`~repro.sources.cache.
+        SourceCache` stays warm), and an injected shared breaker map is
+        left untouched (outage knowledge outlives any one query).
         """
         for source in self._sources:
             source.reset()
         self._stats = AccessStats(self._cost_model, record_log=self._record_log)
         self._seen.clear()
         self._delivered.clear()
-        for breaker in self._breakers.values():
-            breaker.reset()
+        if not self._breakers_shared:
+            for breaker in self._breakers.values():
+                breaker.reset()
         self._retry_rng = (
             self._retry_policy.fresh_rng()
             if self._retry_policy is not None

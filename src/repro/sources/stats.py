@@ -25,6 +25,8 @@ class AccessStats:
         self._cost_model = cost_model
         self._ns = [0] * cost_model.m
         self._nr = [0] * cost_model.m
+        self._cached_s = [0] * cost_model.m
+        self._cached_r = [0] * cost_model.m
         self._retries_s = [0] * cost_model.m
         self._retries_r = [0] * cost_model.m
         self._faults_s = [0] * cost_model.m
@@ -47,6 +49,22 @@ class AccessStats:
             self._ns[access.predicate] += 1
         else:
             self._nr[access.predicate] += 1
+        if self._log is not None:
+            self._log.append(access)
+
+    def record_cached(self, access: Access) -> None:
+        """Count one access served from a cross-query cache, uncharged.
+
+        Cache hits never reach a web source, so they are deliberately
+        *excluded* from ``ns_i``/``nr_i`` and from Eq. 1: the paper's
+        cost function prices source requests, and a hit makes none. The
+        separate counters make amortization visible (charged cost per
+        query falls as the cache warms; docs/SERVICE.md).
+        """
+        if access.kind is AccessType.SORTED:
+            self._cached_s[access.predicate] += 1
+        else:
+            self._cached_r[access.predicate] += 1
         if self._log is not None:
             self._log.append(access)
 
@@ -97,6 +115,21 @@ class AccessStats:
     @property
     def total_accesses(self) -> int:
         return self.total_sorted + self.total_random
+
+    @property
+    def cached_sorted_counts(self) -> tuple[int, ...]:
+        """Sorted accesses served free from a cross-query cache, per predicate."""
+        return tuple(self._cached_s)
+
+    @property
+    def cached_random_counts(self) -> tuple[int, ...]:
+        """Random accesses served free from a cross-query cache, per predicate."""
+        return tuple(self._cached_r)
+
+    @property
+    def total_cached(self) -> int:
+        """All cache-served (uncharged) accesses across predicates and kinds."""
+        return sum(self._cached_s) + sum(self._cached_r)
 
     @property
     def retry_sorted_counts(self) -> tuple[int, ...]:
@@ -167,6 +200,8 @@ class AccessStats:
         for i in range(self.m):
             self._ns[i] += other._ns[i]
             self._nr[i] += other._nr[i]
+            self._cached_s[i] += other._cached_s[i]
+            self._cached_r[i] += other._cached_r[i]
             self._retries_s[i] += other._retries_s[i]
             self._retries_r[i] += other._retries_r[i]
             self._faults_s[i] += other._faults_s[i]
@@ -183,6 +218,7 @@ class AccessStats:
             "total_sorted": self.total_sorted,
             "total_random": self.total_random,
             "total_cost": self.total_cost(),
+            "total_cached": self.total_cached,
             "total_retries": self.total_retries,
             "total_faults": self.total_faults,
             "backoff_time": self.backoff_time,

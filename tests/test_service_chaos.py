@@ -1,0 +1,130 @@
+"""Contracts-armed chaos serving: faults + cache + concurrent sessions.
+
+The serving layer's sternest test: flaky fault-injected sources under the
+shared cache, runtime contracts armed via the ``REPRO_CONTRACTS``
+environment switch, and many sessions interleaved (submitted together,
+retrieved out of order). Every completed answer must still match the
+dataset oracle, the cache must still amortize, and the whole serve must
+replay bit-for-bit under the same seeds.
+"""
+
+import pytest
+
+from repro.data.generators import uniform
+from repro.faults import FaultProfile, RetryPolicy, faulty_sources_for
+from repro.service import QueryServer, ServerConfig
+from repro.sources.cache import SourceCache
+from repro.sources.cost import CostModel
+from repro.scoring.functions import Avg, Max, Min
+
+QUERIES = [
+    "SELECT * FROM r ORDER BY min(a, b) STOP AFTER 5",
+    "SELECT * FROM r ORDER BY avg(a, b) STOP AFTER 5",
+    "SELECT * FROM r ORDER BY min(a, b) STOP AFTER 5",
+    "SELECT * FROM r ORDER BY max(a, b) STOP AFTER 3",
+    "SELECT * FROM r ORDER BY min(a, b) STOP AFTER 7",
+    "SELECT * FROM r ORDER BY avg(a, b) STOP AFTER 5",
+]
+
+ORACLES = {
+    "min": Min(2),
+    "avg": Avg(2),
+    "max": Max(2),
+}
+
+
+def chaos_server(fault_rate: float = 0.15, seed: int = 0) -> QueryServer:
+    data = uniform(250, 2, seed=9)
+    model = CostModel.uniform(2, cs=1.0, cr=2.0)
+    sources = faulty_sources_for(
+        data,
+        FaultProfile.transient(fault_rate),
+        seed=seed,
+        sorted_capable=model.sorted_capabilities,
+        random_capable=model.random_capabilities,
+    )
+    cache = SourceCache(sources)
+    return QueryServer(
+        model,
+        cache=cache,
+        schema=["a", "b"],
+        config=ServerConfig(
+            max_in_flight=len(QUERIES),
+            retry_policy=RetryPolicy(max_attempts=6, seed=seed),
+            seed=seed,
+        ),
+    )
+
+
+def serve_batch(server: QueryServer):
+    """Submit everything up front, then retrieve out of order."""
+    ids = [server.submit(text) for text in QUERIES]
+    order = ids[::2] + ids[1::2]
+    return {sid: server.result(sid) for sid in order}
+
+
+@pytest.fixture(autouse=True)
+def armed_contracts(monkeypatch):
+    """Every middleware in this module runs with contracts armed."""
+    monkeypatch.setenv("REPRO_CONTRACTS", "1")
+
+
+class TestChaosServing:
+    def test_answers_survive_faults_and_match_oracle(self):
+        data = uniform(250, 2, seed=9)
+        server = chaos_server()
+        sessions = serve_batch(server)
+        for session in sessions.values():
+            assert session.status == "done", session.error
+            result = session.result
+            assert not result.partial
+            fn_name = session.text.split("ORDER BY ")[1].split("(")[0]
+            oracle = data.topk(ORACLES[fn_name], session.query.k)
+            assert sorted(round(e.score, 9) for e in result.ranking) == sorted(
+                round(e.score, 9) for e in oracle
+            )
+
+    def test_cache_amortizes_under_faults(self):
+        server = chaos_server()
+        sessions = serve_batch(server)
+        snap = server.stats()
+        assert snap["completed"] == len(QUERIES)
+        assert snap["cache"]["hit_rate"] > 0.0
+        # The repeated min-query (3rd submission) rode the first's prefix.
+        repeat = list(sessions.values())
+        by_id = sorted(sessions.values(), key=lambda s: s.id)
+        first_min, repeat_min = by_id[0], by_id[2]
+        assert repeat_min.charged_cost <= first_min.charged_cost
+        assert repeat_min.cache_hits > 0
+
+    def test_chaos_serve_replays_bit_for_bit(self):
+        outcomes = []
+        for _run in range(2):
+            sessions = serve_batch(chaos_server(seed=5))
+            outcomes.append(
+                [
+                    (
+                        s.id,
+                        s.status,
+                        s.charged_cost,
+                        s.cache_hits,
+                        tuple((e.obj, e.score) for e in s.result.ranking),
+                    )
+                    for s in sorted(sessions.values(), key=lambda s: s.id)
+                ]
+            )
+        assert outcomes[0] == outcomes[1]
+
+    def test_retries_are_charged_hits_are_not(self):
+        server = chaos_server(fault_rate=0.3)
+        sessions = serve_batch(server)
+        total_retries = sum(
+            s.result.stats.total_retries for s in sessions.values()
+        )
+        assert total_retries > 0  # chaos actually happened
+        by_id = sorted(sessions.values(), key=lambda s: s.id)
+        # Cached replays never touch the flaky sources, so a session that
+        # was served entirely from cache cannot have retried anything.
+        for session in by_id:
+            if session.charged_cost == 0.0 and session.cache_hits > 0:
+                assert session.result.stats.total_retries == 0
