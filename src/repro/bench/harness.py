@@ -110,9 +110,16 @@ def nc_with_dummy_planner(
     scheme: Optional[SearchScheme] = None,
     sample_size: int = 100,
     seed: int = 0,
+    vectorized: bool | str = "auto",
+    workers: Optional[int] = None,
 ) -> NC:
-    """The paper's worst-case NC: optimize on dummy uniform samples."""
-    optimizer = NCOptimizer(scheme=scheme) if scheme is not None else NCOptimizer()
+    """The paper's worst-case NC: optimize on dummy uniform samples.
+
+    ``vectorized`` and ``workers`` configure the plan-cost estimator's
+    execution path (see :class:`~repro.optimizer.CostEstimator`); they
+    never change the chosen plan, only how fast it is found.
+    """
+    optimizer = NCOptimizer(scheme=scheme, vectorized=vectorized, workers=workers)
     return NC(optimizer=optimizer, sample_size=sample_size, seed=seed)
 
 
@@ -122,13 +129,15 @@ def nc_with_true_sample_planner(
     sample_size: int = 100,
     seed: int = 0,
     min_sample_k: Optional[int] = None,
+    vectorized: bool | str = "auto",
+    workers: Optional[int] = None,
 ) -> NC:
     """NC planning on a true-distribution sample of the scenario's data.
 
     ``min_sample_k`` opts into bootstrap amplification against the
     small-``k_s`` distortion of proportional sample scaling.
     """
-    optimizer = NCOptimizer(scheme=scheme) if scheme is not None else NCOptimizer()
+    optimizer = NCOptimizer(scheme=scheme, vectorized=vectorized, workers=workers)
     sample = sample_from_dataset(scenario.dataset, sample_size, seed=seed)
 
     def planner(middleware, fn, k):

@@ -215,14 +215,25 @@ def _cmd_optimize(args) -> int:
             f"unknown scheme {args.scheme!r}; available: "
             f"{', '.join(sorted(_SCHEMES))}"
         )
+    vectorized: bool | str = {"auto": "auto", "on": True, "off": False}[
+        args.vectorized
+    ]
     nc = nc_with_dummy_planner(
-        scheme=_SCHEMES[scheme_key](), sample_size=args.sample_size
+        scheme=_SCHEMES[scheme_key](),
+        sample_size=args.sample_size,
+        vectorized=vectorized,
+        workers=args.workers,
     )
     plan = nc.resolve_plan(scenario.middleware(), scenario.fn, scenario.k)
+    kernel_runs = plan.notes.get("kernel_runs", 0)
+    reference_runs = plan.notes.get("reference_runs", 0)
     print(f"scenario : {scenario.name}  ({scenario.description})")
     print(f"costs    : {scenario.cost_model.describe()}")
     print(f"plan     : {plan.describe()}")
-    print(f"overhead : {plan.estimator_runs} estimator simulation runs")
+    print(
+        f"overhead : {plan.estimator_runs} estimator simulation runs "
+        f"({kernel_runs} kernel, {reference_runs} reference)"
+    )
     return 0
 
 
@@ -416,6 +427,19 @@ def build_parser() -> argparse.ArgumentParser:
     opt_parser.add_argument("--scenario", required=True)
     opt_parser.add_argument("--scheme", default="hclimb")
     opt_parser.add_argument("--sample-size", type=int, default=150)
+    opt_parser.add_argument(
+        "--vectorized",
+        choices=("auto", "on", "off"),
+        default="auto",
+        help="plan-cost estimator path: fast kernel with spot-checks "
+        "(auto), kernel only (on), or reference engine only (off)",
+    )
+    opt_parser.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        help="process-pool size for batched plan costing (default: serial)",
+    )
 
     query_parser = sub.add_parser("query", help="execute an SQL-like query")
     query_parser.add_argument("text", help="the query text")

@@ -9,6 +9,9 @@ estimated access cost for the query and cost scenario at hand:
 * :mod:`repro.optimizer.estimator` -- simulation-based cost estimation
   (Section 7.3): run the plan on the sample with retrieval size scaled
   proportionally, then scale the cost back up;
+* :mod:`repro.optimizer.kernel` -- the flat fast-path replay of the SR/G
+  engine the estimator uses to simulate plans without instantiating the
+  middleware stack (bitwise-identical costs, docs/PERF.md);
 * :mod:`repro.optimizer.search` -- the Delta-search schemes of
   Section 7.2: Naive exhaustive grid, query-driven Strategies, and
   multi-restart HClimb hill climbing;
@@ -19,6 +22,7 @@ estimated access cost for the query and cost scenario at hand:
 """
 
 from repro.optimizer.estimator import CostEstimator
+from repro.optimizer.kernel import SampleIndex, SimulationCounts
 from repro.optimizer.optimizer import NCOptimizer
 from repro.optimizer.plan import SRGPlan
 from repro.optimizer.sampling import (
@@ -41,6 +45,8 @@ from repro.optimizer.search import (
 __all__ = [
     "SRGPlan",
     "CostEstimator",
+    "SampleIndex",
+    "SimulationCounts",
     "NCOptimizer",
     "SearchScheme",
     "SearchResult",

@@ -12,22 +12,90 @@ therefore *executes* each candidate SR/G plan on a small sample database:
   ``k_s = max(1, round(k * s / n))``;
 * the measured sample cost is scaled back by ``n / s``.
 
-Results are memoized per ``(Delta, H)`` so search schemes revisiting a
-configuration (hill-climbing does constantly) pay once; the run counter
-still reports *distinct* simulation runs, the optimization-overhead metric
-of the scheme-comparison experiment.
+Two execution paths produce that sample cost:
+
+* the **reference path** builds a fresh
+  :class:`~repro.sources.middleware.Middleware` and steps
+  :class:`~repro.core.framework.FrameworkNC` object-by-object -- the
+  engine itself, trivially correct, but re-sorting the sample and paying
+  the full access-layer machinery on every call;
+* the **kernel path** (:mod:`repro.optimizer.kernel`) replays the same
+  algorithm on a :class:`~repro.optimizer.kernel.SampleIndex` built once
+  per estimator, bitwise-identical by construction.
+
+``vectorized`` selects between them: ``False`` is reference-only,
+``True`` is kernel-only (cross-checks raise
+:class:`~repro.exceptions.KernelMismatchError`), and ``"auto"`` (the
+default) runs the kernel but spot-verifies its first few simulations
+against the reference and *permanently falls back* if they ever disagree
+-- fast in the steady state, self-validating on every fresh estimator.
+
+Results are memoized per ``(Delta, H)`` in a bounded LRU so search
+schemes revisiting a configuration (hill-climbing does constantly) pay
+once; the run counter still reports *distinct* simulation runs, the
+optimization-overhead metric of the scheme-comparison experiment.
+:meth:`CostEstimator.estimate_many` accepts whole candidate frontiers at
+once -- semantically a plain loop (identical costs, cache behaviour, and
+run counts), but it lets the estimator fan uncached simulations out to a
+process pool when ``workers`` is set.
 """
 
 from __future__ import annotations
 
-from typing import Optional, Sequence
+from collections import OrderedDict
+from typing import Optional, Sequence, Union
+
+import numpy as np
 
 from repro.core.framework import FrameworkNC
 from repro.core.policies import SRGPolicy
 from repro.data.dataset import Dataset
+from repro.exceptions import KernelMismatchError, ReproError
+from repro.optimizer.kernel import SampleIndex
 from repro.scoring.functions import ScoringFunction
 from repro.sources.cost import CostModel
 from repro.sources.middleware import Middleware
+
+#: Plan key: exact depth floats + the schedule permutation. Depths are
+#: produced deterministically by the search schemes, so exact equality is
+#: the correct notion of "same plan" -- rounding (an earlier revision
+#: rounded to 6 digits) collides distinct fine-step hill-climb depths.
+PlanKey = tuple[tuple[float, ...], tuple[int, ...]]
+
+#: How many distinct simulations ``vectorized="auto"`` cross-checks
+#: against the reference engine before trusting the kernel outright.
+AUTO_VERIFY_RUNS = 3
+
+#: Minimum number of uncached simulations in one batch before a process
+#: pool is worth its serialization overhead.
+_PARALLEL_MIN_BATCH = 8
+
+# Worker-process state for the parallel fan-out: one SampleIndex per
+# worker, built once by the pool initializer.
+_worker_index: Optional[SampleIndex] = None
+_worker_fn: Optional[ScoringFunction] = None
+_worker_k: int = 0
+
+
+def _pool_init(
+    matrix: np.ndarray,
+    cost_model: CostModel,
+    no_wild_guesses: bool,
+    fn: ScoringFunction,
+    sample_k: int,
+) -> None:
+    global _worker_index, _worker_fn, _worker_k
+    _worker_index = SampleIndex(
+        Dataset(matrix), cost_model, no_wild_guesses=no_wild_guesses
+    )
+    _worker_fn = fn
+    _worker_k = sample_k
+
+
+def _pool_simulate(plan: PlanKey) -> float:
+    assert _worker_index is not None and _worker_fn is not None
+    depths, schedule = plan
+    return _worker_index.simulate_cost(_worker_fn, _worker_k, depths, schedule)
 
 
 class CostEstimator:
@@ -40,6 +108,18 @@ class CostEstimator:
         n_total: the full database size the estimate scales to.
         cost_model: the scenario's access costs.
         no_wild_guesses: mirror of the real middleware's setting.
+        vectorized: ``True`` | ``False`` | ``"auto"`` -- see the module
+            docstring. ``"auto"`` is the default.
+        verify: cross-check policy for kernel simulations. ``None``
+            (default) verifies the first :data:`AUTO_VERIFY_RUNS` distinct
+            simulations in ``"auto"`` mode and none in ``True`` mode;
+            ``True`` verifies every simulation; ``False`` verifies none.
+        cache_size: LRU capacity of the plan-cost memo (``None`` =
+            unbounded, the pre-bounding behaviour; serving processes
+            should keep the default cap).
+        workers: when >= 2, :meth:`estimate_many` fans large uncached
+            batches out to a process pool of this size. Simulation is
+            deterministic, so worker count never changes results.
     """
 
     def __init__(
@@ -52,6 +132,10 @@ class CostEstimator:
         no_wild_guesses: bool = True,
         min_sample_k: Optional[int] = None,
         max_amplified_size: int = 5000,
+        vectorized: Union[bool, str] = "auto",
+        verify: Optional[bool] = None,
+        cache_size: Optional[int] = 65536,
+        workers: Optional[int] = None,
     ):
         if k < 1:
             raise ValueError(f"k must be >= 1, got {k}")
@@ -61,6 +145,14 @@ class CostEstimator:
             raise ValueError("sample width and cost model width differ")
         if fn.arity != sample.m:
             raise ValueError("scoring function arity and sample width differ")
+        if vectorized not in (True, False, "auto"):
+            raise ValueError(
+                f'vectorized must be True, False or "auto", got {vectorized!r}'
+            )
+        if cache_size is not None and cache_size < 1:
+            raise ValueError(f"cache_size must be >= 1, got {cache_size}")
+        if workers is not None and workers < 1:
+            raise ValueError(f"workers must be >= 1, got {workers}")
         if min_sample_k is not None:
             if min_sample_k < 1:
                 raise ValueError(f"min_sample_k must be >= 1, got {min_sample_k}")
@@ -86,34 +178,112 @@ class CostEstimator:
         self.no_wild_guesses = no_wild_guesses
         self.sample_k = max(1, round(k * sample.n / n_total))
         self.scale = n_total / sample.n
-        self._cache: dict[tuple, float] = {}
+        self.vectorized = vectorized
+        self.verify = verify
+        self.cache_size = cache_size
+        self.workers = workers
+        self._cache: OrderedDict[PlanKey, float] = OrderedDict()
         self._runs = 0
+        self._cache_hits = 0
+        self._cache_misses = 0
+        self._kernel_runs = 0
+        self._reference_runs = 0
+        self._fallbacks = 0
+        self._index: Optional[SampleIndex] = None
+        self._kernel_enabled = vectorized in (True, "auto")
+        if verify is True:
+            self._verify_remaining = float("inf")
+        elif verify is None and vectorized == "auto":
+            self._verify_remaining = float(AUTO_VERIFY_RUNS)
+        else:
+            self._verify_remaining = 0.0
+        self._pool = None
+        self._pool_broken = False
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
 
     @property
     def runs(self) -> int:
-        """Distinct simulation runs performed (the optimizer's overhead)."""
+        """Distinct simulation runs performed (the optimizer's overhead).
+
+        One per distinct plan simulated, independent of execution path;
+        verification replays do not add to it.
+        """
         return self._runs
+
+    @property
+    def cache_hits(self) -> int:
+        """Estimates answered from the plan-cost memo."""
+        return self._cache_hits
+
+    @property
+    def cache_misses(self) -> int:
+        """Estimates that required a fresh simulation."""
+        return self._cache_misses
+
+    @property
+    def kernel_runs(self) -> int:
+        """Simulations executed on the fast-path kernel."""
+        return self._kernel_runs
+
+    @property
+    def reference_runs(self) -> int:
+        """Simulations executed on the reference engine (incl. cross-checks)."""
+        return self._reference_runs
+
+    @property
+    def fallbacks(self) -> int:
+        """Kernel simulations abandoned to the reference path (auto mode)."""
+        return self._fallbacks
+
+    @property
+    def kernel_active(self) -> bool:
+        """Whether new simulations currently take the kernel path."""
+        return self._kernel_enabled
+
+    def cache_info(self) -> dict:
+        """Memo statistics: hits, misses, current size, and the cap."""
+        return {
+            "hits": self._cache_hits,
+            "misses": self._cache_misses,
+            "size": len(self._cache),
+            "cap": self.cache_size,
+        }
+
+    # ------------------------------------------------------------------
+    # Cache
+    # ------------------------------------------------------------------
 
     def _key(
         self, depths: Sequence[float], schedule: Sequence[int]
-    ) -> tuple:
+    ) -> PlanKey:
         return (
-            tuple(round(float(d), 6) for d in depths),
-            tuple(schedule),
+            tuple(float(d) for d in depths),
+            tuple(int(p) for p in schedule),
         )
 
-    def estimate(
-        self,
-        depths: Sequence[float],
-        schedule: Optional[Sequence[int]] = None,
+    def _cache_get(self, key: PlanKey) -> Optional[float]:
+        cost = self._cache.get(key)
+        if cost is not None:
+            self._cache.move_to_end(key)
+        return cost
+
+    def _cache_put(self, key: PlanKey, cost: float) -> None:
+        self._cache[key] = cost
+        self._cache.move_to_end(key)
+        if self.cache_size is not None:
+            while len(self._cache) > self.cache_size:
+                self._cache.popitem(last=False)
+
+    # ------------------------------------------------------------------
+    # Simulation paths
+    # ------------------------------------------------------------------
+
+    def _reference_cost(
+        self, depths: tuple[float, ...], schedule: tuple[int, ...]
     ) -> float:
-        """Estimated full-database cost of the SR/G plan ``(Delta, H)``."""
-        if schedule is None:
-            schedule = tuple(range(self.sample.m))
-        key = self._key(depths, schedule)
-        cached = self._cache.get(key)
-        if cached is not None:
-            return cached
         middleware = Middleware.over(
             self.sample,
             self.cost_model,
@@ -122,7 +292,183 @@ class CostEstimator:
         policy = SRGPolicy(depths, schedule)
         engine = FrameworkNC(middleware, self.fn, self.sample_k, policy)
         engine.run()
-        cost = middleware.stats.total_cost() * self.scale
-        self._cache[key] = cost
-        self._runs += 1
+        self._reference_runs += 1
+        return middleware.stats.total_cost() * self.scale
+
+    def _ensure_index(self) -> SampleIndex:
+        if self._index is None:
+            self._index = SampleIndex(
+                self.sample,
+                self.cost_model,
+                no_wild_guesses=self.no_wild_guesses,
+            )
+        return self._index
+
+    def _kernel_cost(
+        self, depths: tuple[float, ...], schedule: tuple[int, ...]
+    ) -> float:
+        index = self._ensure_index()
+        try:
+            cost = (
+                index.simulate_cost(self.fn, self.sample_k, depths, schedule)
+                * self.scale
+            )
+        except (ReproError, ValueError):
+            # Conditions the reference engine raises too (unanswerable
+            # query, bad plan): genuine errors in both paths, propagate.
+            raise
+        except Exception:
+            if self.vectorized is True:
+                raise
+            # Defensive: an unexpected kernel bug in auto mode degrades
+            # to the (slower, trivially correct) reference path.
+            self._fallbacks += 1
+            self._kernel_enabled = False
+            return self._reference_cost(depths, schedule)
+        self._kernel_runs += 1
+        if self._verify_remaining > 0:
+            self._verify_remaining -= 1
+            reference = self._reference_cost(depths, schedule)
+            if reference != cost:
+                if self.vectorized is True:
+                    raise KernelMismatchError(
+                        f"kernel cost {cost!r} != reference cost "
+                        f"{reference!r} for plan depths={depths} "
+                        f"schedule={schedule}"
+                    )
+                self._fallbacks += 1
+                self._kernel_enabled = False
+                return reference
         return cost
+
+    def _simulate(
+        self, depths: tuple[float, ...], schedule: tuple[int, ...]
+    ) -> float:
+        self._runs += 1
+        if self._kernel_enabled:
+            return self._kernel_cost(depths, schedule)
+        return self._reference_cost(depths, schedule)
+
+    # ------------------------------------------------------------------
+    # Parallel fan-out
+    # ------------------------------------------------------------------
+
+    def _parallel_costs(self, plans: list[PlanKey]) -> Optional[list[float]]:
+        """Simulate ``plans`` on the process pool; ``None`` = do it serially."""
+        if (
+            self.workers is None
+            or self.workers < 2
+            or self._pool_broken
+            or not self._kernel_enabled
+            or self._verify_remaining > 0
+            or len(plans) < _PARALLEL_MIN_BATCH
+        ):
+            return None
+        try:
+            if self._pool is None:
+                from concurrent.futures import ProcessPoolExecutor
+
+                self._pool = ProcessPoolExecutor(
+                    max_workers=self.workers,
+                    initializer=_pool_init,
+                    initargs=(
+                        self.sample.matrix,
+                        self.cost_model,
+                        self.no_wild_guesses,
+                        self.fn,
+                        self.sample_k,
+                    ),
+                )
+            costs = list(self._pool.map(_pool_simulate, plans))
+        except (ReproError, ValueError):
+            raise
+        except Exception:
+            # Unpicklable scoring function, broken pool, sandboxed
+            # environment without fork support... fall back to serial
+            # in-process simulation permanently for this estimator.
+            self._pool_broken = True
+            self.close()
+            return None
+        self._runs += len(plans)
+        self._kernel_runs += len(plans)
+        return [c * self.scale for c in costs]
+
+    def close(self) -> None:
+        """Shut down the worker pool, if one was started."""
+        pool = self._pool
+        self._pool = None
+        if pool is not None:
+            pool.shutdown(wait=False, cancel_futures=True)
+
+    # ------------------------------------------------------------------
+    # Public estimation API
+    # ------------------------------------------------------------------
+
+    def estimate(
+        self,
+        depths: Sequence[float],
+        schedule: Optional[Sequence[int]] = None,
+    ) -> float:
+        """Estimated full-database cost of the SR/G plan ``(Delta, H)``."""
+        return self.estimate_plans([(depths, schedule)])[0]
+
+    def estimate_many(
+        self,
+        depth_list: Sequence[Sequence[float]],
+        schedule: Optional[Sequence[int]] = None,
+    ) -> list[float]:
+        """Costs of a frontier of depth vectors under one shared schedule.
+
+        Exactly equivalent to ``[self.estimate(d, schedule) for d in
+        depth_list]`` -- same costs, same memoization, same ``runs``
+        accounting -- which is what lets the search schemes submit whole
+        frontiers without changing their selection semantics.
+        """
+        return self.estimate_plans([(d, schedule) for d in depth_list])
+
+    def estimate_plans(
+        self,
+        plans: Sequence[
+            tuple[Sequence[float], Optional[Sequence[int]]]
+        ],
+    ) -> list[float]:
+        """Costs of a batch of full ``(depths, schedule)`` plans.
+
+        Duplicates within the batch are simulated once (later occurrences
+        count as cache hits, as in a serial loop); uncached plans run on
+        the configured fast path, fanned out to the worker pool when one
+        is available and the batch is large enough.
+        """
+        default = tuple(range(self.sample.m))
+        keys: list[PlanKey] = []
+        for depths, schedule in plans:
+            keys.append(
+                self._key(depths, schedule if schedule is not None else default)
+            )
+        results: list[Optional[float]] = [None] * len(keys)
+        pending: OrderedDict[PlanKey, list[int]] = OrderedDict()
+        for i, key in enumerate(keys):
+            cached = self._cache_get(key)
+            if cached is not None:
+                self._cache_hits += 1
+                results[i] = cached
+            elif key in pending:
+                self._cache_hits += 1
+                pending[key].append(i)
+            else:
+                self._cache_misses += 1
+                pending[key] = [i]
+        if pending:
+            fresh = list(pending.keys())
+            costs = self._parallel_costs(fresh)
+            if costs is None:
+                costs = [self._simulate(d, s) for d, s in fresh]
+            for key, cost in zip(fresh, costs):
+                self._cache_put(key, cost)
+                for i in pending[key]:
+                    results[i] = cost
+        out: list[float] = []
+        for cost in results:
+            assert cost is not None
+            out.append(cost)
+        return out

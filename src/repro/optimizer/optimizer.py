@@ -34,12 +34,17 @@ class NCOptimizer:
             the paper's pick.
         schedule_optimizer: how ``H`` is chosen; defaults to the
             benefit/cost heuristic.
+        vectorized: estimator execution path (``True`` / ``False`` /
+            ``"auto"``); see :class:`CostEstimator`.
+        workers: optional process-pool size for batched estimation.
     """
 
     def __init__(
         self,
         scheme: Optional[SearchScheme] = None,
         schedule_optimizer: Optional[ScheduleOptimizer] = None,
+        vectorized: bool | str = "auto",
+        workers: Optional[int] = None,
     ):
         self.scheme = scheme if scheme is not None else HillClimb()
         self.schedule_optimizer = (
@@ -47,6 +52,8 @@ class NCOptimizer:
             if schedule_optimizer is not None
             else ScheduleOptimizer(mode="heuristic")
         )
+        self.vectorized = vectorized
+        self.workers = workers
 
     def plan(
         self,
@@ -72,6 +79,8 @@ class NCOptimizer:
             cost_model,
             no_wild_guesses=no_wild_guesses,
             min_sample_k=min_sample_k,
+            vectorized=self.vectorized,
+            workers=self.workers,
         )
         initial_schedule = benefit_cost_schedule(sample, cost_model)
         # The estimator's default schedule is the identity; thread H_0
@@ -95,11 +104,19 @@ class NCOptimizer:
                     depths, schedule if schedule is not None else initial_schedule
                 )
 
+            @staticmethod
+            def estimate_many(depth_list, schedule=None):
+                return estimator.estimate_many(
+                    depth_list,
+                    schedule if schedule is not None else initial_schedule,
+                )
+
         result = self.scheme.search(_Scheduled())  # type: ignore[arg-type]
         schedule = self.schedule_optimizer.optimize(
             estimator, result.depths, initial=initial_schedule
         )
         cost = estimator.estimate(result.depths, schedule)
+        estimator.close()
         return SRGPlan(
             depths=result.depths,
             schedule=schedule,
@@ -109,5 +126,7 @@ class NCOptimizer:
                 "scheme": self.scheme.describe(),
                 "sample_size": sample.n,
                 "sample_k": estimator.sample_k,
+                "kernel_runs": estimator.kernel_runs,
+                "reference_runs": estimator.reference_runs,
             },
         )

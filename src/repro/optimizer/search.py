@@ -61,6 +61,23 @@ def _grid(resolution: int) -> list[float]:
     return [float(v) for v in np.linspace(0.0, 1.0, resolution)]
 
 
+def _batch_estimate(
+    estimator: CostEstimator, points: list[tuple[float, ...]]
+) -> list[float]:
+    """Cost the frontier ``points`` in one estimator submission.
+
+    Batching is purely an execution detail -- ``estimate_many`` is
+    specified to return exactly what a serial ``estimate`` loop would --
+    but it lets the estimator amortize its fast-path setup and fan out to
+    worker processes. Estimator-likes without the batch API (duck-typed
+    test doubles, wrappers) degrade to the serial loop.
+    """
+    batch = getattr(estimator, "estimate_many", None)
+    if batch is not None:
+        return list(batch(points))
+    return [estimator.estimate(point) for point in points]
+
+
 class NaiveGrid(SearchScheme):
     """Exhaustive grid search (Scheme Naive).
 
@@ -85,8 +102,11 @@ class NaiveGrid(SearchScheme):
         start_runs = estimator.runs
         best_depths: tuple[float, ...] | None = None
         best_cost = float("inf")
-        for point in itertools.product(axis, repeat=m):
-            cost = estimator.estimate(point)
+        # The whole mesh is one frontier: every point is estimated
+        # regardless of the others' costs, so submit it as one batch and
+        # keep the first-minimum scan over the returned costs.
+        points = list(itertools.product(axis, repeat=m))
+        for point, cost in zip(points, _batch_estimate(estimator, points)):
             if cost < best_cost:
                 best_cost = cost
                 best_depths = point
@@ -153,8 +173,10 @@ class Strategies(SearchScheme):
         start_runs = estimator.runs
         best_depths: tuple[float, ...] | None = None
         best_cost = float("inf")
-        for point in self._candidates(m, families):
-            cost = estimator.estimate(point)
+        # The family scan is select-after-full-scan, hence batchable; the
+        # refinement below updates the incumbent mid-pass and stays serial.
+        candidates = self._candidates(m, families)
+        for point, cost in zip(candidates, _batch_estimate(estimator, candidates)):
             if cost < best_cost:
                 best_cost, best_depths = cost, point
         assert best_depths is not None
@@ -236,6 +258,10 @@ class HillClimb(SearchScheme):
                 moved = False
                 best_neighbour = None
                 best_cost = current_cost
+                # Every +-step neighbour is evaluated before moving, so
+                # the ring is one batch; the first-best scan below keeps
+                # the original coordinate/direction tie-breaking.
+                neighbours: list[tuple[float, ...]] = []
                 for i in range(m):
                     for direction in (-step, step):
                         value = min(1.0, max(0.0, current[i] + direction))
@@ -243,10 +269,12 @@ class HillClimb(SearchScheme):
                             continue
                         candidate = list(current)
                         candidate[i] = value
-                        cost = estimator.estimate(candidate)
-                        if cost < best_cost:
-                            best_cost = cost
-                            best_neighbour = tuple(candidate)
+                        neighbours.append(tuple(candidate))
+                costs = _batch_estimate(estimator, neighbours)
+                for candidate_point, cost in zip(neighbours, costs):
+                    if cost < best_cost:
+                        best_cost = cost
+                        best_neighbour = candidate_point
                 if best_neighbour is not None:
                     current, current_cost = best_neighbour, best_cost
                     moved = True

@@ -20,17 +20,29 @@ import math
 from abc import ABC, abstractmethod
 from typing import Callable, Sequence
 
+import numpy as np
+
 
 class ScoringFunction(ABC):
     """A monotone aggregate ``F: [0,1]^m -> [0,1]``.
 
     Subclasses implement :meth:`evaluate`; the base class provides input
-    validation, callable sugar, and a numeric partial derivative fallback.
+    validation, callable sugar, a numeric partial derivative fallback, and
+    a row-batched :meth:`evaluate_batch`.
 
     Attributes:
         arity: the number of predicate inputs ``m``.
         name: a short human-readable label used in reports.
+        batch_exact: whether :meth:`evaluate_batch` is guaranteed
+            *bitwise-identical* to a Python loop over :meth:`evaluate`.
+            Ordering-only aggregates (min/max/median) vectorize exactly;
+            sum-based ones do not (NumPy's pairwise summation rounds
+            differently from ``math.fsum``), so exactness-critical callers
+            (the brute-force oracle, the simulation kernel) consult this
+            flag before taking a vectorized shortcut.
     """
+
+    batch_exact: bool = True  # the default implementation *is* the loop
 
     def __init__(self, arity: int, name: str):
         if arity < 1:
@@ -48,6 +60,25 @@ class ScoringFunction(ABC):
                 f"{self.name} expects {self.arity} scores, got {len(scores)}"
             )
         return self.evaluate(scores)
+
+    def _validate_batch(self, matrix: np.ndarray | Sequence) -> np.ndarray:
+        arr = np.asarray(matrix, dtype=np.float64)
+        if arr.ndim != 2 or arr.shape[1] != self.arity:
+            raise ValueError(
+                f"{self.name} expects an (n, {self.arity}) matrix, got "
+                f"shape {arr.shape}"
+            )
+        return arr
+
+    def evaluate_batch(self, matrix: np.ndarray | Sequence) -> np.ndarray:
+        """Aggregate every row of an ``(n, m)`` score matrix at once.
+
+        The base implementation loops :meth:`evaluate` row by row (exact
+        by construction); subclasses with a NumPy closed form override it
+        and declare their exactness via ``batch_exact``.
+        """
+        arr = self._validate_batch(matrix)
+        return np.array([self.evaluate(row) for row in arr.tolist()])
 
     def partial_derivative(
         self, index: int, point: Sequence[float], eps: float = 1e-6
@@ -91,6 +122,10 @@ class Min(ScoringFunction):
     def evaluate(self, scores: Sequence[float]) -> float:
         return min(scores)
 
+    def evaluate_batch(self, matrix: np.ndarray | Sequence) -> np.ndarray:
+        # Pure comparisons: bitwise-identical to the scalar loop.
+        return self._validate_batch(matrix).min(axis=1)
+
     def _partial(
         self, index: int, point: Sequence[float], eps: float = 1e-6
     ) -> float:
@@ -109,6 +144,10 @@ class Max(ScoringFunction):
     def evaluate(self, scores: Sequence[float]) -> float:
         return max(scores)
 
+    def evaluate_batch(self, matrix: np.ndarray | Sequence) -> np.ndarray:
+        # Pure comparisons: bitwise-identical to the scalar loop.
+        return self._validate_batch(matrix).max(axis=1)
+
     def _partial(
         self, index: int, point: Sequence[float], eps: float = 1e-6
     ) -> float:
@@ -124,6 +163,12 @@ class Avg(ScoringFunction):
 
     def evaluate(self, scores: Sequence[float]) -> float:
         return math.fsum(scores) / self.arity
+
+    #: NumPy's pairwise summation rounds differently from ``math.fsum``.
+    batch_exact = False
+
+    def evaluate_batch(self, matrix: np.ndarray | Sequence) -> np.ndarray:
+        return self._validate_batch(matrix).sum(axis=1) / self.arity
 
     def _partial(
         self, index: int, point: Sequence[float], eps: float = 1e-6
@@ -153,6 +198,12 @@ class WeightedSum(ScoringFunction):
     def evaluate(self, scores: Sequence[float]) -> float:
         return math.fsum(w * s for w, s in zip(self.weights, scores))
 
+    #: The dot product's accumulation differs from ``math.fsum``.
+    batch_exact = False
+
+    def evaluate_batch(self, matrix: np.ndarray | Sequence) -> np.ndarray:
+        return self._validate_batch(matrix) @ np.asarray(self.weights)
+
     def _partial(
         self, index: int, point: Sequence[float], eps: float = 1e-6
     ) -> float:
@@ -170,6 +221,12 @@ class Product(ScoringFunction):
         for s in scores:
             out *= s
         return out
+
+    #: ``np.prod`` may reassociate the multiplication chain.
+    batch_exact = False
+
+    def evaluate_batch(self, matrix: np.ndarray | Sequence) -> np.ndarray:
+        return self._validate_batch(matrix).prod(axis=1)
 
     def _partial(
         self, index: int, point: Sequence[float], eps: float = 1e-6
@@ -193,6 +250,12 @@ class Geometric(ScoringFunction):
             out *= s
         return out ** (1.0 / self.arity)
 
+    #: Inherits ``np.prod``'s reassociation (see :class:`Product`).
+    batch_exact = False
+
+    def evaluate_batch(self, matrix: np.ndarray | Sequence) -> np.ndarray:
+        return self._validate_batch(matrix).prod(axis=1) ** (1.0 / self.arity)
+
 
 class Median(ScoringFunction):
     """``F = median(x_1, ..., x_m)`` (lower median for even arity).
@@ -207,6 +270,11 @@ class Median(ScoringFunction):
     def evaluate(self, scores: Sequence[float]) -> float:
         ordered = sorted(scores)
         return ordered[(self.arity - 1) // 2]
+
+    def evaluate_batch(self, matrix: np.ndarray | Sequence) -> np.ndarray:
+        # Sorting only selects, never computes: exact like min/max.
+        arr = np.sort(self._validate_batch(matrix), axis=1)
+        return arr[:, (self.arity - 1) // 2]
 
 
 class Monotone(ScoringFunction):

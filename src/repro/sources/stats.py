@@ -12,10 +12,31 @@ costs independently and which powers trace-style output in the examples.
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import Optional, Sequence
 
 from repro.sources.cost import CostModel
 from repro.types import Access, AccessType
+
+
+def eq1_cost(
+    cost_model: CostModel, ns: Sequence[int], nr: Sequence[int]
+) -> float:
+    """Price per-predicate access counts under Eq. 1.
+
+    The single implementation of ``sum_i ns_i*cs_i + sum_i nr_i*cr_i``,
+    shared by :meth:`AccessStats.total_cost` and the vectorized plan-cost
+    kernel (:mod:`repro.optimizer.kernel`) so both paths accumulate terms
+    in the identical order and agree bitwise.
+    """
+    if cost_model.m != len(ns) or cost_model.m != len(nr):
+        raise ValueError("cost model width mismatch")
+    total = 0.0
+    for i in range(cost_model.m):
+        if ns[i]:
+            total += ns[i] * cost_model.sorted_cost(i)
+        if nr[i]:
+            total += nr[i] * cost_model.random_cost(i)
+    return total
 
 
 class AccessStats:
@@ -183,15 +204,7 @@ class AccessStats:
         there.
         """
         model = cost_model if cost_model is not None else self._cost_model
-        if model.m != self.m:
-            raise ValueError("cost model width mismatch")
-        total = 0.0
-        for i in range(self.m):
-            if self._ns[i]:
-                total += self._ns[i] * model.sorted_cost(i)
-            if self._nr[i]:
-                total += self._nr[i] * model.random_cost(i)
-        return total
+        return eq1_cost(model, self._ns, self._nr)
 
     def merge(self, other: "AccessStats") -> None:
         """Fold another stats object's counts into this one (same model width)."""

@@ -80,12 +80,57 @@ class TestEstimatorCaching:
         est.estimate([1.0, 1.0], schedule=(1, 0))
         assert est.runs == 2
 
-    def test_float_noise_rounded_into_same_key(self):
+    def test_close_depths_are_distinct_keys(self):
+        # Regression: keys used to round depths to 6 digits, colliding
+        # distinct fine-step hill-climb depths into one memo entry and
+        # silently returning the wrong plan's cost. Keys are now exact.
         sample = dummy_uniform_sample(2, 50, seed=0)
         est = CostEstimator(sample, Min(2), 5, 500, CostModel.uniform(2))
         est.estimate([0.5, 0.5])
         est.estimate([0.5 + 1e-9, 0.5])
-        assert est.runs == 1
+        assert est.runs == 2
+        # ... while bitwise-equal depths still share one entry.
+        est.estimate([0.5, 0.5])
+        assert est.runs == 2
+
+    def test_cache_is_bounded_lru(self):
+        sample = dummy_uniform_sample(2, 30, seed=0)
+        est = CostEstimator(
+            sample, Min(2), 5, 300, CostModel.uniform(2), cache_size=2
+        )
+        est.estimate([0.1, 0.1])
+        est.estimate([0.2, 0.2])
+        est.estimate([0.1, 0.1])  # refresh recency of the first entry
+        est.estimate([0.3, 0.3])  # evicts [0.2, 0.2], not [0.1, 0.1]
+        assert est.cache_info()["size"] == 2
+        runs = est.runs
+        est.estimate([0.1, 0.1])
+        assert est.runs == runs  # still cached
+        est.estimate([0.2, 0.2])
+        assert est.runs == runs + 1  # was evicted, re-simulated
+
+    def test_hit_miss_counters(self):
+        sample = dummy_uniform_sample(2, 30, seed=0)
+        est = CostEstimator(sample, Min(2), 5, 300, CostModel.uniform(2))
+        est.estimate([0.5, 0.5])
+        est.estimate([0.5, 0.5])
+        est.estimate([0.4, 0.4])
+        assert est.cache_hits == 1
+        assert est.cache_misses == 2
+        info = est.cache_info()
+        assert info["hits"] == 1 and info["misses"] == 2
+        assert info["size"] == 2
+
+    def test_estimate_many_matches_serial_loop(self):
+        sample = dummy_uniform_sample(2, 50, seed=0)
+        plans = [(0.0, 0.0), (0.5, 0.5), (1.0, 1.0), (0.5, 0.5)]
+        serial = CostEstimator(sample, Avg(2), 5, 500, CostModel.uniform(2))
+        batched = CostEstimator(sample, Avg(2), 5, 500, CostModel.uniform(2))
+        expected = [serial.estimate(p) for p in plans]
+        got = batched.estimate_many(plans)
+        assert got == expected
+        assert batched.runs == serial.runs == 3
+        assert batched.cache_hits == serial.cache_hits == 1
 
 
 class TestEstimatorFidelity:
