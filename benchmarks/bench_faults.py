@@ -16,6 +16,9 @@ predicate whose random channel is permanently dead forces the NC engine
 to finish bound-only -- flagged partial, never an exception.
 """
 
+import json
+import pathlib
+
 from repro.algorithms import NRA, TA
 from repro.bench.harness import compare, nc_with_dummy_planner, run_algorithm
 from repro.exceptions import RetryExhaustedError, SourceUnavailableError
@@ -29,10 +32,14 @@ from repro.faults import (
     RetryPolicy,
     chaos_middleware,
 )
+from repro.obs.metrics import MetricsRegistry
 from repro.optimizer.search import HillClimb
 from repro.sources.cost import CostModel
 from repro.sources.middleware import Middleware
 from repro.sources.simulated import sources_for
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+METRICS_FILE = RESULTS_DIR / "e19_metrics_snapshot.json"
 
 FAULT_RATES = (0.0, 0.05, 0.1, 0.2)
 SEEDS = (1, 2, 3)
@@ -46,7 +53,7 @@ def algorithms():
     ]
 
 
-def chaos_factory(rate, seed):
+def chaos_factory(rate, seed, metrics=None):
     profile = FaultProfile.transient(rate)
 
     def factory(scenario):
@@ -57,18 +64,22 @@ def chaos_factory(rate, seed):
             seed=seed,
             retry_policy=RetryPolicy(),
             no_wild_guesses=scenario.no_wild_guesses,
+            metrics=metrics,
         )
 
     return factory
 
 
-def run_sweep(scenario):
+def run_sweep(scenario, metrics=None):
     """completion rate + mean cost overhead per (algorithm, fault rate).
 
     A run counts as completed only when it returned the exact verified
     top-k. Baselines without the NC engine's degradation path may abort
     with ``RetryExhaustedError`` once the retry budget is overwhelmed
     (expected beyond the 10% acceptance bar); those count as failures.
+
+    ``metrics`` (optional :class:`MetricsRegistry`) is threaded into
+    every chaos middleware so one registry accumulates the whole sweep.
     """
     clean_rows = compare(scenario, algorithms())
     clean = {row.algorithm: row.cost for row in clean_rows}
@@ -82,7 +93,7 @@ def run_sweep(scenario):
             for label, algorithm in zip(labels, algorithms()):
                 try:
                     row = run_algorithm(
-                        algorithm, scenario, chaos_factory(rate, seed)
+                        algorithm, scenario, chaos_factory(rate, seed, metrics)
                     )
                 except (RetryExhaustedError, SourceUnavailableError):
                     failures[label] += 1
@@ -145,7 +156,8 @@ def degradation_rows():
 
 def test_fault_sweep(benchmark, report):
     scenario = s2(n=400, k=5)
-    rows, completions = run_sweep(scenario)
+    metrics = MetricsRegistry()
+    rows, completions = run_sweep(scenario, metrics=metrics)
     report(
         "E19",
         "Completion rate and cost overhead vs transient fault rate (S2)",
@@ -154,6 +166,15 @@ def test_fault_sweep(benchmark, report):
             rows,
         ),
     )
+    # Sweep-wide metrics snapshot alongside the tables: one registry saw
+    # every chaos run, so the artifact records total charged accesses,
+    # faults, retries, and backoff across the whole experiment.
+    RESULTS_DIR.mkdir(exist_ok=True)
+    METRICS_FILE.write_text(
+        json.dumps(metrics.snapshot(), indent=2, sort_keys=True) + "\n"
+    )
+    assert metrics.total("repro_accesses_total") > 0
+    assert metrics.total("repro_faults_total") > 0
     # Acceptance: every algorithm absorbs transient rates up to 10% exactly.
     for (name, rate), completion in completions.items():
         if rate <= 0.1:

@@ -26,6 +26,7 @@ import pathlib
 import sys
 import time
 
+from repro.obs.metrics import MetricsRegistry
 from repro.optimizer.estimator import CostEstimator
 from repro.optimizer.sampling import dummy_uniform_sample
 from repro.optimizer.search import NaiveGrid
@@ -56,6 +57,7 @@ def _estimator(
     model: CostModel,
     sample_size: int,
     vectorized: bool,
+    metrics: MetricsRegistry | None = None,
 ) -> CostEstimator:
     sample = dummy_uniform_sample(fn.arity, sample_size, seed=3)
     return CostEstimator(
@@ -66,6 +68,7 @@ def _estimator(
         model,
         vectorized=vectorized,
         verify=False,
+        metrics=metrics,
     )
 
 
@@ -82,6 +85,7 @@ def run_config(
     sample_size: int,
     panel_size: int,
     repeats: int = 3,
+    metrics: MetricsRegistry | None = None,
 ) -> dict:
     """Measure one scenario: cold batch, warm batch, both paths.
 
@@ -95,7 +99,7 @@ def run_config(
     for name, vectorized in (("kernel", True), ("reference", False)):
         cold_s = warm_s = float("inf")
         for _ in range(repeats):
-            est = _estimator(fn, model, sample_size, vectorized)
+            est = _estimator(fn, model, sample_size, vectorized, metrics)
             cold_once, cold_costs = _timed_batch(est, cold_panel)
             warm_once, warm_costs = _timed_batch(est, warm_panel)
             cold_s = min(cold_s, cold_once)
@@ -134,11 +138,15 @@ def run_suite(quick: bool = False) -> dict:
             ("S1-min-m2", Min(2), CostModel.expensive_random(2), 150, 20),
             ("S2-avg-m3", Avg(3), CostModel.uniform(3), 150, 15),
         ]
+    metrics = MetricsRegistry()
     payload = {
         "experiment": "E21 kernel estimator throughput",
         "quick": quick,
-        "configs": [run_config(*cfg) for cfg in configs],
+        "configs": [run_config(*cfg, metrics=metrics) for cfg in configs],
         "identical_chosen_plans": identical_chosen_plans(),
+        # Aggregate estimator metrics across every measured run, so the
+        # committed artifact shows which execution paths actually fired.
+        "metrics": metrics.snapshot(),
     }
     RESULTS_DIR.mkdir(exist_ok=True)
     RESULT_FILE.write_text(json.dumps(payload, indent=2) + "\n")

@@ -127,6 +127,14 @@ def test_warm_batch_strictly_cheaper_and_identical(report):
     )
     report("E20", "service amortization", table)
 
+    # The unified registry must agree with the server's own books before
+    # the snapshot is worth committing as an artifact.
+    counters = snap["metrics"]["counters"]
+    metric_accesses = sum(
+        v for k, v in counters.items() if k.startswith("repro_accesses_total")
+    )
+    assert metric_accesses == snap["charged_accesses_total"]
+
     RESULTS_DIR.mkdir(exist_ok=True)
     payload = {
         "experiment": "E20",
@@ -137,6 +145,7 @@ def test_warm_batch_strictly_cheaper_and_identical(report):
         "warm_cost_total": warm_cost,
         "savings_ratio": 1.0 - warm_cost / cold_cost,
         "cache": snap["cache"],
+        "metrics": snap["metrics"],
         "per_query": [
             {
                 "query": warm_s.text,
@@ -176,6 +185,7 @@ def test_concurrency_sweep_keeps_amortization(report):
                 "concurrency": concurrency,
                 "charged_cost_total": total,
                 "cache_hit_rate": hit_rate,
+                "metrics": server.metrics.snapshot(),
             }
         )
     table = ascii_table(

@@ -13,6 +13,8 @@ UIUC TR). The library provides:
 * bounded-concurrency execution (:mod:`repro.parallel`);
 * fault tolerance for flaky sources -- injection, retry/backoff,
   circuit breakers, graceful degradation (:mod:`repro.faults`);
+* unified observability -- one metrics registry every layer feeds and a
+  deterministic structured access trace (:mod:`repro.obs`);
 * the benchmark harness regenerating the paper's experiments
   (:mod:`repro.bench`).
 
@@ -91,6 +93,14 @@ from repro.faults import (
     FaultProfile,
     faulty_sources_for,
     RetryPolicy,
+)
+from repro.obs import (
+    MetricsRegistry,
+    TraceEvent,
+    TraceRecorder,
+    build_timeline,
+    format_timeline,
+    read_trace,
 )
 from repro.optimizer import (
     CostEstimator,
@@ -247,6 +257,13 @@ __all__ = [
     "BreakerPolicy",
     "BreakerState",
     "CircuitBreaker",
+    # observability
+    "MetricsRegistry",
+    "TraceRecorder",
+    "TraceEvent",
+    "read_trace",
+    "build_timeline",
+    "format_timeline",
     # exceptions
     "ReproError",
     "CapabilityError",

@@ -20,7 +20,14 @@ Usage (also via ``python -m repro``)::
     python -m repro serve --n 1000 --schema a,b --seed 7
         Serve many queries over one shared source pool with a cross-query
         cache (docs/SERVICE.md): JSON-lines requests on stdin (or a local
-        socket with --socket PATH), responses on stdout.
+        socket with --socket PATH), responses on stdout. Add
+        ``--trace out.jsonl`` to record the structured access trace and
+        ``--metrics-out metrics.json`` to dump the unified metrics
+        snapshot (docs/OBSERVABILITY.md).
+
+    python -m repro trace out.jsonl [--width 64]
+        Analyze a recorded trace file: per-predicate Fig. 7-style access
+        timelines plus event totals.
 
     python -m repro lint src/repro [--format json] [--select RL001,RL002]
         Run the domain-aware static-analysis pass (docs/LINTS.md) over
@@ -36,6 +43,7 @@ or on a verification failure.
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from typing import Optional, Sequence
 
@@ -60,6 +68,12 @@ from repro.faults import (
     RetryPolicy,
     chaos_middleware,
     faulty_sources_for,
+)
+from repro.obs import (
+    MetricsRegistry,
+    TraceRecorder,
+    format_timeline,
+    read_trace,
 )
 from repro.optimizer.search import HillClimb, NaiveGrid, Strategies
 from repro.query import parse_query, run_query
@@ -227,6 +241,7 @@ def _cmd_optimize(args) -> int:
     plan = nc.resolve_plan(scenario.middleware(), scenario.fn, scenario.k)
     kernel_runs = plan.notes.get("kernel_runs", 0)
     reference_runs = plan.notes.get("reference_runs", 0)
+    pool_failures = plan.notes.get("pool_failures", 0)
     print(f"scenario : {scenario.name}  ({scenario.description})")
     print(f"costs    : {scenario.cost_model.describe()}")
     print(f"plan     : {plan.describe()}")
@@ -234,7 +249,42 @@ def _cmd_optimize(args) -> int:
         f"overhead : {plan.estimator_runs} estimator simulation runs "
         f"({kernel_runs} kernel, {reference_runs} reference)"
     )
+    if pool_failures:
+        print(
+            f"warning  : estimator worker pool failed {pool_failures} "
+            "time(s); plan costing degraded to serial simulation "
+            "(results unaffected)",
+            file=sys.stderr,
+        )
     return 0
+
+
+def _write_observability(
+    trace: Optional[TraceRecorder],
+    trace_path: Optional[str],
+    metrics: Optional[MetricsRegistry],
+    metrics_path: Optional[str],
+) -> None:
+    """Write the recorded trace / metrics snapshot to their output files.
+
+    Metrics render as the Prometheus text format when the path ends in
+    ``.prom``, as a JSON snapshot otherwise.
+    """
+    if trace is not None and trace_path:
+        written = trace.write(trace_path)
+        suffix = f" ({trace.dropped} dropped)" if trace.dropped else ""
+        print(
+            f"trace: {written} events -> {trace_path}{suffix}",
+            file=sys.stderr,
+        )
+    if metrics is not None and metrics_path:
+        with open(metrics_path, "w", encoding="utf-8") as handle:
+            if metrics_path.endswith(".prom"):
+                handle.write(metrics.render_prometheus())
+            else:
+                json.dump(metrics.snapshot(), handle, indent=2, sort_keys=True)
+                handle.write("\n")
+        print(f"metrics snapshot -> {metrics_path}", file=sys.stderr)
 
 
 def _cmd_query(args) -> int:
@@ -242,6 +292,8 @@ def _cmd_query(args) -> int:
     m = len(parsed.predicates)
     data = uniform(args.n, m, seed=args.seed)
     model = CostModel.uniform(m, cs=args.cs, cr=args.cr)
+    trace = TraceRecorder() if args.trace else None
+    metrics = MetricsRegistry() if args.metrics_out else None
     if args.fault_rate != 0.0 or args.timeout is not None:
         try:
             profile = FaultProfile.transient(args.fault_rate)
@@ -254,9 +306,13 @@ def _cmd_query(args) -> int:
             seed=args.fault_seed,
             retry_policy=_retry_policy(args),
             contracts=args.contracts,
+            metrics=metrics,
+            trace=trace,
         )
     else:
-        middleware = Middleware.over(data, model, contracts=args.contracts)
+        middleware = Middleware.over(
+            data, model, contracts=args.contracts, metrics=metrics, trace=trace
+        )
     result = run_query(parsed, middleware, schema=list(parsed.predicates))
     print(f"query     : {parsed}")
     print(f"predicates: {', '.join(parsed.predicates)} (synthetic uniform scores)")
@@ -283,6 +339,7 @@ def _cmd_query(args) -> int:
     print(line)
     if result.partial:
         print("warning: partial result -- some scores are bound-only")
+    _write_observability(trace, args.trace, metrics, args.metrics_out)
     return 0
 
 
@@ -330,7 +387,10 @@ def _cmd_serve(args) -> int:
         )
     except ValueError as exc:
         raise ReproError(str(exc)) from exc
-    server = QueryServer(model, cache=cache, schema=schema, config=config)
+    trace = TraceRecorder() if args.trace else None
+    server = QueryServer(
+        model, cache=cache, schema=schema, config=config, trace=trace
+    )
     if args.socket:
         print(f"serving on {args.socket}", file=sys.stderr)
         serve_socket(server, args.socket)
@@ -344,6 +404,16 @@ def _cmd_serve(args) -> int:
         f"cache hit rate {snapshot['cache']['hit_rate']:.2f}",
         file=sys.stderr,
     )
+    _write_observability(trace, args.trace, server.metrics, args.metrics_out)
+    return 0
+
+
+def _cmd_trace(args) -> int:
+    try:
+        events = read_trace(args.file)
+    except (OSError, ValueError) as exc:
+        raise ReproError(str(exc)) from exc
+    print(format_timeline(events, width=args.width))
     return 0
 
 
@@ -384,6 +454,23 @@ def build_parser() -> argparse.ArgumentParser:
             action="store_true",
             help="assert paper invariants (bounds, thresholds, "
             "monotonicity) at runtime; see docs/LINTS.md",
+        )
+
+    def add_obs_flags(p: argparse.ArgumentParser) -> None:
+        group = p.add_argument_group("observability (docs/OBSERVABILITY.md)")
+        group.add_argument(
+            "--trace",
+            default=None,
+            metavar="FILE",
+            help="record the structured access trace as JSON lines to FILE "
+            "(analyze with `repro trace FILE`)",
+        )
+        group.add_argument(
+            "--metrics-out",
+            default=None,
+            metavar="FILE",
+            help="write the unified metrics snapshot to FILE "
+            "(JSON, or Prometheus text when FILE ends in .prom)",
         )
 
     def add_fault_flags(p: argparse.ArgumentParser) -> None:
@@ -449,6 +536,7 @@ def build_parser() -> argparse.ArgumentParser:
     query_parser.add_argument("--cr", type=float, default=1.0)
     add_fault_flags(query_parser)
     add_contracts_flag(query_parser)
+    add_obs_flags(query_parser)
 
     serve_parser = sub.add_parser(
         "serve", help="serve queries over a shared cached source pool"
@@ -499,6 +587,18 @@ def build_parser() -> argparse.ArgumentParser:
     )
     add_fault_flags(serve_parser)
     add_contracts_flag(serve_parser)
+    add_obs_flags(serve_parser)
+
+    trace_parser = sub.add_parser(
+        "trace", help="analyze a recorded access trace (docs/OBSERVABILITY.md)"
+    )
+    trace_parser.add_argument("file", help="JSON-lines trace file to analyze")
+    trace_parser.add_argument(
+        "--width",
+        type=int,
+        default=64,
+        help="timeline width in characters (default 64)",
+    )
 
     lint_parser = sub.add_parser(
         "lint", help="run the domain static-analysis pass (docs/LINTS.md)"
@@ -534,6 +634,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "optimize": _cmd_optimize,
         "query": _cmd_query,
         "serve": _cmd_serve,
+        "trace": _cmd_trace,
         "lint": _cmd_lint,
     }
     try:

@@ -28,6 +28,7 @@ from repro.faults.breaker import (
     BreakerState,
     CircuitBreaker,
     breakers_for,
+    degraded_predicates,
 )
 from repro.faults.injector import (
     FaultInjectingSource,
@@ -46,6 +47,7 @@ __all__ = [
     "BreakerState",
     "CircuitBreaker",
     "breakers_for",
+    "degraded_predicates",
     "chaos_middleware",
 ]
 

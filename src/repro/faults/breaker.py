@@ -24,6 +24,7 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass
+from typing import Mapping
 
 from repro.types import AccessType
 
@@ -138,3 +139,24 @@ def breakers_for(
         for i in range(m)
         for kind in AccessType
     }
+
+
+def degraded_predicates(
+    breakers: Mapping[tuple[int, AccessType], CircuitBreaker], now: int
+) -> list[int]:
+    """Predicates with at least one channel refusing accesses at ``now``.
+
+    The single shared implementation behind both
+    ``Middleware.degraded_predicates()`` and ``QueryServer.stats()``:
+    breaker state is a function of the access-count clock, so the two
+    layers only agree when they evaluate the *same* scan at the *same*
+    clock -- previously each kept its own copy (the server's pinned to a
+    stale clock base), and the answers could diverge mid-query.
+    """
+    return sorted(
+        {
+            predicate
+            for (predicate, _kind), breaker in breakers.items()
+            if not breaker.allows(now)
+        }
+    )

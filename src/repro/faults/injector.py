@@ -125,6 +125,7 @@ class FaultInjectingSource(Source):
         self._delivered = 0
         self._faults_injected = 0
         self._last_duration: Optional[float] = None
+        self._last_fault_duration: Optional[float] = None
 
     # ------------------------------------------------------------------
     # Fault machinery
@@ -149,6 +150,20 @@ class FaultInjectingSource(Source):
     def last_duration(self) -> Optional[float]:
         """Simulated duration of the last successful attempt."""
         return self._last_duration
+
+    @property
+    def last_fault_duration(self) -> Optional[float]:
+        """Simulated time burned by the last *failed* attempt.
+
+        Timeouts consume the full deadline before being abandoned;
+        transient errors consume the attempt's base latency. ``None``
+        when no fault has occurred yet or the last fault was a permanent
+        outage (refused up front, no time spent waiting). The middleware
+        feeds this to :meth:`CostMonitor.observe_failure
+        <repro.sources.monitor.CostMonitor.observe_failure>` so slow,
+        failing sources register as drift instead of staying invisible.
+        """
+        return self._last_fault_duration
 
     def set_deadline(self, deadline: Optional[float]) -> None:
         """Set the per-access deadline slow responses are held against.
@@ -184,22 +199,34 @@ class FaultInjectingSource(Source):
         if profile.dead or (
             profile.fail_after is not None and self._delivered >= profile.fail_after
         ):
+            # Refused up front (connection never established): no time
+            # was spent waiting, so there is no duration to observe.
             self._faults_injected += 1
+            self._last_fault_duration = None
             raise SourceUnavailableError(
                 "source is permanently unavailable", **context
             )
         roll = self._rng.random()
         if roll < profile.transient_rate:
             self._faults_injected += 1
+            self._last_fault_duration = self._base_duration(access)
             raise TransientSourceError("injected transient failure", **context)
         if roll < profile.transient_rate + profile.timeout_rate:
+            # An attempt that times out burns the whole deadline before
+            # being abandoned (the base latency when none is configured).
             self._faults_injected += 1
+            self._last_fault_duration = (
+                self._deadline
+                if self._deadline is not None
+                else self._base_duration(access)
+            )
             raise SourceTimeoutError("injected attempt timeout", **context)
         duration = self._base_duration(access)
         if profile.slow_rate and self._rng.random() < profile.slow_rate:
             duration *= profile.slowdown
         if self._deadline is not None and duration > self._deadline:
             self._faults_injected += 1
+            self._last_fault_duration = self._deadline
             raise SourceTimeoutError(
                 f"response of {duration:g} time units exceeded the deadline "
                 f"of {self._deadline:g}",
@@ -255,6 +282,7 @@ class FaultInjectingSource(Source):
         self._delivered = 0
         self._faults_injected = 0
         self._last_duration = None
+        self._last_fault_duration = None
 
 
 def faulty_sources_for(

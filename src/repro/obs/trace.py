@@ -1,0 +1,164 @@
+"""Structured access tracing: a bounded, deterministic event log.
+
+Where :mod:`repro.obs.metrics` aggregates, the trace layer *narrates*: a
+:class:`TraceRecorder` captures every access, retry, backoff, fault,
+breaker state transition, cache hit/eviction, budget rejection and
+optimizer phase as a tick-stamped :class:`TraceEvent`. Ticks come from
+the existing access-count clock (the middleware's recorded accesses plus
+the serving layer's clock base) -- never from wall time -- so two seeded
+runs of the same scenario produce byte-identical traces
+(:meth:`TraceRecorder.to_jsonl`), and a trace is itself a replayable
+artifact, not just a debugging aid.
+
+Wire one in with ``Middleware(trace=...)`` (or ``QueryServer(trace=...)``
+for a whole serving session, or ``repro serve --trace out.jsonl`` on the
+command line) and analyze the written JSON-lines file with
+:mod:`repro.obs.timeline` or ``repro trace out.jsonl``.
+
+The event vocabulary and per-event fields are cataloged in
+docs/OBSERVABILITY.md.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from typing import IO, Iterable, Optional, Union
+
+#: Default bound on recorded events. The log keeps the *first*
+#: ``capacity`` events and counts the overflow in :attr:`TraceRecorder.
+#: dropped` -- keeping the head (rather than a ring of the tail) means a
+#: bounded trace is always a prefix of the unbounded one, so trace bytes
+#: stay deterministic under any capacity.
+DEFAULT_CAPACITY = 200_000
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """One structured event: what happened, at which logical tick.
+
+    Attributes:
+        tick: the access-count clock when the event was emitted (the
+            middleware's recorded accesses plus its serving clock base;
+            planner events use the estimator's run counter).
+        event: the event type (``access``, ``cache_hit``, ``fault``,
+            ``backoff``, ``breaker``, ``budget_rejected``,
+            ``breaker_rejected``, ``eviction``, ``phase``, ``session``).
+        fields: event-specific payload, JSON-safe values only.
+    """
+
+    tick: int
+    event: str
+    fields: tuple[tuple[str, object], ...]
+
+    def as_dict(self) -> dict:
+        """The JSON-line form: ``tick`` and ``event`` plus the payload."""
+        record: dict = {"tick": self.tick, "event": self.event}
+        record.update(self.fields)
+        return record
+
+
+class TraceRecorder:
+    """Collects :class:`TraceEvent` records up to a fixed capacity.
+
+    Args:
+        capacity: maximum events kept (``None`` = unbounded). Events
+            beyond it are counted in :attr:`dropped`, never recorded --
+            the kept log is always a prefix of the full event stream.
+    """
+
+    def __init__(self, capacity: Optional[int] = DEFAULT_CAPACITY):
+        if capacity is not None and capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        self._capacity = capacity
+        self._events: list[TraceEvent] = []
+        self._dropped = 0
+
+    @property
+    def capacity(self) -> Optional[int]:
+        return self._capacity
+
+    @property
+    def dropped(self) -> int:
+        """Events discarded because the log was full."""
+        return self._dropped
+
+    @property
+    def events(self) -> list[TraceEvent]:
+        """The recorded events, in emission order (a copy)."""
+        return list(self._events)
+
+    def __len__(self) -> int:
+        return len(self._events)
+
+    def emit(self, event: str, tick: int, **fields: object) -> None:
+        """Record one event (dropped silently once the log is full)."""
+        if self._capacity is not None and len(self._events) >= self._capacity:
+            self._dropped += 1
+            return
+        self._events.append(
+            TraceEvent(tick=tick, event=event, fields=tuple(fields.items()))
+        )
+
+    def clear(self) -> None:
+        """Drop every recorded event and the overflow count."""
+        self._events.clear()
+        self._dropped = 0
+
+    # ------------------------------------------------------------------
+    # Serialization
+    # ------------------------------------------------------------------
+
+    def to_jsonl(self) -> str:
+        """The JSON-lines form: one sorted-key JSON object per event.
+
+        Sorted keys plus the deterministic tick clock make two seeded
+        runs of the same scenario produce *byte-identical* output, which
+        the trace determinism tests pin.
+        """
+        return "".join(
+            json.dumps(event.as_dict(), sort_keys=True) + "\n"
+            for event in self._events
+        )
+
+    def write(self, target: Union[str, IO[str]]) -> int:
+        """Write the JSON-lines log to a path or open text stream.
+
+        Returns the number of events written.
+        """
+        payload = self.to_jsonl()
+        if isinstance(target, str):
+            with open(target, "w", encoding="utf-8") as handle:
+                handle.write(payload)
+        else:
+            target.write(payload)
+        return len(self._events)
+
+
+def read_trace(source: Union[str, IO[str], Iterable[str]]) -> list[dict]:
+    """Load a JSON-lines trace (path, stream, or iterable of lines).
+
+    Blank lines are skipped; malformed lines raise ``ValueError`` with
+    the offending line number, so a truncated file fails loudly instead
+    of silently analyzing a partial run.
+    """
+    if isinstance(source, str):
+        with open(source, "r", encoding="utf-8") as handle:
+            lines = handle.readlines()
+    else:
+        lines = list(source)
+    events: list[dict] = []
+    for lineno, line in enumerate(lines, start=1):
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            record = json.loads(line)
+        except json.JSONDecodeError as exc:
+            raise ValueError(f"trace line {lineno} is not JSON: {exc}") from exc
+        if not isinstance(record, dict) or "event" not in record:
+            raise ValueError(
+                f"trace line {lineno} is not a trace event object"
+            )
+        events.append(record)
+    return events

@@ -42,6 +42,7 @@ process pool when ``workers`` is set.
 
 from __future__ import annotations
 
+import warnings
 from collections import OrderedDict
 from typing import Optional, Sequence, Union
 
@@ -51,6 +52,7 @@ from repro.core.framework import FrameworkNC
 from repro.core.policies import SRGPolicy
 from repro.data.dataset import Dataset
 from repro.exceptions import KernelMismatchError, ReproError
+from repro.obs.metrics import MetricsRegistry
 from repro.optimizer.kernel import SampleIndex
 from repro.scoring.functions import ScoringFunction
 from repro.sources.cost import CostModel
@@ -119,7 +121,13 @@ class CostEstimator:
             should keep the default cap).
         workers: when >= 2, :meth:`estimate_many` fans large uncached
             batches out to a process pool of this size. Simulation is
-            deterministic, so worker count never changes results.
+            deterministic, so worker count never changes results. A pool
+            that breaks (unpicklable scoring function, no fork support)
+            degrades to serial simulation -- counted in
+            :attr:`pool_failures` and warned about once, never silent.
+        metrics: optional :class:`~repro.obs.MetricsRegistry` fed with
+            run/cache/fallback/pool-failure counters
+            (``repro_estimator_*``, docs/OBSERVABILITY.md).
     """
 
     def __init__(
@@ -136,6 +144,7 @@ class CostEstimator:
         verify: Optional[bool] = None,
         cache_size: Optional[int] = 65536,
         workers: Optional[int] = None,
+        metrics: Optional[MetricsRegistry] = None,
     ):
         if k < 1:
             raise ValueError(f"k must be >= 1, got {k}")
@@ -199,6 +208,12 @@ class CostEstimator:
             self._verify_remaining = 0.0
         self._pool = None
         self._pool_broken = False
+        self._pool_failures = 0
+        self._metrics = metrics
+
+    def _m_inc(self, name: str, value: float = 1.0, **labels: object) -> None:
+        if self._metrics is not None:
+            self._metrics.inc(name, value, **labels)
 
     # ------------------------------------------------------------------
     # Introspection
@@ -237,6 +252,17 @@ class CostEstimator:
     def fallbacks(self) -> int:
         """Kernel simulations abandoned to the reference path (auto mode)."""
         return self._fallbacks
+
+    @property
+    def pool_failures(self) -> int:
+        """Worker-pool batches abandoned to serial simulation.
+
+        Non-zero means the configured ``workers`` parallelism silently
+        stopped paying off (results stay identical; only wall-clock
+        suffers). Surfaced in ``NCOptimizer`` plan notes and the CLI so
+        a degraded run is visible, not just slower.
+        """
+        return self._pool_failures
 
     @property
     def kernel_active(self) -> bool:
@@ -293,6 +319,7 @@ class CostEstimator:
         engine = FrameworkNC(middleware, self.fn, self.sample_k, policy)
         engine.run()
         self._reference_runs += 1
+        self._m_inc("repro_estimator_runs_total", path="reference")
         return middleware.stats.total_cost() * self.scale
 
     def _ensure_index(self) -> SampleIndex:
@@ -323,9 +350,11 @@ class CostEstimator:
             # Defensive: an unexpected kernel bug in auto mode degrades
             # to the (slower, trivially correct) reference path.
             self._fallbacks += 1
+            self._m_inc("repro_estimator_fallbacks_total")
             self._kernel_enabled = False
             return self._reference_cost(depths, schedule)
         self._kernel_runs += 1
+        self._m_inc("repro_estimator_runs_total", path="kernel")
         if self._verify_remaining > 0:
             self._verify_remaining -= 1
             reference = self._reference_cost(depths, schedule)
@@ -337,6 +366,7 @@ class CostEstimator:
                         f"schedule={schedule}"
                     )
                 self._fallbacks += 1
+                self._m_inc("repro_estimator_fallbacks_total")
                 self._kernel_enabled = False
                 return reference
         return cost
@@ -382,15 +412,30 @@ class CostEstimator:
             costs = list(self._pool.map(_pool_simulate, plans))
         except (ReproError, ValueError):
             raise
-        except Exception:
+        except Exception as exc:
             # Unpicklable scoring function, broken pool, sandboxed
             # environment without fork support... fall back to serial
             # in-process simulation permanently for this estimator.
+            # Results are unaffected; only the advertised parallelism is
+            # lost -- so degrade loudly: count it, feed the metrics
+            # ledger, and warn once instead of silently running slow.
             self._pool_broken = True
+            self._pool_failures += 1
+            self._m_inc("repro_estimator_pool_failures_total")
             self.close()
+            warnings.warn(
+                f"estimator worker pool failed ({type(exc).__name__}: {exc}); "
+                f"falling back to serial simulation for this estimator "
+                f"(workers={self.workers} requested)",
+                RuntimeWarning,
+                stacklevel=3,
+            )
             return None
         self._runs += len(plans)
         self._kernel_runs += len(plans)
+        self._m_inc(
+            "repro_estimator_runs_total", float(len(plans)), path="kernel"
+        )
         return [c * self.scale for c in costs]
 
     def close(self) -> None:
@@ -451,12 +496,15 @@ class CostEstimator:
             cached = self._cache_get(key)
             if cached is not None:
                 self._cache_hits += 1
+                self._m_inc("repro_estimator_cache_total", event="hit")
                 results[i] = cached
             elif key in pending:
                 self._cache_hits += 1
+                self._m_inc("repro_estimator_cache_total", event="hit")
                 pending[key].append(i)
             else:
                 self._cache_misses += 1
+                self._m_inc("repro_estimator_cache_total", event="miss")
                 pending[key] = [i]
         if pending:
             fresh = list(pending.keys())

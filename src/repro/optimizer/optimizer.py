@@ -18,6 +18,8 @@ from __future__ import annotations
 from typing import Optional
 
 from repro.data.dataset import Dataset
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.trace import TraceRecorder
 from repro.optimizer.estimator import CostEstimator
 from repro.optimizer.plan import SRGPlan
 from repro.optimizer.schedule import ScheduleOptimizer, benefit_cost_schedule
@@ -37,6 +39,11 @@ class NCOptimizer:
         vectorized: estimator execution path (``True`` / ``False`` /
             ``"auto"``); see :class:`CostEstimator`.
         workers: optional process-pool size for batched estimation.
+        metrics: optional :class:`~repro.obs.MetricsRegistry` threaded
+            into every estimator this optimizer builds.
+        trace: optional :class:`~repro.obs.TraceRecorder` receiving
+            ``phase`` events (schedule / delta-search / h-optimization,
+            tick-stamped with the estimator's cumulative run counter).
     """
 
     def __init__(
@@ -45,6 +52,8 @@ class NCOptimizer:
         schedule_optimizer: Optional[ScheduleOptimizer] = None,
         vectorized: bool | str = "auto",
         workers: Optional[int] = None,
+        metrics: Optional[MetricsRegistry] = None,
+        trace: Optional[TraceRecorder] = None,
     ):
         self.scheme = scheme if scheme is not None else HillClimb()
         self.schedule_optimizer = (
@@ -54,6 +63,14 @@ class NCOptimizer:
         )
         self.vectorized = vectorized
         self.workers = workers
+        self.metrics = metrics
+        self.trace = trace
+
+    def _phase(self, estimator: CostEstimator, name: str, **fields) -> None:
+        if self.trace is not None:
+            self.trace.emit(
+                "phase", estimator.runs, phase=name, **fields
+            )
 
     def plan(
         self,
@@ -81,7 +98,9 @@ class NCOptimizer:
             min_sample_k=min_sample_k,
             vectorized=self.vectorized,
             workers=self.workers,
+            metrics=self.metrics,
         )
+        self._phase(estimator, "schedule", scheme=self.scheme.describe())
         initial_schedule = benefit_cost_schedule(sample, cost_model)
         # The estimator's default schedule is the identity; thread H_0
         # through explicitly for both phases.
@@ -111,12 +130,15 @@ class NCOptimizer:
                     schedule if schedule is not None else initial_schedule,
                 )
 
+        self._phase(estimator, "delta_search")
         result = self.scheme.search(_Scheduled())  # type: ignore[arg-type]
+        self._phase(estimator, "h_optimization")
         schedule = self.schedule_optimizer.optimize(
             estimator, result.depths, initial=initial_schedule
         )
         cost = estimator.estimate(result.depths, schedule)
         estimator.close()
+        self._phase(estimator, "done", cost=cost)
         return SRGPlan(
             depths=result.depths,
             schedule=schedule,
@@ -128,5 +150,6 @@ class NCOptimizer:
                 "sample_k": estimator.sample_k,
                 "kernel_runs": estimator.kernel_runs,
                 "reference_runs": estimator.reference_runs,
+                "pool_failures": estimator.pool_failures,
             },
         )

@@ -36,8 +36,10 @@ from repro.core.policies import SRGPolicy
 from repro.data.dataset import Dataset
 from repro.determinism import SeedLike, derive_rng
 from repro.exceptions import ReproError, ServiceOverloadError
-from repro.faults.breaker import BreakerPolicy, breakers_for
+from repro.faults.breaker import BreakerPolicy, breakers_for, degraded_predicates
 from repro.faults.retry import RetryPolicy
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.trace import TraceRecorder
 from repro.parallel.executor import ParallelExecutor
 from repro.query.ast import ParsedQuery, QueryError
 from repro.query.compiler import compile_expression
@@ -146,6 +148,13 @@ class QueryServer:
         schema: predicate names queries refer to, aligned with the
             middleware's predicate order; defaults to ``p0..p{m-1}``.
         config: server tuning; defaults to :class:`ServerConfig`.
+        metrics: the :class:`~repro.obs.MetricsRegistry` the whole
+            serving stack (middlewares, cache, sessions) feeds; a fresh
+            private registry is created when ``None``, so
+            :meth:`stats` always carries a metrics snapshot.
+        trace: optional :class:`~repro.obs.TraceRecorder` receiving the
+            tick-stamped event log of every session's accesses plus
+            session start/end markers (``repro serve --trace``).
     """
 
     def __init__(
@@ -155,8 +164,12 @@ class QueryServer:
         dataset: Optional[Dataset] = None,
         schema: Optional[Sequence[str]] = None,
         config: Optional[ServerConfig] = None,
+        metrics: Optional[MetricsRegistry] = None,
+        trace: Optional[TraceRecorder] = None,
     ):
         self.config = config if config is not None else ServerConfig()
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self._trace = trace
         if cache is None:
             if dataset is None:
                 raise ValueError("pass a dataset or a pre-built cache")
@@ -165,6 +178,15 @@ class QueryServer:
                 cost_model,
                 ttl=self.config.cache_ttl,
                 max_entries=self.config.cache_max_entries,
+                metrics=self.metrics,
+                trace=trace,
+            )
+        elif cache.metrics is None or (trace is not None and cache.trace is None):
+            # A user-supplied cache joins the server's shared ledger
+            # unless it already reports elsewhere.
+            cache.attach_observability(
+                metrics=self.metrics if cache.metrics is None else None,
+                trace=trace if cache.trace is None else None,
             )
         if cache.m != cost_model.m:
             raise ValueError(
@@ -190,6 +212,7 @@ class QueryServer:
         self._clock_base = 0
         self._charged_total = 0.0
         self._rejected = 0
+        self._live_middleware: Optional[Middleware] = None
 
     # ------------------------------------------------------------------
     # Introspection
@@ -200,6 +223,28 @@ class QueryServer:
         """Sessions currently occupying admission slots."""
         return sum(1 for s in self._sessions.values() if s.open)
 
+    @property
+    def trace(self) -> Optional[TraceRecorder]:
+        """The attached trace recorder, if any (docs/OBSERVABILITY.md)."""
+        return self._trace
+
+    def current_clock(self) -> int:
+        """The live access-count clock the shared breakers run on.
+
+        Completed sessions' charged accesses plus whatever the currently
+        executing session (if any) has charged so far. Breaker state is a
+        function of this clock; evaluating it anywhere else -- the old
+        ``stats()`` used the stale completed-sessions base even when
+        called mid-query -- reports cooldowns as still running after they
+        have already elapsed.
+        """
+        if self._live_middleware is not None:
+            return (
+                self._clock_base
+                + self._live_middleware.stats.total_accesses
+            )
+        return self._clock_base
+
     def session(self, session_id: str) -> Session:
         """Look up a session record (raises on unknown ids)."""
         try:
@@ -208,7 +253,17 @@ class QueryServer:
             raise ReproError(f"unknown session {session_id!r}") from None
 
     def stats(self) -> dict:
-        """A JSON-safe snapshot of the server's shared state."""
+        """A JSON-safe snapshot of the server's shared state.
+
+        ``degraded_predicates`` is the shared
+        :func:`~repro.faults.breaker.degraded_predicates` helper --
+        the same single pass the middleware's method runs -- evaluated
+        at the *live* :meth:`current_clock`, so mid-query and
+        between-query callers both see breaker state as it is, not as it
+        was when the last session closed. ``metrics`` is the unified
+        registry snapshot every layer reconciles against
+        (docs/OBSERVABILITY.md).
+        """
         sessions = self._sessions.values()
         return {
             "schema": list(self.schema),
@@ -222,15 +277,10 @@ class QueryServer:
             "charged_accesses_total": self._clock_base,
             "cache": self.cache.stats.snapshot(),
             "cache_entries": self.cache.entry_count,
-            "degraded_predicates": [
-                i
-                for i in range(self.cost_model.m)
-                if any(
-                    not self.breakers[key].allows(self._clock_base)
-                    for key in self.breakers
-                    if key[0] == i
-                )
-            ],
+            "degraded_predicates": degraded_predicates(
+                self.breakers, self.current_clock()
+            ),
+            "metrics": self.metrics.snapshot(),
         }
 
     # ------------------------------------------------------------------
@@ -315,6 +365,8 @@ class QueryServer:
             contracts=self.config.contracts,
             breakers=self.breakers,
             clock_base=self._clock_base,
+            metrics=self.metrics,
+            trace=self._trace,
         )
 
     def _engine(self, middleware: Middleware, session: Session) -> FrameworkNC:
@@ -341,6 +393,15 @@ class QueryServer:
 
     def _execute(self, session: Session) -> None:
         middleware = self._middleware(session)
+        self._live_middleware = middleware
+        if self._trace is not None:
+            self._trace.emit(
+                "session",
+                self._clock_base,
+                session=session.id,
+                status="start",
+                query=session.text,
+            )
         try:
             result = self._engine(middleware, session).run()
         except ReproError as exc:
@@ -358,9 +419,22 @@ class QueryServer:
             # Shared-state bookkeeping happens whether the query finished
             # or died: accesses it charged advance the breaker clock, and
             # the eviction clock ticks exactly once per completed session.
+            self._live_middleware = None
             session.charged_cost = middleware.stats.total_cost()
             session.cache_hits = middleware.stats.total_cached
             session.charged_accesses = middleware.stats.total_accesses
             self._charged_total += session.charged_cost
             self._clock_base += session.charged_accesses
+            self.metrics.inc("repro_sessions_total", status=session.status)
+            self.metrics.set_gauge("repro_server_clock", self._clock_base)
+            if self._trace is not None:
+                self._trace.emit(
+                    "session",
+                    self._clock_base,
+                    session=session.id,
+                    status=session.status,
+                    charged_cost=session.charged_cost,
+                    charged_accesses=session.charged_accesses,
+                    cache_hits=session.cache_hits,
+                )
             self.cache.tick()

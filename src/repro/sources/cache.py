@@ -41,6 +41,8 @@ from typing import Optional, Sequence
 
 from repro.data.dataset import Dataset
 from repro.exceptions import ReproError
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.trace import TraceRecorder
 from repro.sources.base import Source
 from repro.sources.cost import CostModel
 from repro.sources.simulated import sources_for
@@ -130,6 +132,12 @@ class SourceCache:
             elements plus random memos) enforced at tick boundaries by
             evicting least-recently-used predicates wholesale. ``None``
             disables the bound.
+        metrics: optional :class:`~repro.obs.MetricsRegistry` fed with
+            cache hits, misses and evictions
+            (``repro_cache_*_total``, docs/OBSERVABILITY.md).
+        trace: optional :class:`~repro.obs.TraceRecorder` receiving
+            ``eviction`` events (tick-stamped with the cache's own
+            eviction clock).
     """
 
     def __init__(
@@ -137,6 +145,8 @@ class SourceCache:
         sources: Sequence[Source],
         ttl: Optional[int] = None,
         max_entries: Optional[int] = None,
+        metrics: Optional[MetricsRegistry] = None,
+        trace: Optional[TraceRecorder] = None,
     ):
         if not sources:
             raise ValueError("a cache needs at least one source")
@@ -150,6 +160,8 @@ class SourceCache:
         self._entries = [_PredicateEntry() for _ in self._sources]
         self._clock = 0
         self._stats = CacheStats()
+        self._metrics = metrics
+        self._trace = trace
 
     @classmethod
     def over(
@@ -158,6 +170,8 @@ class SourceCache:
         cost_model: Optional[CostModel] = None,
         ttl: Optional[int] = None,
         max_entries: Optional[int] = None,
+        metrics: Optional[MetricsRegistry] = None,
+        trace: Optional[TraceRecorder] = None,
     ) -> "SourceCache":
         """A cache over fresh simulated sources for ``dataset``.
 
@@ -179,7 +193,13 @@ class SourceCache:
                 cost_model.random_capabilities if cost_model is not None else None
             ),
         )
-        return cls(sources, ttl=ttl, max_entries=max_entries)
+        return cls(
+            sources,
+            ttl=ttl,
+            max_entries=max_entries,
+            metrics=metrics,
+            trace=trace,
+        )
 
     # ------------------------------------------------------------------
     # Introspection
@@ -194,6 +214,32 @@ class SourceCache:
     def stats(self) -> CacheStats:
         """Live hit/miss/eviction accounting."""
         return self._stats
+
+    @property
+    def metrics(self) -> Optional[MetricsRegistry]:
+        """The attached metrics registry, if any (docs/OBSERVABILITY.md)."""
+        return self._metrics
+
+    @property
+    def trace(self) -> Optional[TraceRecorder]:
+        """The attached trace recorder, if any (docs/OBSERVABILITY.md)."""
+        return self._trace
+
+    def attach_observability(
+        self,
+        metrics: Optional[MetricsRegistry] = None,
+        trace: Optional[TraceRecorder] = None,
+    ) -> None:
+        """Wire a registry/recorder into an already-built cache.
+
+        The serving layer uses this to point a user-supplied cache at the
+        server's shared ledger; counters recorded before attachment stay
+        in :attr:`stats` only. Passing ``None`` leaves that slot as-is.
+        """
+        if metrics is not None:
+            self._metrics = metrics
+        if trace is not None:
+            self._trace = trace
 
     @property
     def clock(self) -> int:
@@ -257,6 +303,9 @@ class SourceCache:
                     break
                 self._evict(victim)
                 evicted += 1
+        if self._metrics is not None:
+            self._metrics.set_gauge("repro_cache_entries", self.entry_count)
+            self._metrics.set_gauge("repro_cache_clock", self._clock)
         return evicted
 
     def _lru_predicate(self) -> Optional[int]:
@@ -271,9 +320,46 @@ class SourceCache:
 
     def _evict(self, predicate: int) -> None:
         """Drop one predicate's cached state and rewind its real source."""
+        records = self._entries[predicate].records
         self._entries[predicate].clear()
         self._sources[predicate].reset()
         self._stats.evictions += 1
+        if self._metrics is not None:
+            self._metrics.inc(
+                "repro_cache_evictions_total", predicate=predicate
+            )
+            self._metrics.set_gauge(
+                "repro_cache_entries", self.entry_count
+            )
+        if self._trace is not None:
+            self._trace.emit(
+                "eviction",
+                self._clock,
+                predicate=predicate,
+                records=records,
+            )
+
+    def _record_hit(self, predicate: int, kind: str) -> None:
+        """Count one view-served (uncharged) access into stats + metrics."""
+        if kind == "sorted":
+            self._stats.sorted_hits += 1
+        else:
+            self._stats.random_hits += 1
+        if self._metrics is not None:
+            self._metrics.inc(
+                "repro_cache_hits_total", predicate=predicate, kind=kind
+            )
+
+    def _record_miss(self, predicate: int, kind: str) -> None:
+        """Count one fell-through (charged) access into stats + metrics."""
+        if kind == "sorted":
+            self._stats.sorted_misses += 1
+        else:
+            self._stats.random_misses += 1
+        if self._metrics is not None:
+            self._metrics.inc(
+                "repro_cache_misses_total", predicate=predicate, kind=kind
+            )
 
     def invalidate(self, predicate: Optional[int] = None) -> None:
         """Drop cached state (one predicate, or everything) explicitly.
@@ -300,7 +386,7 @@ class SourceCache:
         source = self._sources[predicate]
         entry = self._entry(predicate)
         result = source.sorted_access()
-        self._stats.sorted_misses += 1
+        self._record_miss(predicate, "sorted")
         if result is None:
             entry.exhausted = True
             return None
@@ -312,7 +398,7 @@ class SourceCache:
         """Fetch one random-access score from the real source and cache it."""
         entry = self._entry(predicate)
         score = self._sources[predicate].random_access(obj)
-        self._stats.random_misses += 1
+        self._record_miss(predicate, "random")
         entry.memo[obj] = score
         return score
 
@@ -405,7 +491,7 @@ class CachedSource(Source):
         if self._cursor < len(entry.prefix):
             result = entry.prefix[self._cursor]
             self._cursor += 1
-            self._cache.stats.sorted_hits += 1
+            self._cache._record_hit(self._predicate, "sorted")
             self._last_duration = None
             return result
         if entry.exhausted:
@@ -419,7 +505,7 @@ class CachedSource(Source):
     def random_access(self, obj: int) -> float:
         entry = self._live_entry()
         if obj in entry.memo:
-            self._cache.stats.random_hits += 1
+            self._cache._record_hit(self._predicate, "random")
             self._last_duration = None
             return entry.memo[obj]
         score = self._cache._fetch_random(self._predicate, obj)
@@ -452,6 +538,16 @@ class CachedSource(Source):
     def last_duration(self) -> Optional[float]:
         """Simulated duration of the last *fetched* access (``None`` on hits)."""
         return self._last_duration
+
+    @property
+    def last_fault_duration(self) -> Optional[float]:
+        """Time burned by the real source's last failed attempt, if any.
+
+        Delegated to the underlying source (fault-injecting wrappers
+        expose it); cache hits never fail, so this only moves when an
+        access actually fell through to the source.
+        """
+        return getattr(self._inner, "last_fault_duration", None)
 
     def set_deadline(self, deadline: Optional[float]) -> None:
         """Forward the per-access deadline to the real source, if it has one.

@@ -46,8 +46,15 @@ from repro.exceptions import (
     TransientSourceError,
     WildGuessError,
 )
-from repro.faults.breaker import BreakerPolicy, BreakerState, CircuitBreaker
+from repro.faults.breaker import (
+    BreakerPolicy,
+    BreakerState,
+    CircuitBreaker,
+    degraded_predicates,
+)
 from repro.faults.retry import RetryPolicy
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.trace import TraceRecorder
 from repro.sources.base import Source
 from repro.sources.cost import CostModel
 from repro.sources.monitor import CostMonitor
@@ -103,6 +110,15 @@ class Middleware:
             accesses; per-query middlewares start their counts at zero,
             so the serving layer passes the accesses recorded by earlier
             sessions to keep shared breakers' cooldowns meaningful.
+        metrics: optional :class:`~repro.obs.MetricsRegistry` the
+            middleware feeds every accounting event into (accesses,
+            Eq. 1 cost, cache hits, retries, faults, backoff, breaker
+            transitions, budget and breaker rejections) -- the unified
+            cross-layer ledger of docs/OBSERVABILITY.md. Shared
+            registries are never reset by :meth:`reset`.
+        trace: optional :class:`~repro.obs.TraceRecorder` receiving the
+            structured, tick-stamped event log of the run (ticks are
+            this middleware's access-count clock plus ``clock_base``).
     """
 
     def __init__(
@@ -122,6 +138,8 @@ class Middleware:
             Mapping[tuple[int, AccessType], CircuitBreaker]
         ] = None,
         clock_base: int = 0,
+        metrics: Optional[MetricsRegistry] = None,
+        trace: Optional[TraceRecorder] = None,
     ):
         if len(sources) != cost_model.m:
             raise ValueError(
@@ -168,6 +186,8 @@ class Middleware:
             breaker_policy if breaker_policy is not None else BreakerPolicy()
         )
         self._monitor = monitor
+        self._metrics = metrics
+        self._trace = trace
         self._contracts = resolve_checker(contracts)
         self._stats = AccessStats(cost_model, record_log=record_log)
         self._seen: set[int] = set()
@@ -227,6 +247,8 @@ class Middleware:
         breaker_policy: Optional[BreakerPolicy] = None,
         monitor: Optional[CostMonitor] = None,
         contracts: Union[bool, ContractChecker, None] = False,
+        metrics: Optional[MetricsRegistry] = None,
+        trace: Optional[TraceRecorder] = None,
     ) -> "Middleware":
         """Build a middleware over simulated sources for ``dataset``.
 
@@ -256,6 +278,8 @@ class Middleware:
             breaker_policy=breaker_policy,
             monitor=monitor,
             contracts=contracts,
+            metrics=metrics,
+            trace=trace,
         )
 
     @classmethod
@@ -276,6 +300,8 @@ class Middleware:
             Mapping[tuple[int, AccessType], CircuitBreaker]
         ] = None,
         clock_base: int = 0,
+        metrics: Optional[MetricsRegistry] = None,
+        trace: Optional[TraceRecorder] = None,
     ) -> "Middleware":
         """A per-query middleware warm-started from a cross-query cache.
 
@@ -301,6 +327,8 @@ class Middleware:
             contracts=contracts,
             breakers=breakers,
             clock_base=clock_base,
+            metrics=metrics,
+            trace=trace,
         )
 
     # ------------------------------------------------------------------
@@ -346,6 +374,16 @@ class Middleware:
         return self._monitor
 
     @property
+    def metrics(self) -> Optional[MetricsRegistry]:
+        """The attached metrics registry, if any (docs/OBSERVABILITY.md)."""
+        return self._metrics
+
+    @property
+    def trace(self) -> Optional[TraceRecorder]:
+        """The attached trace recorder, if any (docs/OBSERVABILITY.md)."""
+        return self._trace
+
+    @property
     def contracts(self) -> Optional[ContractChecker]:
         """The armed contract checker, or ``None`` when checking is off.
 
@@ -373,12 +411,14 @@ class Middleware:
         return self._breakers[(predicate, kind)].allows(self._now())
 
     def degraded_predicates(self) -> list[int]:
-        """Predicates with at least one channel currently refusing accesses."""
-        return [
-            i
-            for i in range(self.m)
-            if any(not self.access_allowed(i, kind) for kind in AccessType)
-        ]
+        """Predicates with at least one channel currently refusing accesses.
+
+        Evaluates the shared :func:`~repro.faults.breaker.
+        degraded_predicates` helper at this middleware's live clock --
+        the same helper (and therefore the same answer) the serving
+        layer's ``QueryServer.stats()`` reports.
+        """
+        return degraded_predicates(self._breakers, self._now())
 
     def remaining_budget(self) -> Optional[float]:
         """Budget left to spend (``None`` when unbounded)."""
@@ -398,11 +438,23 @@ class Middleware:
             return 0.0
         return self._cost_model.access_cost(access)
 
-    def _charge(self, cost: float) -> None:
+    def _charge(self, access: Access, cost: float) -> None:
         """Refuse an access whose cost would overrun the budget."""
         if self._budget is None:
             return
         if self._stats.total_cost() + cost > self._budget + 1e-12:
+            if self._metrics is not None:
+                self._metrics.inc(
+                    "repro_budget_rejections_total",
+                    predicate=access.predicate,
+                    kind=access.kind.value,
+                )
+            self._emit(
+                "budget_rejected",
+                access,
+                cost=cost,
+                remaining=self.remaining_budget(),
+            )
             raise BudgetExceededError(
                 f"access costing {cost:g} would exceed the remaining budget "
                 f"of {self.remaining_budget():g} (cap {self._budget:g})"
@@ -467,11 +519,47 @@ class Middleware:
     # Accesses
     # ------------------------------------------------------------------
 
+    def _emit(self, event: str, access: Access, **fields: object) -> None:
+        """Record one predicate-scoped trace event at the current tick."""
+        if self._trace is None:
+            return
+        self._trace.emit(
+            event,
+            self._now(),
+            predicate=access.predicate,
+            kind=access.kind.value,
+            **fields,
+        )
+
+    def _breaker_transition(
+        self, access: Access, before: BreakerState, after: BreakerState
+    ) -> None:
+        """Publish a breaker state change to the metrics and trace layers."""
+        if before is after:
+            return
+        if self._metrics is not None:
+            self._metrics.inc(
+                "repro_breaker_transitions_total",
+                predicate=access.predicate,
+                kind=access.kind.value,
+                to=after.value,
+            )
+        self._emit(
+            "breaker", access, from_state=before.value, to_state=after.value
+        )
+
     def _gate(self, access: Access) -> None:
         """Fail fast (uncharged) when the channel's breaker is open."""
         if not self._breakers[(access.predicate, access.kind)].allows(
             self._now()
         ):
+            if self._metrics is not None:
+                self._metrics.inc(
+                    "repro_breaker_rejections_total",
+                    predicate=access.predicate,
+                    kind=access.kind.value,
+                )
+            self._emit("breaker_rejected", access)
             raise SourceUnavailableError(
                 "circuit breaker is open; access refused without charge",
                 predicate=access.predicate,
@@ -488,6 +576,24 @@ class Middleware:
         )
         if duration is not None:
             self._monitor.observe(access, duration)
+
+    def _observe_failure(self, access: Access) -> None:
+        """Feed a *failed* attempt's simulated duration to the monitor.
+
+        Failed and retried attempts consume real time at a web source
+        (often the full deadline, for timeouts); a monitor that only saw
+        successes would under-estimate exactly the sources that are
+        misbehaving. Duck-typed on ``last_fault_duration`` (set by
+        :class:`~repro.faults.FaultInjectingSource`); monitors may opt
+        out via ``CostMonitor(observe_failures=False)``.
+        """
+        if self._monitor is None:
+            return
+        duration = getattr(
+            self._sources[access.predicate], "last_fault_duration", None
+        )
+        if duration is not None:
+            self._monitor.observe_failure(access, duration)
 
     def _served_from_cache(self, access: Access) -> bool:
         """Whether the source would serve this access from a shared cache.
@@ -523,6 +629,13 @@ class Middleware:
         if cached:
             result = attempt()
             self._stats.record_cached(access)
+            if self._metrics is not None:
+                self._metrics.inc(
+                    "repro_cached_accesses_total",
+                    predicate=access.predicate,
+                    kind=access.kind.value,
+                )
+            self._emit("cache_hit", access, obj=access.obj)
             return result
         breaker = self._breakers[(access.predicate, access.kind)]
         policy = self._retry_policy
@@ -532,28 +645,44 @@ class Middleware:
         for attempt_no in range(1, max_attempts + 1):
             if attempt_no > 1:
                 assert policy is not None and self._retry_rng is not None
-                self._stats.record_backoff(
-                    policy.backoff(attempt_no - 1, self._retry_rng)
-                )
-            self._charge(cost)
+                pause = policy.backoff(attempt_no - 1, self._retry_rng)
+                self._stats.record_backoff(pause)
+                if self._metrics is not None:
+                    self._metrics.inc(
+                        "repro_backoff_time_total",
+                        pause,
+                        predicate=access.predicate,
+                        kind=access.kind.value,
+                    )
+                self._emit("backoff", access, pause=pause, attempt=attempt_no)
+            self._charge(access, cost)
             self._stats.record(access)
             if attempt_no > 1:
                 self._stats.record_retry(access)
+            self._record_charged(access, cost, attempt_no)
             try:
                 result = attempt()
             except SourceUnavailableError:
-                self._stats.record_fault(access)
+                self._record_fault(access, attempt_no, permanent=True)
+                before = breaker.state(self._now())
                 breaker.record_failure(self._now(), permanent=True)
+                self._breaker_transition(
+                    access, before, breaker.state(self._now())
+                )
                 raise
             except TransientSourceError as exc:
                 # Includes SourceTimeoutError: both are retryable.
-                self._stats.record_fault(access)
+                self._record_fault(access, attempt_no, permanent=False)
                 last_error = exc
                 continue
+            before = breaker.state(self._now())
             breaker.record_success()
+            self._breaker_transition(access, before, breaker.state(self._now()))
             self._observe(access)
             return result
+        before = breaker.state(self._now())
         tripped = breaker.record_failure(self._now())
+        self._breaker_transition(access, before, breaker.state(self._now()))
         raise RetryExhaustedError(
             f"all {max_attempts} attempt(s) failed"
             + ("; circuit opened" if tripped else ""),
@@ -562,6 +691,49 @@ class Middleware:
             kind=str(access.kind),
             attempts=max_attempts,
             last_error=last_error,
+        )
+
+    def _record_charged(
+        self, access: Access, cost: float, attempt_no: int
+    ) -> None:
+        """Publish one charged attempt to the metrics and trace layers."""
+        if self._metrics is not None:
+            self._metrics.inc(
+                "repro_accesses_total",
+                predicate=access.predicate,
+                kind=access.kind.value,
+            )
+            self._metrics.inc(
+                "repro_access_cost_total",
+                cost,
+                predicate=access.predicate,
+                kind=access.kind.value,
+            )
+            if attempt_no > 1:
+                self._metrics.inc(
+                    "repro_retries_total",
+                    predicate=access.predicate,
+                    kind=access.kind.value,
+                )
+        self._emit(
+            "access", access, obj=access.obj, cost=cost, attempt=attempt_no
+        )
+
+    def _record_fault(
+        self, access: Access, attempt_no: int, permanent: bool
+    ) -> None:
+        """Publish one faulted attempt: stats, monitor, metrics, trace."""
+        self._stats.record_fault(access)
+        self._observe_failure(access)
+        if self._metrics is not None:
+            self._metrics.inc(
+                "repro_faults_total",
+                predicate=access.predicate,
+                kind=access.kind.value,
+                permanent=str(permanent).lower(),
+            )
+        self._emit(
+            "fault", access, attempt=attempt_no, permanent=permanent
         )
 
     def sorted_access(self, predicate: int) -> Optional[tuple[int, float]]:
@@ -583,12 +755,14 @@ class Middleware:
             self._gate(access)
         source = self._sources[predicate]
         if source.exhausted:
-            self._charge(self._cost_model.sorted_cost(predicate))
+            cost = self._cost_model.sorted_cost(predicate)
+            self._charge(access, cost)
             if self._strict:
                 raise ExhaustedSourceError(
                     f"predicate {predicate}: sorted list exhausted"
                 )
             self._stats.record(access)
+            self._record_charged(access, cost, attempt_no=1)
             return None
         result = self._execute(access, source.sorted_access, cached=cached)
         if result is None:  # pragma: no cover - guarded by exhaustion check
@@ -658,8 +832,10 @@ class Middleware:
 
         Cross-query state survives on purpose: cached-source views rewind
         only their cursors (the shared :class:`~repro.sources.cache.
-        SourceCache` stays warm), and an injected shared breaker map is
-        left untouched (outage knowledge outlives any one query).
+        SourceCache` stays warm), an injected shared breaker map is left
+        untouched (outage knowledge outlives any one query), and attached
+        metrics registries and trace recorders are never cleared -- they
+        are cumulative observability ledgers, not per-run accounting.
         """
         for source in self._sources:
             source.reset()

@@ -42,20 +42,41 @@ class _RunningMean:
 
 
 class CostMonitor:
-    """Tracks observed access durations against an assumed cost model."""
+    """Tracks observed access durations against an assumed cost model.
 
-    def __init__(self, assumed: CostModel, min_observations: int = 5):
+    Args:
+        assumed: the cost model drift is measured against.
+        min_observations: observations required per (predicate, kind)
+            cell before its estimate is trusted.
+        observe_failures: whether :meth:`observe_failure` folds the time
+            burned by *failed* attempts (timeouts waiting out the full
+            deadline, transient errors) into the running means. On by
+            default: a monitor that only saw successes systematically
+            under-estimated exactly the sources that were misbehaving --
+            a source failing slowly on every attempt looked perfectly
+            healthy because no success ever reported a duration.
+    """
+
+    def __init__(
+        self,
+        assumed: CostModel,
+        min_observations: int = 5,
+        observe_failures: bool = True,
+    ):
         if min_observations < 1:
             raise ValueError("min_observations must be >= 1")
         self.assumed = assumed
         self.min_observations = min_observations
+        self.observe_failures = observe_failures
         self._sorted = [_RunningMean() for _ in range(assumed.m)]
         self._random = [_RunningMean() for _ in range(assumed.m)]
+        self._failure_observations = 0
 
     def reset(self) -> None:
         """Drop every observation (a middleware reset starts a fresh run)."""
         self._sorted = [_RunningMean() for _ in range(self.assumed.m)]
         self._random = [_RunningMean() for _ in range(self.assumed.m)]
+        self._failure_observations = 0
 
     def observe(self, access: Access, duration: float) -> None:
         """Record one access's measured duration (>= 0)."""
@@ -67,6 +88,24 @@ class CostMonitor:
             else self._random
         )
         cell[access.predicate].add(duration)
+
+    def observe_failure(self, access: Access, duration: float) -> None:
+        """Record the time a *failed* attempt spent at the source.
+
+        Counted into the same per-cell running means as successes -- an
+        attempt that waited out a nine-unit deadline before timing out
+        occupied the connection for nine units regardless of the outcome.
+        No-op when ``observe_failures`` is off.
+        """
+        if not self.observe_failures:
+            return
+        self._failure_observations += 1
+        self.observe(access, duration)
+
+    @property
+    def failure_observations(self) -> int:
+        """How many failed-attempt durations have been folded in."""
+        return self._failure_observations
 
     def observations(self, predicate: int, kind: AccessType) -> int:
         """How many durations were recorded for one cell."""

@@ -158,3 +158,81 @@ class TestParser:
     def test_defaults(self):
         args = build_parser().parse_args(["compare", "--scenario", "S1"])
         assert args.algorithms == "NC,TA,CA,NRA"
+
+
+class TestObservability:
+    QUERY = "SELECT * FROM r ORDER BY min(a, b) STOP AFTER 3"
+
+    def test_query_writes_trace_and_metrics(self, capsys, tmp_path):
+        trace_path = str(tmp_path / "run.jsonl")
+        metrics_path = str(tmp_path / "metrics.json")
+        code = main(
+            [
+                "query",
+                self.QUERY,
+                "--n",
+                "120",
+                "--fault-rate",
+                "0.1",
+                "--trace",
+                trace_path,
+                "--metrics-out",
+                metrics_path,
+            ]
+        )
+        assert code == 0
+        err = capsys.readouterr().err
+        assert "trace:" in err and "metrics snapshot ->" in err
+
+        import json as _json
+
+        from repro.obs import read_trace
+
+        events = read_trace(trace_path)
+        accesses = [e for e in events if e["event"] == "access"]
+        assert accesses, "trace must narrate charged accesses"
+        snapshot = _json.loads(open(metrics_path).read())
+        assert snapshot["counters"]
+        # The written artifacts reconcile with each other.
+        total = sum(
+            v
+            for k, v in snapshot["counters"].items()
+            if k.startswith("repro_accesses_total")
+        )
+        assert total == len(accesses)
+
+    def test_metrics_prom_extension_renders_prometheus(self, tmp_path):
+        metrics_path = str(tmp_path / "metrics.prom")
+        assert (
+            main(
+                ["query", self.QUERY, "--n", "80", "--metrics-out", metrics_path]
+            )
+            == 0
+        )
+        text = open(metrics_path).read()
+        assert "# TYPE repro_accesses_total counter" in text
+
+    def test_trace_subcommand_renders_timeline(self, capsys, tmp_path):
+        trace_path = str(tmp_path / "run.jsonl")
+        assert (
+            main(["query", self.QUERY, "--n", "80", "--trace", trace_path]) == 0
+        )
+        capsys.readouterr()
+        assert main(["trace", trace_path, "--width", "32"]) == 0
+        out = capsys.readouterr().out
+        assert "p0 |" in out and "legend:" in out
+
+    def test_trace_subcommand_rejects_missing_file(self, capsys, tmp_path):
+        assert main(["trace", str(tmp_path / "absent.jsonl")]) == 2
+        assert "absent.jsonl" in capsys.readouterr().err
+
+    def test_trace_subcommand_rejects_malformed_file(self, capsys, tmp_path):
+        bad = tmp_path / "bad.jsonl"
+        bad.write_text('{"event": "access", "tick": 1}\n{nope\n')
+        assert main(["trace", str(bad)]) == 2
+        assert "line 2" in capsys.readouterr().err
+
+    def test_obs_flag_defaults(self):
+        args = build_parser().parse_args(["query", self.QUERY])
+        assert args.trace is None
+        assert args.metrics_out is None

@@ -1,0 +1,253 @@
+"""Cross-layer observability integration tests (docs/OBSERVABILITY.md).
+
+The point of the unified registry is that one snapshot reconciles with
+every layer's local books. These tests pin that:
+
+* a chaos middleware run reconciles ``MetricsRegistry`` against
+  :class:`AccessStats` (charged, cached, retries, faults, cost) and the
+  trace event stream;
+* a warm serving run under faults, cache hits and budgets reconciles the
+  registry against ``QueryServer.stats()``, session records and
+  ``CacheStats`` -- including the ``charged + cached == recorded``
+  invariant;
+* a Hypothesis sweep holds those invariants over random fault rates,
+  budgets and batch shapes;
+* two seeded runs of the same traced scenario produce byte-identical
+  JSON-lines traces (determinism as correctness, lint rule RL002).
+"""
+
+import math
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.algorithms import TA
+from repro.data.generators import uniform
+from repro.exceptions import ReproError
+from repro.faults import FaultProfile, RetryPolicy, chaos_middleware, faulty_sources_for
+from repro.obs import MetricsRegistry, TraceRecorder, build_timeline
+from repro.scoring.functions import Min
+from repro.service import QueryServer, ServerConfig
+from repro.sources.cache import SourceCache
+from repro.sources.cost import CostModel
+
+
+def _chaos_run(metrics=None, trace=None, rate=0.15, seed=3):
+    dataset = uniform(80, 2, seed=11)
+    middleware = chaos_middleware(
+        dataset,
+        CostModel.uniform(2, cs=1.0, cr=2.0),
+        FaultProfile.transient(rate),
+        seed=seed,
+        retry_policy=RetryPolicy(),
+        metrics=metrics,
+        trace=trace,
+    )
+    result = TA().run(middleware, Min(2), 5)
+    return middleware, result
+
+
+class TestChaosRunReconciles:
+    def test_registry_matches_access_stats(self):
+        metrics = MetricsRegistry()
+        trace = TraceRecorder()
+        middleware, _ = _chaos_run(metrics=metrics, trace=trace)
+        stats = middleware.stats
+
+        assert metrics.total("repro_accesses_total") == stats.total_accesses
+        assert metrics.total("repro_access_cost_total") == pytest.approx(
+            stats.total_cost()
+        )
+        assert metrics.total("repro_cached_accesses_total") == stats.total_cached
+        assert metrics.total("repro_retries_total") == stats.total_retries
+        assert metrics.total("repro_faults_total") == stats.total_faults
+        assert metrics.total("repro_backoff_time_total") == pytest.approx(
+            stats.backoff_time
+        )
+        # This run retried through real faults; the counters are live.
+        assert stats.total_faults > 0 and stats.total_retries > 0
+
+    def test_trace_narrates_the_same_numbers(self):
+        metrics = MetricsRegistry()
+        trace = TraceRecorder()
+        middleware, _ = _chaos_run(metrics=metrics, trace=trace)
+        assert trace.dropped == 0
+        events = [e.as_dict() for e in trace.events]
+        by_type = {}
+        for event in events:
+            by_type[event["event"]] = by_type.get(event["event"], 0) + 1
+        assert by_type["access"] == middleware.stats.total_accesses
+        assert by_type["fault"] == middleware.stats.total_faults
+        # Ticks ride the access-count clock: nondecreasing, no wall time.
+        ticks = [e["tick"] for e in events]
+        assert ticks == sorted(ticks)
+        timeline = build_timeline(events)
+        assert sum(
+            lane.sorted_accesses + lane.random_accesses
+            for lane in timeline.predicates
+        ) == middleware.stats.total_accesses
+
+
+def _serving_batch():
+    return [
+        ("SELECT * FROM r ORDER BY min(a, b) STOP AFTER 5", None),
+        ("SELECT * FROM r ORDER BY min(a, b) STOP AFTER 5", None),
+        ("SELECT * FROM r ORDER BY avg(a, b) STOP AFTER 4", None),
+        ("SELECT * FROM r ORDER BY min(a, b) STOP AFTER 7", 3.0),
+        ("SELECT * FROM r ORDER BY avg(a, b) STOP AFTER 3", None),
+    ]
+
+
+def _chaos_server(metrics=None, trace=None, rate=0.1, seed=9, **config_kwargs):
+    dataset = uniform(60, 2, seed=21)
+    model = CostModel.uniform(2, cs=1.0, cr=2.0)
+    sources = faulty_sources_for(
+        dataset,
+        FaultProfile.transient(rate),
+        seed=seed,
+        sorted_capable=model.sorted_capabilities,
+        random_capable=model.random_capabilities,
+    )
+    return QueryServer(
+        model,
+        cache=SourceCache(sources),
+        schema=("a", "b"),
+        config=ServerConfig(retry_policy=RetryPolicy(), seed=4, **config_kwargs),
+        metrics=metrics,
+        trace=trace,
+    )
+
+
+def _assert_server_reconciles(server, sessions):
+    snap = server.stats()
+    metrics = server.metrics
+    charged = [s for s in sessions if s is not None]
+
+    # Eq. 1 totals agree middleware <-> server <-> registry.
+    assert metrics.total("repro_accesses_total") == snap["charged_accesses_total"]
+    assert metrics.total("repro_accesses_total") == sum(
+        s.charged_accesses for s in charged
+    )
+    assert metrics.total("repro_access_cost_total") == pytest.approx(
+        snap["charged_cost_total"]
+    )
+    assert metrics.total("repro_access_cost_total") == pytest.approx(
+        sum(s.charged_cost for s in charged)
+    )
+
+    # charged + cached == recorded: every delivered access is either a
+    # charged web-source hit or an uncharged cache ride.
+    cached_total = metrics.total("repro_cached_accesses_total")
+    assert cached_total == sum(s.cache_hits for s in charged)
+    assert cached_total == metrics.total("repro_cache_hits_total")
+    assert cached_total == snap["cache"]["hits"]
+
+    # Session lifecycle counters agree with the session records.
+    assert metrics.total("repro_sessions_total") == len(charged)
+    assert metrics.counter_value(
+        "repro_sessions_total", status="done"
+    ) == snap["completed"]
+    assert metrics.counter_value(
+        "repro_sessions_total", status="failed"
+    ) == snap["failed"]
+
+    # The registry's server clock gauge is the breaker clock base.
+    assert metrics.gauge_value("repro_server_clock") == snap[
+        "charged_accesses_total"
+    ]
+
+    # The snapshot in stats() is the same registry, byte for byte.
+    assert snap["metrics"] == metrics.snapshot()
+
+
+class TestServingRunReconciles:
+    def test_warm_chaos_budgeted_batch(self):
+        metrics = MetricsRegistry()
+        trace = TraceRecorder()
+        server = _chaos_server(metrics=metrics, trace=trace)
+        sessions = [server.query(text, budget=b) for text, b in _serving_batch()]
+        _assert_server_reconciles(server, sessions)
+
+        # The run exercised all three accounting paths: charged frontier
+        # accesses, free cache rides, and at least one fault retried.
+        assert metrics.total("repro_accesses_total") > 0
+        assert metrics.total("repro_cached_accesses_total") > 0
+        assert metrics.total("repro_faults_total") > 0
+
+        # The trace narrates every session boundary.
+        session_events = [
+            e for e in trace.events if e.event == "session"
+        ]
+        assert len(session_events) == 2 * len(sessions)
+
+    def test_budget_rejections_land_in_the_ledger(self):
+        metrics = MetricsRegistry()
+        # Fail loudly on budget exhaustion so the refused access actually
+        # reaches the middleware's charge gate (graceful degradation
+        # steers around unaffordable accesses without attempting them).
+        server = _chaos_server(metrics=metrics, rate=0.0, degrade_on_budget=False)
+        session = server.query(
+            "SELECT * FROM r ORDER BY min(a, b) STOP AFTER 5", budget=1.0
+        )
+        assert session.status == "failed"
+        assert session.error_type == "BudgetExceededError"
+        assert metrics.total("repro_budget_rejections_total") >= 1.0
+        _assert_server_reconciles(server, [session])
+
+
+class TestReconciliationProperty:
+    @settings(max_examples=12, deadline=None)
+    @given(
+        rate=st.sampled_from([0.0, 0.05, 0.15]),
+        seed=st.integers(min_value=0, max_value=50),
+        budget=st.sampled_from([None, 2.0, 12.0]),
+        repeats=st.integers(min_value=1, max_value=3),
+    )
+    def test_registry_reconciles_under_faults_cache_and_budgets(
+        self, rate, seed, budget, repeats
+    ):
+        metrics = MetricsRegistry()
+        server = _chaos_server(metrics=metrics, rate=rate, seed=seed)
+        sessions = []
+        for _ in range(repeats):
+            for text, _b in _serving_batch()[:3]:
+                try:
+                    sessions.append(server.query(text, budget=budget))
+                except ReproError:
+                    # Overload/refusals never un-balance the books; the
+                    # failed session still reconciled its charges.
+                    pass
+        sessions = [s for s in sessions if s is not None]
+        _assert_server_reconciles(server, sessions)
+        snapshot = server.metrics.snapshot()
+        for value in snapshot["counters"].values():
+            assert value >= 0 and math.isfinite(value)
+
+
+class TestTraceDeterminism:
+    def test_chaos_run_trace_bytes_replay(self):
+        traces = []
+        for _ in range(2):
+            trace = TraceRecorder()
+            _chaos_run(trace=trace, rate=0.2, seed=7)
+            traces.append(trace.to_jsonl())
+        assert traces[0] == traces[1]
+        assert traces[0]  # non-empty: the run really was narrated
+
+    def test_serving_run_trace_bytes_replay(self):
+        payloads = []
+        for _ in range(2):
+            trace = TraceRecorder()
+            server = _chaos_server(trace=trace)
+            for text, b in _serving_batch():
+                server.query(text, budget=b)
+            payloads.append(trace.to_jsonl())
+        assert payloads[0] == payloads[1]
+
+    def test_metrics_snapshots_replay_too(self):
+        snaps = []
+        for _ in range(2):
+            metrics = MetricsRegistry()
+            _chaos_run(metrics=metrics, rate=0.2, seed=7)
+            snaps.append(metrics.snapshot())
+        assert snaps[0] == snaps[1]
