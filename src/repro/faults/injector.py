@@ -16,11 +16,11 @@ request that died on the wire. Successful attempts report a simulated
 
 from __future__ import annotations
 
-import random
 from dataclasses import dataclass
 from typing import Optional, Sequence
 
 from repro.data.dataset import Dataset
+from repro.determinism import derive_rng
 from repro.exceptions import (
     SourceTimeoutError,
     SourceUnavailableError,
@@ -120,7 +120,10 @@ class FaultInjectingSource(Source):
             if predicate is not None
             else int(getattr(inner, "predicate", 0))
         )
-        self._rng = random.Random(seed)
+        # derive_rng(int) is byte-identical to random.Random(int), so the
+        # E19 fault streams recorded against earlier versions replay
+        # unchanged; the derivation root is now auditable by RL102.
+        self._rng = derive_rng(seed)
         self._deadline: Optional[float] = None
         self._delivered = 0
         self._faults_injected = 0
@@ -278,7 +281,7 @@ class FaultInjectingSource(Source):
     def reset(self) -> None:
         """Rewind the inner source *and* the injection stream."""
         self._inner.reset()
-        self._rng = random.Random(self._seed)
+        self._rng = derive_rng(self._seed)
         self._delivered = 0
         self._faults_injected = 0
         self._last_duration = None

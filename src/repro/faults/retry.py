@@ -18,6 +18,8 @@ import random
 from dataclasses import dataclass
 from typing import Optional
 
+from repro.determinism import derive_rng
+
 
 @dataclass(frozen=True)
 class RetryPolicy:
@@ -70,5 +72,10 @@ class RetryPolicy:
         return base * (1.0 + self.jitter * rng.uniform(-1.0, 1.0))
 
     def fresh_rng(self) -> random.Random:
-        """A new jitter stream; the middleware rebuilds one on reset()."""
-        return random.Random(self.seed)
+        """A new jitter stream; the middleware rebuilds one on reset().
+
+        Derived via :func:`repro.determinism.derive_rng`, which is
+        byte-identical to ``random.Random(self.seed)`` for integer seeds
+        -- recorded E19-style fault runs replay unchanged.
+        """
+        return derive_rng(self.seed)

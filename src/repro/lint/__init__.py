@@ -6,32 +6,54 @@ one exception root (RL003), complete framework plug-points (RL004), and
 no definition-time shared mutable state (RL005). ``repro lint`` makes
 them machine-checked; CI runs it on every change.
 
+The deep pass (``repro lint --deep``, docs/LINTS.md) layers whole-program
+rules (RL101-RL105) on a call graph and provenance dataflow built in
+:mod:`repro.lint.deep`; its pre-existing findings are ratcheted in
+``lint-baseline.json`` (:mod:`repro.lint.baseline`).
+
 Programmatic use::
 
     from repro.lint import run_lint
-    report = run_lint(["src/repro"])
+    report = run_lint(["src/repro"], deep=True)
     assert report.ok, [f.format() for f in report.findings]
 """
 
+from repro.lint.baseline import (
+    BaselineMatch,
+    load_baseline,
+    match_baseline,
+    render_baseline,
+    write_baseline,
+)
 from repro.lint.core import (
     Finding,
     LintReport,
     ModuleContext,
     Rule,
     register,
+    register_deep,
+    registered_deep_rules,
     registered_rules,
     run_lint,
 )
-from repro.lint.reporters import json_report, text_report
+from repro.lint.reporters import json_report, sarif_report, text_report
 
 __all__ = [
+    "BaselineMatch",
     "Finding",
     "LintReport",
     "ModuleContext",
     "Rule",
+    "load_baseline",
+    "match_baseline",
     "register",
+    "register_deep",
+    "registered_deep_rules",
     "registered_rules",
+    "render_baseline",
     "run_lint",
+    "write_baseline",
     "json_report",
+    "sarif_report",
     "text_report",
 ]

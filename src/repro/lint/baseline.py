@@ -1,0 +1,165 @@
+"""The lint baseline ratchet (``repro lint --baseline lint-baseline.json``).
+
+Turning the deep pass on over a living codebase surfaces pre-existing
+findings that are real work-list items, not regressions. The baseline
+records them so CI can fail on *new* findings only -- and the ratchet
+only tightens:
+
+* a finding matching a baseline entry is **absorbed** (not reported);
+* a finding with no entry is **new** and fails the run;
+* an entry with no matching finding is **stale** and *also* fails the
+  run -- fixed debt must leave the file (via ``--update-baseline``), so
+  the recorded debt can never silently grow back.
+
+Matching is by ``(rule, normalized path, message)`` with a per-key
+*count*: line numbers churn on every unrelated edit, but rule + path +
+message identifies the invariant violation itself, and the count keeps
+one entry from absorbing an unbounded number of identical findings.
+Suppressions run first: a ``# repro-lint: ignore[...]`` line never
+reaches the baseline matcher, so per-line waivers always win over (and
+eventually stale-out) baseline entries.
+
+Entry paths are stored relative to the baseline file's directory and
+re-anchored there on load, so the file is portable: invoking the linter
+from another working directory with absolute paths matches the same
+committed entries as the in-repo relative spelling.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import Counter
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Sequence
+
+from repro.exceptions import ReproError
+from repro.lint.core import Finding, normalize_posix
+
+#: Schema version of the baseline file format.
+BASELINE_VERSION = 1
+
+
+def _key(finding: Finding) -> tuple[str, str, str]:
+    return (finding.rule, normalize_posix(finding.path), finding.message)
+
+
+def _stored_path(path: str, root: Path | None) -> str:
+    """Entry path as written to a baseline file anchored at ``root``."""
+    if root is None:
+        return normalize_posix(path)
+    try:
+        resolved = Path(path).resolve()
+        return resolved.relative_to(root.resolve()).as_posix()
+    except (OSError, ValueError):
+        return normalize_posix(path)
+
+
+@dataclass
+class BaselineMatch:
+    """Outcome of checking one report against a baseline.
+
+    Attributes:
+        new: findings not absorbed by the baseline (these fail the run).
+        absorbed: indices into the original finding list that matched an
+            entry (used for SARIF ``baselineState``).
+        stale: baseline entries (rule, path, message, missing count) that
+            matched fewer findings than recorded (these also fail).
+    """
+
+    new: list[Finding] = field(default_factory=list)
+    absorbed: set[int] = field(default_factory=set)
+    stale: list[tuple[str, str, str, int]] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        """Whether the run is clean modulo the recorded debt."""
+        return not self.new and not self.stale
+
+
+def load_baseline(path: Path) -> Counter[tuple[str, str, str]]:
+    """Parse a baseline file into a keyed finding counter.
+
+    Entry paths (stored relative to the baseline file) are re-anchored
+    at the file's directory and then canonicalized exactly like finding
+    paths, so matching works from any invocation working directory.
+    """
+    try:
+        payload = json.loads(path.read_text(encoding="utf-8"))
+    except (OSError, json.JSONDecodeError) as exc:
+        raise ReproError(f"cannot read lint baseline {path}: {exc}") from exc
+    if not isinstance(payload, dict) or payload.get("version") != (
+        BASELINE_VERSION
+    ):
+        raise ReproError(
+            f"lint baseline {path} has unsupported format/version "
+            f"(expected version {BASELINE_VERSION})"
+        )
+    root = path.resolve().parent
+    counts: Counter[tuple[str, str, str]] = Counter()
+    for entry in payload.get("findings", []):
+        # root / absolute stays absolute, so both stored forms anchor.
+        anchored = normalize_posix(root / entry["path"])
+        counts[(entry["rule"], anchored, entry["message"])] += int(
+            entry.get("count", 1)
+        )
+    return counts
+
+
+def match_baseline(
+    findings: Sequence[Finding], baseline: Counter[tuple[str, str, str]]
+) -> BaselineMatch:
+    """Split findings into new vs absorbed and surface stale entries."""
+    remaining = Counter(baseline)
+    match = BaselineMatch()
+    for index, finding in enumerate(findings):
+        key = _key(finding)
+        if remaining[key] > 0:
+            remaining[key] -= 1
+            match.absorbed.add(index)
+        else:
+            match.new.append(finding)
+    for (rule, path, message), count in sorted(remaining.items()):
+        if count > 0:
+            match.stale.append((rule, path, message, count))
+    return match
+
+
+def render_baseline(
+    findings: Sequence[Finding], root: Path | None = None
+) -> str:
+    """Serialize findings as a fresh baseline file (sorted, counted).
+
+    With ``root`` (the directory the file will live in), entry paths are
+    stored relative to it so the baseline is portable across invocation
+    working directories.
+    """
+    counts: Counter[tuple[str, str, str]] = Counter(
+        (finding.rule, _stored_path(finding.path, root), finding.message)
+        for finding in findings
+    )
+    payload = {
+        "version": BASELINE_VERSION,
+        "tool": "repro-lint",
+        "findings": [
+            {"rule": rule, "path": path, "message": message, "count": count}
+            for (rule, path, message), count in sorted(counts.items())
+        ],
+    }
+    return json.dumps(payload, indent=2, sort_keys=True) + "\n"
+
+
+def write_baseline(path: Path, findings: Sequence[Finding]) -> None:
+    """Write (or rewrite) the baseline file for ``--update-baseline``."""
+    path.write_text(
+        render_baseline(findings, root=path.resolve().parent),
+        encoding="utf-8",
+    )
+
+
+def describe_stale(stale: Sequence[tuple[str, str, str, int]]) -> list[str]:
+    """Human-readable lines for stale entries (ratchet tightening)."""
+    return [
+        f"stale baseline entry ({count}x): {rule} {path}: {message}"
+        for rule, path, message, count in stale
+    ]

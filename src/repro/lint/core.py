@@ -20,8 +20,11 @@ import ast
 import re
 from dataclasses import dataclass, field
 from fnmatch import fnmatch
-from pathlib import Path
-from typing import Iterable, Iterator, Optional, Sequence
+from pathlib import Path, PurePosixPath
+from typing import TYPE_CHECKING, Iterable, Iterator, Optional, Sequence
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle broken at runtime
+    from repro.lint.deep.model import ProjectModel
 
 _SUPPRESS_RE = re.compile(
     r"#\s*repro-lint:\s*ignore(?:\[(?P<rules>[A-Z0-9,\s]+)\])?"
@@ -90,16 +93,53 @@ def _parse_suppressions(source: str) -> dict[int, Optional[frozenset[str]]]:
     return table
 
 
+def normalize_posix(path: str | Path) -> str:
+    """Canonical posix form of ``path`` for allowlist and baseline matching.
+
+    ``./``-prefixed and absolute spellings of the same file must match the
+    same rule allowlists and baseline entries as the plain relative one,
+    so the path is resolved and -- when it lives under the current working
+    directory -- re-expressed relative to it. Paths outside the working
+    directory stay absolute (suffix matching still applies to them).
+    """
+    candidate = Path(path)
+    try:
+        resolved = candidate.resolve()
+    except OSError:  # pragma: no cover - unresolvable filesystem state
+        return candidate.as_posix()
+    try:
+        return resolved.relative_to(Path.cwd()).as_posix()
+    except ValueError:
+        return resolved.as_posix()
+
+
+def path_suffixes(posix: str) -> list[str]:
+    """Every suffix of a posix path, longest first.
+
+    ``a/b/c.py`` yields ``a/b/c.py``, ``b/c.py``, ``c.py`` -- the forms an
+    allowlist glob may be written against. The filesystem anchor of an
+    absolute path is dropped so ``/repo/tests/x.py`` still offers
+    ``tests/x.py``.
+    """
+    pure = PurePosixPath(posix)
+    parts = pure.parts
+    if pure.is_absolute():
+        parts = parts[1:]
+    return ["/".join(parts[i:]) for i in range(len(parts))]
+
+
 def path_matches(posix: str, patterns: Sequence[str]) -> bool:
     """Whether a posix path matches any allowlist glob.
 
     Patterns are matched against the full path *and* against every
     suffix starting at a path separator, so ``sources/middleware.py``
-    matches both ``src/repro/sources/middleware.py`` and a bare
-    ``sources/middleware.py``.
+    matches ``src/repro/sources/middleware.py``, a bare
+    ``sources/middleware.py``, *and* ``./``-prefixed or absolute
+    spellings of either (the path is normalized first).
     """
+    suffixes = path_suffixes(normalize_posix(posix))
     for pattern in patterns:
-        if fnmatch(posix, pattern) or fnmatch(posix, f"*/{pattern}"):
+        if any(fnmatch(suffix, pattern) for suffix in suffixes):
             return True
     return False
 
@@ -124,6 +164,14 @@ class Rule:
         """Yield whole-project findings after every module was checked."""
         return iter(())
 
+    def check_project(self, project: "ProjectModel") -> Iterator[Finding]:
+        """Yield findings against the deep project model (RL1xx rules).
+
+        Only invoked for rules registered via :func:`register_deep`, and
+        only when the deep pass is requested (``run_lint(deep=True)``).
+        """
+        return iter(())
+
     def finding(
         self, module: ModuleContext, node: ast.AST, message: str
     ) -> Finding:
@@ -139,6 +187,8 @@ class Rule:
 
 _REGISTRY: dict[str, type[Rule]] = {}
 
+_DEEP_REGISTRY: dict[str, type[Rule]] = {}
+
 
 def register(rule_cls: type[Rule]) -> type[Rule]:
     """Class decorator adding a rule to the global registry."""
@@ -148,12 +198,33 @@ def register(rule_cls: type[Rule]) -> type[Rule]:
     return rule_cls
 
 
+def register_deep(rule_cls: type[Rule]) -> type[Rule]:
+    """Class decorator adding a whole-program rule to the deep registry.
+
+    Deep rules (RL1xx, docs/LINTS.md) run only under ``repro lint
+    --deep``: they subclass :class:`Rule` but implement
+    ``check_project(project)`` against the
+    :class:`~repro.lint.deep.ProjectModel` built once per run.
+    """
+    if rule_cls.rule_id in _DEEP_REGISTRY or rule_cls.rule_id in _REGISTRY:
+        raise ValueError(f"duplicate lint rule id {rule_cls.rule_id}")
+    _DEEP_REGISTRY[rule_cls.rule_id] = rule_cls
+    return rule_cls
+
+
 def registered_rules() -> dict[str, type[Rule]]:
     """The registry (id -> rule class), importing the built-in rules."""
     # The import populates the registry on first use and is idempotent.
     from repro.lint import rules as _rules  # noqa: F401
 
     return dict(_REGISTRY)
+
+
+def registered_deep_rules() -> dict[str, type[Rule]]:
+    """The deep registry (id -> rule class), importing the deep rules."""
+    from repro.lint import deep as _deep  # noqa: F401
+
+    return dict(_DEEP_REGISTRY)
 
 
 def _iter_python_files(paths: Iterable[Path]) -> Iterator[Path]:
@@ -182,7 +253,7 @@ def load_module(path: Path) -> ModuleContext | Finding:
         )
     return ModuleContext(
         path=path,
-        posix=path.as_posix(),
+        posix=normalize_posix(path),
         source=source,
         tree=tree,
         suppressions=_parse_suppressions(source),
@@ -205,6 +276,7 @@ class LintReport:
 def run_lint(
     paths: Sequence[str | Path],
     select: Optional[Sequence[str]] = None,
+    deep: bool = False,
 ) -> LintReport:
     """Lint ``paths`` (files or directories) with the registered rules.
 
@@ -212,17 +284,35 @@ def run_lint(
         paths: files and/or directories to scan recursively.
         select: restrict to these rule ids (default: every registered
             rule). Unknown ids raise ``ValueError`` so typos fail loudly.
+        deep: also run the whole-program flow-sensitive rules (RL1xx):
+            a project model (symbol table, call graph, dataflow facts) is
+            built once over every linted module and each deep rule
+            queries it.
     """
     registry = registered_rules()
+    deep_registry = registered_deep_rules() if deep else {}
     if select is not None:
-        unknown = sorted(set(select) - set(registry))
+        known = set(registry) | set(registered_deep_rules())
+        unknown = sorted(set(select) - known)
         if unknown:
             raise ValueError(
                 f"unknown lint rule id(s) {unknown}; "
-                f"known: {sorted(registry)}"
+                f"known: {sorted(known)}"
+            )
+        deep_only = sorted(
+            set(select) & set(registered_deep_rules()) - set(deep_registry)
+        )
+        if deep_only:
+            raise ValueError(
+                f"rule id(s) {deep_only} belong to the deep pass; "
+                "run with deep=True (CLI: --deep)"
             )
         registry = {rid: registry[rid] for rid in registry if rid in select}
+        deep_registry = {
+            rid: deep_registry[rid] for rid in deep_registry if rid in select
+        }
     rules = [rule_cls() for _, rule_cls in sorted(registry.items())]
+    deep_rules = [rule_cls() for _, rule_cls in sorted(deep_registry.items())]
 
     findings: list[Finding] = []
     modules: list[ModuleContext] = []
@@ -237,19 +327,26 @@ def run_lint(
                 if not loaded.suppressed(finding.rule, finding.line):
                     findings.append(finding)
     by_posix = {module.posix: module for module in modules}
+
+    def keep(finding: Finding) -> bool:
+        module = by_posix.get(Path(finding.path).as_posix())
+        return module is None or not module.suppressed(
+            finding.rule, finding.line
+        )
+
     for rule in rules:
-        for finding in rule.finalize(modules):
-            module = by_posix.get(Path(finding.path).as_posix())
-            if module is not None and module.suppressed(
-                finding.rule, finding.line
-            ):
-                continue
-            findings.append(finding)
+        findings.extend(filter(keep, rule.finalize(modules)))
+    if deep_rules:
+        from repro.lint.deep import build_project
+
+        project = build_project(modules)
+        for rule in deep_rules:
+            findings.extend(filter(keep, rule.check_project(project)))
     findings.sort(key=lambda f: (f.path, f.line, f.col, f.rule))
     return LintReport(
         findings=findings,
         files_checked=len(modules),
-        rules_run=[rule.rule_id for rule in rules],
+        rules_run=[rule.rule_id for rule in rules + deep_rules],
     )
 
 

@@ -1,0 +1,169 @@
+"""RL103: the async-readiness audit -- shared-mutable-state inventory.
+
+The ROADMAP's concurrent-serving refactor will run
+:mod:`repro.parallel` and :mod:`repro.service` handlers on an event
+loop, where today's single-threaded mutation of instance state becomes a
+race. This rule walks the call graph from the executor/server entry
+points and inventories every instance attribute mutated in shared
+infrastructure code along the way -- assignments, augmented assignments,
+subscript stores, and mutating container-method calls on ``self.<attr>``.
+
+Each ``(class, attribute)`` group becomes one *ranked* finding (most
+mutation sites first): the committed inventory in docs/LINTS.md is the
+work-list the async PR retires by adding locks, confining state to one
+task, or declaring single-owner discipline in place with::
+
+    self._inflight += 1  # repro-ownership: server loop only
+
+A ``# repro-ownership:`` marker on the mutation line (with a rationale)
+removes that site from the count; a group whose every site is marked
+disappears. ``__init__``/``__post_init__`` stores are construction, not
+sharing, and are never counted.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, Optional
+
+from repro.lint.core import Finding, Rule, path_matches, register_deep
+from repro.lint.deep.model import FunctionInfo, ProjectModel
+
+#: Entry points of the concurrent runtime: everything reachable from
+#: here may run interleaved once the async refactor lands.
+_ROOT_PATHS = ("parallel/*", "service/*")
+
+#: Shared infrastructure whose instance state the audit inventories.
+_SHARED_PATHS = (
+    "parallel/*",
+    "service/*",
+    "sources/middleware.py",
+    "sources/cache.py",
+    "sources/stats.py",
+    "sources/monitor.py",
+    "faults/breaker.py",
+    "obs/*",
+)
+
+#: Container methods that mutate their receiver in place.
+_MUTATORS = frozenset(
+    {
+        "append",
+        "appendleft",
+        "add",
+        "update",
+        "pop",
+        "popleft",
+        "popitem",
+        "setdefault",
+        "extend",
+        "remove",
+        "discard",
+        "clear",
+        "insert",
+        "sort",
+    }
+)
+
+_CONSTRUCTORS = frozenset({"__init__", "__post_init__"})
+
+_OWNERSHIP_MARKER = "# repro-ownership:"
+
+
+def _self_attr(expr: ast.expr) -> Optional[str]:
+    """The attribute name when ``expr`` is ``self.<attr>`` (else None)."""
+    if (
+        isinstance(expr, ast.Attribute)
+        and isinstance(expr.value, ast.Name)
+        and expr.value.id == "self"
+    ):
+        return expr.attr
+    return None
+
+
+def _mutation_sites(info: FunctionInfo) -> Iterator[tuple[str, int]]:
+    """Yield ``(attribute, line)`` for every self-state mutation."""
+    for node in ast.walk(info.node):
+        if isinstance(node, ast.Assign):
+            for target in node.targets:
+                yield from _target_sites(target)
+        elif isinstance(node, (ast.AugAssign, ast.AnnAssign)):
+            yield from _target_sites(node.target)
+        elif isinstance(node, ast.Call):
+            func = node.func
+            if isinstance(func, ast.Attribute) and func.attr in _MUTATORS:
+                attr = _self_attr(func.value)
+                if attr is not None:
+                    yield attr, node.lineno
+        elif isinstance(node, ast.Delete):
+            for target in node.targets:
+                yield from _target_sites(target)
+
+
+def _target_sites(target: ast.expr) -> Iterator[tuple[str, int]]:
+    attr = _self_attr(target)
+    if attr is not None:
+        yield attr, target.lineno
+        return
+    if isinstance(target, ast.Subscript):
+        attr = _self_attr(target.value)
+        if attr is not None:
+            yield attr, target.lineno
+    elif isinstance(target, (ast.Tuple, ast.List)):
+        for element in target.elts:
+            yield from _target_sites(element)
+
+
+@register_deep
+class SharedStateRule(Rule):
+    """Rank shared-state mutation candidates reachable from the runtime."""
+
+    rule_id = "RL103"
+    title = "shared-mutable-state race candidate"
+    rationale = (
+        "Instance state mutated on objects reachable from the parallel "
+        "executor or service session handling becomes a data race under "
+        "the planned asyncio runtime unless locked, task-confined, or "
+        "explicitly single-owner (# repro-ownership: marker)."
+    )
+
+    def check_project(self, project: ProjectModel) -> Iterator[Finding]:
+        roots = project.functions_in_paths(_ROOT_PATHS)
+        parents = project.reachable_from(roots)
+        # (class qualname, attr) -> list of (module, line, function qual)
+        groups: dict[tuple[str, str], list[tuple[str, int, str]]] = {}
+        for qual in sorted(parents):
+            info = project.functions.get(qual)
+            if info is None or info.cls is None:
+                continue
+            if info.name in _CONSTRUCTORS:
+                continue
+            if not path_matches(info.module.posix, _SHARED_PATHS):
+                continue
+            lines = info.module.context.source.splitlines()
+            for attr, lineno in _mutation_sites(info):
+                text = lines[lineno - 1] if lineno - 1 < len(lines) else ""
+                if _OWNERSHIP_MARKER in text:
+                    continue
+                groups.setdefault((info.cls.qualname, attr), []).append(
+                    (info.module.posix, lineno, qual)
+                )
+        ranked = sorted(
+            groups.items(), key=lambda item: (-len(item[1]), item[0])
+        )
+        for rank, ((cls, attr), sites) in enumerate(ranked, start=1):
+            sites.sort()
+            _, first_line, first_qual = sites[0]
+            witness = " -> ".join(project.witness_path(parents, first_qual))
+            module = project.functions[first_qual].module
+            anchor = ast.Pass()
+            anchor.lineno = first_line
+            anchor.col_offset = 0
+            yield self.finding(
+                module.context,
+                anchor,
+                f"[rank {rank}] {cls}.{attr} mutated at {len(sites)} "
+                f"site(s) reachable from the concurrent runtime "
+                f"(e.g. via {witness}); add a lock, confine to one task, "
+                "or mark each site with '# repro-ownership: <owner>'",
+            )

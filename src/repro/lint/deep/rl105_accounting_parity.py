@@ -1,0 +1,134 @@
+"""RL105: degraded/budget/cached outcomes must be visible to repro.obs.
+
+PR 5's observability layer established the reconciliation invariant
+``charged + cached == recorded``: every access the middleware prices,
+every cache hit it absorbs, and every degraded answer the framework
+returns has a metric/trace counterpart, so a silent accounting drift is
+detectable from the telemetry alone. That invariant is enforced at
+runtime only on executed paths; this rule pins it statically.
+
+Within the accounting surfaces (middleware, source cache, service,
+framework, executor) three *events* require an *emission* -- a call to
+``inc`` / ``set_gauge`` (metrics), ``emit`` / ``_emit`` (trace), or
+``record_event`` in the same function or a directly called project
+function:
+
+* raising ``BudgetExceededError`` / ``ServiceOverloadError`` (a rejected
+  access or session must be counted, or rejected work vanishes from the
+  ledger);
+* calling ``record_cached(...)`` (a cache absorption must show up on the
+  cached side of the reconciliation);
+* assigning ``<result>.partial = True`` (a degraded answer must leave a
+  trace saying *why* the run is bound-only).
+
+An unpaired event is either a genuine gap (fix it or baseline it as the
+work-list) or intentionally silent (suppress with a rationale).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.lint.core import Finding, Rule, path_matches, register_deep
+from repro.lint.deep.dataflow import analyze_project
+from repro.lint.deep.model import ProjectModel
+
+#: The accounting surfaces where the parity obligation applies.
+_ACCOUNTING_PATHS = (
+    "sources/middleware.py",
+    "sources/cache.py",
+    "service/*",
+    "core/framework.py",
+    "parallel/executor.py",
+)
+
+#: Raised exceptions that represent rejected-but-chargeable work.
+_REJECTION_ERRORS = frozenset(
+    {"BudgetExceededError", "ServiceOverloadError"}
+)
+
+#: Method names whose call counts as a metric/trace emission.
+_EMISSIONS = frozenset({"inc", "set_gauge", "emit", "_emit", "record_event"})
+
+
+def _emits(project: ProjectModel, qual: str) -> bool:
+    """Whether ``qual`` or a direct project callee emits obs telemetry."""
+    for site in project.call_sites.get(qual, ()):
+        if site.attr in _EMISSIONS:
+            return True
+    for callee in sorted(project.call_graph.get(qual, ())):
+        for site in project.call_sites.get(callee, ()):
+            if site.attr in _EMISSIONS:
+                return True
+    return False
+
+
+def _partial_true_stores(node: ast.AST) -> Iterator[ast.Assign]:
+    """Yield ``<expr>.partial = True`` assignments under ``node``."""
+    for child in ast.walk(node):
+        if not isinstance(child, ast.Assign):
+            continue
+        if not (
+            isinstance(child.value, ast.Constant)
+            and child.value.value is True
+        ):
+            continue
+        for target in child.targets:
+            if isinstance(target, ast.Attribute) and target.attr == "partial":
+                yield child
+                break
+
+
+@register_deep
+class AccountingParityRule(Rule):
+    """Flag degraded/budget/cached events with no obs emission nearby."""
+
+    rule_id = "RL105"
+    title = "accounting event without obs emission"
+    rationale = (
+        "Budget rejections, cache absorptions, and degraded results that "
+        "emit no metric/trace break the charged + cached == recorded "
+        "reconciliation: the telemetry can no longer prove the Eq. 1 "
+        "ledger is complete."
+    )
+
+    def check_project(self, project: ProjectModel) -> Iterator[Finding]:
+        flow = analyze_project(project)
+        for qual in sorted(flow.facts):
+            info = project.functions[qual]
+            module = info.module
+            if not path_matches(module.posix, _ACCOUNTING_PATHS):
+                continue
+            paired = _emits(project, qual)
+            for fact in flow.facts[qual].raises:
+                if fact.resolved is None:
+                    continue
+                error = fact.resolved.rsplit(".", 1)[-1]
+                if error in _REJECTION_ERRORS and not paired:
+                    yield self.finding(
+                        module.context,
+                        fact.node,
+                        f"raise {error} is not paired with a repro.obs "
+                        "emission (inc/emit) in this function or a direct "
+                        "callee; rejected work must be counted",
+                    )
+            for call in flow.facts[qual].calls:
+                if call.attr == "record_cached" and not paired:
+                    yield self.finding(
+                        module.context,
+                        call.node,
+                        "record_cached(...) is not paired with a repro.obs "
+                        "emission; cache absorptions must appear on the "
+                        "cached side of charged + cached == recorded",
+                    )
+            for assign in _partial_true_stores(info.node):
+                if not paired:
+                    yield self.finding(
+                        module.context,
+                        assign,
+                        "partial = True (degraded result) is not paired "
+                        "with a repro.obs emission in this function or a "
+                        "direct callee; degraded answers must leave a "
+                        "trace explaining the bound-only result",
+                    )

@@ -1,0 +1,284 @@
+"""Baseline ratchet semantics and the suppression/baseline interaction.
+
+The ratchet only tightens: new findings fail, absorbed findings are
+recorded debt, and *stale* entries (debt that was fixed, or silenced by
+a reviewed per-line suppression) also fail until ``--update-baseline``
+shrinks the file. Suppressions run before baseline matching, so a
+``# repro-lint: ignore[...]`` line always wins over a baseline entry.
+"""
+
+import json
+import textwrap
+
+import pytest
+
+from repro.cli import main as cli_main
+from repro.exceptions import ReproError
+from repro.lint import run_lint
+from repro.lint.baseline import (
+    load_baseline,
+    match_baseline,
+    render_baseline,
+    write_baseline,
+)
+
+VIOLATION = """
+import random
+
+def jitter():
+    return random.random()
+"""
+
+
+def write_violation(tmp_path, name="mod.py", suppressed=False):
+    source = textwrap.dedent(VIOLATION)
+    if suppressed:
+        source = source.replace(
+            "random.random()",
+            "random.random()  # repro-lint: ignore[RL002] -- reviewed",
+        )
+    path = tmp_path / name
+    path.write_text(source)
+    return path
+
+
+class TestMatching:
+    def test_absorbed_new_and_stale_partition(self, tmp_path):
+        path = write_violation(tmp_path)
+        findings = run_lint([path]).findings
+        assert len(findings) == 1
+
+        baseline_path = tmp_path / "baseline.json"
+        write_baseline(baseline_path, findings)
+        match = match_baseline(findings, load_baseline(baseline_path))
+        assert match.ok
+        assert match.absorbed == {0}
+        assert match.new == [] and match.stale == []
+
+    def test_count_bounds_absorption(self, tmp_path):
+        # Two identical findings against a count-1 entry: one absorbed,
+        # one new -- an entry never soaks up duplicates of the bug.
+        path = write_violation(tmp_path)
+        single = run_lint([path]).findings
+        baseline_path = tmp_path / "baseline.json"
+        write_baseline(baseline_path, single)
+
+        doubled = single + single
+        match = match_baseline(doubled, load_baseline(baseline_path))
+        assert not match.ok
+        assert match.absorbed == {0}
+        assert len(match.new) == 1
+
+    def test_fixed_finding_makes_entry_stale(self, tmp_path):
+        path = write_violation(tmp_path)
+        baseline_path = tmp_path / "baseline.json"
+        write_baseline(baseline_path, run_lint([path]).findings)
+
+        path.write_text("x = 1\n")  # bug fixed, entry still recorded
+        match = match_baseline(
+            run_lint([path]).findings, load_baseline(baseline_path)
+        )
+        assert not match.ok
+        assert match.new == []
+        assert len(match.stale) == 1
+        rule, _, _, count = match.stale[0]
+        assert (rule, count) == ("RL002", 1)
+
+    def test_suppression_wins_over_baseline_and_stales_it(self, tmp_path):
+        # A reviewed per-line ignore removes the finding *before*
+        # baseline matching, so the entry turns stale and the ratchet
+        # demands the file shrink.
+        path = write_violation(tmp_path)
+        baseline_path = tmp_path / "baseline.json"
+        write_baseline(baseline_path, run_lint([path]).findings)
+
+        write_violation(tmp_path, suppressed=True)
+        findings = run_lint([path]).findings
+        assert findings == []  # suppression won
+        match = match_baseline(findings, load_baseline(baseline_path))
+        assert match.new == []
+        assert len(match.stale) == 1
+
+    def test_rejects_malformed_and_wrong_version_files(self, tmp_path):
+        bad = tmp_path / "baseline.json"
+        bad.write_text("{not json")
+        with pytest.raises(ReproError, match="cannot read"):
+            load_baseline(bad)
+        bad.write_text(json.dumps({"version": 99, "findings": []}))
+        with pytest.raises(ReproError, match="version"):
+            load_baseline(bad)
+
+    def test_render_is_sorted_and_counted(self, tmp_path):
+        path = write_violation(tmp_path)
+        findings = run_lint([path]).findings
+        payload = json.loads(render_baseline(findings + findings))
+        assert payload["version"] == 1
+        assert payload["findings"][0]["count"] == 2
+
+
+class TestCLI:
+    def test_baseline_absorbs_and_exits_zero(self, tmp_path, capsys):
+        path = write_violation(tmp_path)
+        baseline_path = tmp_path / "baseline.json"
+        assert (
+            cli_main(
+                [
+                    "lint",
+                    str(path),
+                    "--baseline",
+                    str(baseline_path),
+                    "--update-baseline",
+                ]
+            )
+            == 0
+        )
+        capsys.readouterr()
+        code = cli_main(
+            ["lint", str(path), "--baseline", str(baseline_path)]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "0 findings" in out  # absorbed debt is not re-reported
+
+    def test_new_finding_fails_despite_baseline(self, tmp_path, capsys):
+        path = write_violation(tmp_path)
+        baseline_path = tmp_path / "baseline.json"
+        cli_main(
+            [
+                "lint",
+                str(path),
+                "--baseline",
+                str(baseline_path),
+                "--update-baseline",
+            ]
+        )
+        capsys.readouterr()
+        other = write_violation(tmp_path, name="other.py")
+        code = cli_main(
+            [
+                "lint",
+                str(path),
+                str(other),
+                "--baseline",
+                str(baseline_path),
+            ]
+        )
+        out = capsys.readouterr().out
+        assert code == 1
+        assert "other.py" in out
+
+    def test_stale_entry_fails_and_points_at_update(self, tmp_path, capsys):
+        path = write_violation(tmp_path)
+        baseline_path = tmp_path / "baseline.json"
+        cli_main(
+            [
+                "lint",
+                str(path),
+                "--baseline",
+                str(baseline_path),
+                "--update-baseline",
+            ]
+        )
+        path.write_text("x = 1\n")
+        capsys.readouterr()
+        code = cli_main(
+            ["lint", str(path), "--baseline", str(baseline_path)]
+        )
+        captured = capsys.readouterr()
+        assert code == 1
+        assert "stale baseline entry" in captured.err
+        assert "--update-baseline" in captured.err
+
+    def test_update_baseline_requires_baseline_path(self, tmp_path, capsys):
+        path = write_violation(tmp_path)
+        code = cli_main(["lint", str(path), "--update-baseline"])
+        assert code == 2
+        assert "requires --baseline" in capsys.readouterr().err
+
+
+class TestPathNormalization:
+    """The satellite fix: ``./`` and absolute spellings match allowlists."""
+
+    DIRECT_ACCESS = """
+    def probe(source):
+        return source.sorted_access()
+    """
+
+    def _write(self, tmp_path, rel):
+        path = tmp_path / rel
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(textwrap.dedent(self.DIRECT_ACCESS))
+        return path
+
+    @pytest.mark.parametrize("spelling", ["relative", "dot", "absolute"])
+    def test_allowlisted_path_recognized_in_all_spellings(
+        self, tmp_path, monkeypatch, capsys, spelling
+    ):
+        # tests/* is on RL001's allowlist: the direct access is legal
+        # there no matter how the CLI names the file.
+        self._write(tmp_path, "tests/fixture.py")
+        monkeypatch.chdir(tmp_path)
+        arg = {
+            "relative": "tests/fixture.py",
+            "dot": "./tests/fixture.py",
+            "absolute": str(tmp_path / "tests" / "fixture.py"),
+        }[spelling]
+        code = cli_main(["lint", arg, "--select", "RL001"])
+        out = capsys.readouterr().out
+        assert code == 0, out
+
+    @pytest.mark.parametrize("spelling", ["relative", "dot", "absolute"])
+    def test_violation_still_caught_in_all_spellings(
+        self, tmp_path, monkeypatch, capsys, spelling
+    ):
+        self._write(tmp_path, "app/engine.py")
+        monkeypatch.chdir(tmp_path)
+        arg = {
+            "relative": "app/engine.py",
+            "dot": "./app/engine.py",
+            "absolute": str(tmp_path / "app" / "engine.py"),
+        }[spelling]
+        code = cli_main(["lint", arg, "--select", "RL001"])
+        out = capsys.readouterr().out
+        assert code == 1
+        assert "RL001" in out
+
+    def test_baseline_is_portable_across_working_directories(
+        self, tmp_path, monkeypatch, capsys
+    ):
+        # A baseline recorded with in-repo relative spellings must absorb
+        # the same findings when the linter is later invoked from an
+        # unrelated cwd with absolute paths: entries are stored relative
+        # to the baseline file, not to whoever's cwd wrote them.
+        proj = tmp_path / "proj"
+        self._write(proj, "app/engine.py")
+        baseline = proj / "baseline.json"
+        monkeypatch.chdir(proj)
+        cli_main(
+            [
+                "lint",
+                "app/engine.py",
+                "--select",
+                "RL001",
+                "--baseline",
+                str(baseline),
+                "--update-baseline",
+            ]
+        )
+        capsys.readouterr()
+        elsewhere = tmp_path / "elsewhere"
+        elsewhere.mkdir()
+        monkeypatch.chdir(elsewhere)
+        code = cli_main(
+            [
+                "lint",
+                str(proj / "app" / "engine.py"),
+                "--select",
+                "RL001",
+                "--baseline",
+                str(baseline),
+            ]
+        )
+        out = capsys.readouterr().out
+        assert code == 0, out
+        assert "0 findings" in out

@@ -1,0 +1,524 @@
+"""The deep lint pass: project model, dataflow provenance, RL101-RL105.
+
+Fixtures build miniature ``repro`` package trees on disk (module names
+resolve by walking ``__init__.py`` markers), trip each deep rule through
+genuinely flow-sensitive paths -- aliased receivers, helper returns,
+attribute stores, cross-module inheritance -- and pin the clean
+counterexamples. The suite ends with the self-checks CI runs: the deep
+pass over ``src/repro`` must be clean modulo the committed baseline, and
+an injected violation must fail the ratchet.
+"""
+
+import textwrap
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.cli import main as cli_main
+from repro.lint import registered_deep_rules, registered_rules, run_lint
+from repro.lint.baseline import load_baseline, match_baseline, render_baseline
+from repro.lint.deep import build_project, module_name_for
+from repro.lint.core import ModuleContext, load_module
+
+BASELINE = "lint-baseline.json"
+
+
+def write_tree(tmp_path, files):
+    """Materialize a fixture package tree; return the root path."""
+    for rel, source in files.items():
+        path = tmp_path / rel
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(textwrap.dedent(source))
+    return tmp_path
+
+
+def deep_findings(tmp_path, files, select=None):
+    root = write_tree(tmp_path, files)
+    return run_lint([root], select=select, deep=True).findings
+
+
+def pkg(files):
+    """Add the ``__init__.py`` markers a repro-shaped fixture needs."""
+    tree = dict(files)
+    for rel in list(files):
+        parts = rel.split("/")[:-1]
+        for depth in range(1, len(parts) + 1):
+            tree.setdefault("/".join(parts[:depth]) + "/__init__.py", "")
+    return tree
+
+
+class TestRegistries:
+    def test_deep_rules_are_separate_from_shallow(self):
+        assert set(registered_deep_rules()) == {
+            "RL101",
+            "RL102",
+            "RL103",
+            "RL104",
+            "RL105",
+        }
+        # The shallow registry is untouched by the deep pass.
+        assert set(registered_rules()) == {
+            "RL001",
+            "RL002",
+            "RL003",
+            "RL004",
+            "RL005",
+        }
+
+    def test_deep_rules_require_deep_flag(self, tmp_path):
+        (tmp_path / "m.py").write_text("x = 1\n")
+        with pytest.raises(ValueError, match="--deep"):
+            run_lint([tmp_path], select=["RL102"])
+        report = run_lint([tmp_path], select=["RL102"], deep=True)
+        assert report.rules_run == ["RL102"]
+
+    def test_shallow_run_never_invokes_deep_rules(self, tmp_path):
+        files = pkg(
+            {
+                "repro/app.py": """
+                import random
+
+                def main():
+                    return random.Random(7)
+                """
+            }
+        )
+        root = write_tree(tmp_path, files)
+        shallow = run_lint([root])
+        assert "RL102" not in {f.rule for f in shallow.findings}
+
+
+class TestProjectModel:
+    def test_module_names_walk_package_markers(self, tmp_path):
+        write_tree(
+            tmp_path,
+            pkg({"repro/sources/middleware.py": "x = 1\n"}),
+        )
+        path = tmp_path / "repro" / "sources" / "middleware.py"
+        assert module_name_for(path) == "repro.sources.middleware"
+
+    def test_call_graph_and_witness_paths(self, tmp_path):
+        files = pkg(
+            {
+                "repro/a.py": """
+                from repro.b import helper
+
+                def entry():
+                    return helper()
+                """,
+                "repro/b.py": """
+                def helper():
+                    return leaf()
+
+                def leaf():
+                    return 1
+                """,
+            }
+        )
+        root = write_tree(tmp_path, files)
+        modules = [
+            m
+            for m in (load_module(p) for p in sorted(root.rglob("*.py")))
+            if isinstance(m, ModuleContext)
+        ]
+        project = build_project(modules)
+        parents = project.reachable_from(["repro.a.entry"])
+        assert "repro.b.leaf" in parents
+        assert project.witness_path(parents, "repro.b.leaf") == [
+            "repro.a.entry",
+            "repro.b.helper",
+            "repro.b.leaf",
+        ]
+
+    def test_relative_imports_resolve_to_absolute_names(self, tmp_path):
+        files = pkg(
+            {
+                "repro/determinism.py": """
+                def derive_rng(seed):
+                    return seed
+                """,
+                "repro/faults/retry.py": """
+                from ..determinism import derive_rng
+
+                def fresh():
+                    return derive_rng(3)
+                """,
+            }
+        )
+        root = write_tree(tmp_path, files)
+        modules = [load_module(p) for p in sorted(root.rglob("*.py"))]
+        project = build_project(modules)
+        assert (
+            "repro.determinism.derive_rng"
+            in project.call_graph["repro.faults.retry.fresh"]
+        )
+
+
+class TestRL101SourceEscape:
+    def test_aliased_raw_source_behind_middleware_name(self, tmp_path):
+        # RL001's name heuristic trusts the receiver spelling "mw"; the
+        # provenance engine knows the value is a raw source.
+        files = pkg(
+            {
+                "repro/engine.py": """
+                from repro.sources.simulated import SimulatedSource
+
+                def run():
+                    mw = SimulatedSource()
+                    return mw.sorted_access()
+                """
+            }
+        )
+        findings = deep_findings(tmp_path, files, select=["RL101"])
+        assert [f.rule for f in findings] == ["RL101"]
+        assert "raw source by provenance" in findings[0].message
+
+    def test_source_list_escapes_into_algorithm_call(self, tmp_path):
+        files = pkg(
+            {
+                "repro/algorithms/ta.py": """
+                def run_ta(sources, k):
+                    return sources, k
+                """,
+                "repro/driver.py": """
+                from repro.algorithms.ta import run_ta
+                from repro.sources.simulated import sources_for
+
+                def main():
+                    srcs = sources_for(None)
+                    return run_ta(srcs, 2)
+                """,
+            }
+        )
+        findings = deep_findings(tmp_path, files, select=["RL101"])
+        assert [f.rule for f in findings] == ["RL101"]
+        assert "escapes uncharged into repro.algorithms.ta.run_ta" in (
+            findings[0].message
+        )
+
+    def test_middleware_wrapping_consumes_the_taint(self, tmp_path):
+        files = pkg(
+            {
+                "repro/algorithms/ta.py": """
+                def run_ta(sources, k):
+                    return sources, k
+                """,
+                "repro/driver.py": """
+                from repro.algorithms.ta import run_ta
+                from repro.sources.middleware import Middleware
+                from repro.sources.simulated import sources_for
+
+                def main():
+                    srcs = sources_for(None)
+                    mw = Middleware(srcs)
+                    return run_ta(mw, 2)
+                """,
+            }
+        )
+        assert deep_findings(tmp_path, files, select=["RL101"]) == []
+
+
+class TestRL102RngProvenance:
+    def test_rng_threaded_through_two_calls_reaches_core(self, tmp_path):
+        # The acceptance fixture: construction in one helper, identity
+        # pass-through in another, escape into repro.core two calls
+        # later. Only interprocedural summaries can connect them.
+        files = pkg(
+            {
+                "repro/helpers.py": """
+                import random
+
+                def make_rng(seed):
+                    return random.Random(seed)
+
+                def pass_through(rng):
+                    return rng
+                """,
+                "repro/core/framework.py": """
+                def run(k, rng):
+                    return k, rng
+                """,
+                "repro/app.py": """
+                from repro.core.framework import run
+                from repro.helpers import make_rng, pass_through
+
+                def main():
+                    rng = pass_through(make_rng(7))
+                    return run(2, rng)
+                """,
+            }
+        )
+        findings = deep_findings(tmp_path, files, select=["RL102"])
+        escapes = [
+            f for f in findings if "reaches repro.core.framework.run" in f.message
+        ]
+        assert len(escapes) == 1
+        assert escapes[0].path.endswith("app.py")
+        # The construction site itself is also flagged (helpers.py is
+        # not a sanctioned randomness root).
+        assert any(
+            f.path.endswith("helpers.py")
+            and "constructed outside repro.determinism" in f.message
+            for f in findings
+        )
+
+    def test_rng_alias_stored_on_attribute(self, tmp_path):
+        files = pkg(
+            {
+                "repro/engine.py": """
+                import random
+
+                class Engine:
+                    def setup(self, seed):
+                        r = random.Random(seed)
+                        tmp = r
+                        self.rng = tmp
+                """
+            }
+        )
+        findings = deep_findings(tmp_path, files, select=["RL102"])
+        stores = [f for f in findings if "stored on self.rng" in f.message]
+        assert len(stores) == 1
+
+    def test_derive_rng_idiom_is_clean(self, tmp_path):
+        files = pkg(
+            {
+                "repro/determinism.py": """
+                import random
+
+                def derive_rng(seed):
+                    return random.Random(seed)
+                """,
+                "repro/core/framework.py": """
+                def run(k, rng):
+                    return k, rng
+                """,
+                "repro/app.py": """
+                from repro.core.framework import run
+                from repro.determinism import derive_rng
+
+                def main():
+                    rng = derive_rng(5)
+                    return run(2, rng)
+                """,
+            }
+        )
+        assert deep_findings(tmp_path, files, select=["RL102"]) == []
+
+    def test_refactored_faults_module_has_zero_false_positives(self):
+        # The satellite fix routed the injector and retry jitter through
+        # derive_rng; the provenance rule must agree they are sanctioned.
+        report = run_lint(
+            ["src/repro/faults", "src/repro/determinism.py"],
+            select=["RL102"],
+            deep=True,
+        )
+        assert report.findings == []
+
+
+class TestRL103SharedState:
+    def test_ranked_inventory_with_ownership_markers(self, tmp_path):
+        files = pkg(
+            {
+                "repro/parallel/executor.py": """
+                class Executor:
+                    def __init__(self):
+                        self.jobs = []
+
+                    def execute(self, job):
+                        self.jobs.append(job)
+                        self.jobs.append(job)
+                        self.done = True
+                        self.owned = 1  # repro-ownership: executor loop
+
+                    def fanout(self, job):
+                        self.jobs.append(job)
+                """
+            }
+        )
+        findings = deep_findings(tmp_path, files, select=["RL103"])
+        messages = [f.message for f in findings]
+        # jobs: 3 unmarked sites (rank 1); done: 1 site (rank 2);
+        # owned: marked, absent; __init__ store: construction, absent.
+        assert len(findings) == 2
+        assert any("[rank 1]" in m and ".jobs mutated at 3" in m for m in messages)
+        assert any("[rank 2]" in m and ".done mutated at 1" in m for m in messages)
+        assert not any(".owned" in m for m in messages)
+
+    def test_reachability_through_cross_module_inheritance(self, tmp_path):
+        # The executor inherits charge() from shared middleware code;
+        # the mutation is two modules away from the root entry point.
+        files = pkg(
+            {
+                "repro/sources/middleware.py": """
+                class Metered:
+                    def charge(self):
+                        self.count = self.count + 1
+                """,
+                "repro/parallel/executor.py": """
+                from repro.sources.middleware import Metered
+
+                class Executor(Metered):
+                    def run(self):
+                        self.charge()
+                """,
+            }
+        )
+        findings = deep_findings(tmp_path, files, select=["RL103"])
+        assert len(findings) == 1
+        assert "Metered.count" in findings[0].message
+        assert "Executor.run" in findings[0].message  # witness chain
+
+    def test_unreachable_mutations_not_inventoried(self, tmp_path):
+        files = pkg(
+            {
+                "repro/sources/middleware.py": """
+                class Metered:
+                    def charge(self):
+                        self.count = self.count + 1
+                """
+            }
+        )
+        assert deep_findings(tmp_path, files, select=["RL103"]) == []
+
+
+class TestRL104ClockDiscipline:
+    def test_wall_clock_reachable_from_virtual_time(self, tmp_path):
+        # The RL002 waiver covers the spelling; reachability from the
+        # virtual-time executor is a separate obligation.
+        files = pkg(
+            {
+                "repro/util.py": """
+                import time
+
+                def stamp():
+                    return time.time()  # repro-lint: ignore[RL002] -- bench only
+                """,
+                "repro/parallel/executor.py": """
+                from repro.util import stamp
+
+                class Executor:
+                    def tick(self):
+                        return stamp()
+                """,
+            }
+        )
+        findings = deep_findings(tmp_path, files)
+        rules = {f.rule for f in findings}
+        assert "RL104" in rules
+        assert "RL002" not in rules  # the per-line waiver held
+        rl104 = [f for f in findings if f.rule == "RL104"][0]
+        assert "repro.parallel.executor.Executor.tick -> repro.util.stamp" in (
+            rl104.message
+        )
+
+    def test_unreachable_wall_clock_not_flagged_by_rl104(self, tmp_path):
+        files = pkg(
+            {
+                "repro/util.py": """
+                import time
+
+                def stamp():
+                    return time.time()  # repro-lint: ignore[RL002] -- bench only
+                """,
+                "repro/parallel/executor.py": """
+                class Executor:
+                    def tick(self):
+                        return 0
+                """,
+            }
+        )
+        assert deep_findings(tmp_path, files, select=["RL104"]) == []
+
+
+class TestRL105AccountingParity:
+    def test_unpaired_budget_raise_flagged_paired_clean(self, tmp_path):
+        files = pkg(
+            {
+                "repro/service/server.py": """
+                from repro.exceptions import BudgetExceededError
+
+                class Server:
+                    def reject(self):
+                        raise BudgetExceededError("over")
+
+                    def reject_counted(self):
+                        self.metrics.inc("repro_budget_rejections_total")
+                        raise BudgetExceededError("over")
+                """
+            }
+        )
+        findings = deep_findings(tmp_path, files, select=["RL105"])
+        assert len(findings) == 1
+        assert "raise BudgetExceededError" in findings[0].message
+
+    def test_partial_true_and_record_cached_need_emissions(self, tmp_path):
+        files = pkg(
+            {
+                "repro/core/framework.py": """
+                class Framework:
+                    def annotate(self, result):
+                        result.partial = True
+
+                    def annotate_traced(self, result):
+                        result.partial = True
+                        self.trace.emit("degraded", 0)
+                """,
+                "repro/sources/cache.py": """
+                class Cache:
+                    def absorb(self, access):
+                        self.stats.record_cached(access)
+                """,
+            }
+        )
+        findings = deep_findings(tmp_path, files, select=["RL105"])
+        messages = sorted(f.message for f in findings)
+        assert len(findings) == 2
+        assert any("partial = True" in m for m in messages)
+        assert any("record_cached" in m for m in messages)
+
+
+class TestSelfLint:
+    def test_deep_pass_clean_modulo_committed_baseline(self):
+        report = run_lint(["src/repro"], deep=True)
+        match = match_baseline(report.findings, load_baseline(Path(BASELINE)))
+        assert match.new == [], [f.format() for f in match.new]
+        assert match.stale == []
+
+    def test_deep_pass_stays_within_wall_time_budget(self):
+        start = time.perf_counter()
+        run_lint(["src/repro"], deep=True)
+        elapsed = time.perf_counter() - start
+        assert elapsed < 30.0, f"deep pass took {elapsed:.1f}s (budget 30s)"
+
+    def test_injected_violation_fails_the_ratchet(self, tmp_path, capsys):
+        # A fresh RL102 violation outside the baseline must exit nonzero
+        # even with the committed baseline supplied.
+        extra = tmp_path / "repro" / "rogue.py"
+        extra.parent.mkdir(parents=True)
+        (tmp_path / "repro" / "__init__.py").write_text("")
+        extra.write_text(
+            "import random\n\n\ndef bad(seed):\n"
+            "    return random.Random(seed)\n"
+        )
+        code = cli_main(
+            [
+                "lint",
+                "src/repro",
+                str(extra),
+                "--deep",
+                "--baseline",
+                BASELINE,
+            ]
+        )
+        out = capsys.readouterr().out
+        assert code == 1
+        assert "RL102" in out
+        assert "rogue.py" in out
+
+    def test_committed_baseline_matches_current_findings_exactly(self):
+        # Regenerating the baseline in-memory must reproduce the
+        # committed file byte for byte (ratchet is up to date).
+        report = run_lint(["src/repro"], deep=True)
+        assert render_baseline(report.findings) == Path(BASELINE).read_text()

@@ -1,0 +1,234 @@
+"""SARIF reporter: structure, rule metadata, baselineState, CLI round-trip.
+
+Structural assertions always run; when ``jsonschema`` is importable the
+output is additionally validated against an embedded subset of the SARIF
+2.1.0 schema (the fields code-scanning UIs actually consume -- the full
+OASIS schema is remote and CI runs offline).
+"""
+
+import json
+import textwrap
+
+import pytest
+
+from repro.cli import main as cli_main
+from repro.lint import run_lint, sarif_report
+from repro.lint.baseline import load_baseline, match_baseline, write_baseline
+
+#: Subset of the SARIF 2.1.0 schema covering every field we emit.
+SARIF_SUBSET_SCHEMA = {
+    "type": "object",
+    "required": ["version", "runs"],
+    "properties": {
+        "version": {"const": "2.1.0"},
+        "$schema": {"type": "string"},
+        "runs": {
+            "type": "array",
+            "minItems": 1,
+            "items": {
+                "type": "object",
+                "required": ["tool", "results"],
+                "properties": {
+                    "tool": {
+                        "type": "object",
+                        "required": ["driver"],
+                        "properties": {
+                            "driver": {
+                                "type": "object",
+                                "required": ["name"],
+                                "properties": {
+                                    "name": {"type": "string"},
+                                    "rules": {
+                                        "type": "array",
+                                        "items": {
+                                            "type": "object",
+                                            "required": ["id"],
+                                        },
+                                    },
+                                },
+                            }
+                        },
+                    },
+                    "results": {
+                        "type": "array",
+                        "items": {
+                            "type": "object",
+                            "required": ["ruleId", "message", "locations"],
+                            "properties": {
+                                "ruleId": {"type": "string"},
+                                "level": {
+                                    "enum": [
+                                        "none",
+                                        "note",
+                                        "warning",
+                                        "error",
+                                    ]
+                                },
+                                "baselineState": {
+                                    "enum": [
+                                        "new",
+                                        "unchanged",
+                                        "updated",
+                                        "absent",
+                                    ]
+                                },
+                                "message": {
+                                    "type": "object",
+                                    "required": ["text"],
+                                },
+                                "locations": {
+                                    "type": "array",
+                                    "items": {
+                                        "type": "object",
+                                        "required": ["physicalLocation"],
+                                    },
+                                },
+                            },
+                        },
+                    },
+                },
+            },
+        },
+    },
+}
+
+VIOLATION = """
+import random
+
+def jitter():
+    return random.random()
+"""
+
+
+def write_violation(tmp_path, name="mod.py"):
+    path = tmp_path / name
+    path.write_text(textwrap.dedent(VIOLATION))
+    return path
+
+
+def validate_subset(doc):
+    """Schema-validate when jsonschema is available (skipped offline CI)."""
+    jsonschema = pytest.importorskip("jsonschema")
+    jsonschema.validate(doc, SARIF_SUBSET_SCHEMA)
+
+
+class TestSarifReport:
+    def test_structure_and_rule_metadata(self, tmp_path):
+        path = write_violation(tmp_path)
+        report = run_lint([path])
+        doc = json.loads(sarif_report(report))
+        assert doc["version"] == "2.1.0"
+        run = doc["runs"][0]
+        assert run["tool"]["driver"]["name"] == "repro-lint"
+        rule_ids = [r["id"] for r in run["tool"]["driver"]["rules"]]
+        assert rule_ids == report.rules_run
+        by_id = {r["id"]: r for r in run["tool"]["driver"]["rules"]}
+        assert "shortDescription" in by_id["RL002"]
+        result = run["results"][0]
+        assert result["ruleId"] == "RL002"
+        region = result["locations"][0]["physicalLocation"]["region"]
+        assert region["startLine"] == run_lint([path]).findings[0].line
+
+    def test_deep_run_carries_rl1xx_metadata(self, tmp_path):
+        path = write_violation(tmp_path)
+        report = run_lint([path], deep=True)
+        doc = json.loads(sarif_report(report))
+        rule_ids = {
+            r["id"] for r in doc["runs"][0]["tool"]["driver"]["rules"]
+        }
+        assert {"RL101", "RL102", "RL103", "RL104", "RL105"} <= rule_ids
+
+    def test_baseline_state_partitions_results(self, tmp_path):
+        old = write_violation(tmp_path, "old.py")
+        baseline_path = tmp_path / "baseline.json"
+        write_baseline(baseline_path, run_lint([old]).findings)
+        new = write_violation(tmp_path, "new.py")
+
+        report = run_lint([new, old])
+        match = match_baseline(
+            report.findings, load_baseline(baseline_path)
+        )
+        doc = json.loads(sarif_report(report, baselined=match.absorbed))
+        states = {
+            result["locations"][0]["physicalLocation"][
+                "artifactLocation"
+            ]["uri"]: result["baselineState"]
+            for result in doc["runs"][0]["results"]
+        }
+        assert states[str(new)] == "new"
+        assert states[str(old)] == "unchanged"
+
+    def test_schema_validation_clean_and_dirty(self, tmp_path):
+        path = write_violation(tmp_path)
+        validate_subset(json.loads(sarif_report(run_lint([path]))))
+        clean = tmp_path / "clean.py"
+        clean.write_text("x = 1\n")
+        validate_subset(json.loads(sarif_report(run_lint([clean]))))
+
+
+class TestSarifCLI:
+    def test_format_sarif_round_trips_through_stdout(
+        self, tmp_path, capsys
+    ):
+        path = write_violation(tmp_path)
+        code = cli_main(["lint", str(path), "--format", "sarif"])
+        out = capsys.readouterr().out
+        assert code == 1
+        doc = json.loads(out)
+        validate_subset(doc)
+        assert doc["runs"][0]["results"][0]["ruleId"] == "RL002"
+
+    def test_sarif_with_baseline_keeps_all_results_marked(
+        self, tmp_path, capsys
+    ):
+        # Unlike text/JSON (which drop absorbed findings), SARIF keeps
+        # the full result set and marks baselineState so scanning UIs
+        # see the debt too.
+        path = write_violation(tmp_path)
+        baseline_path = tmp_path / "baseline.json"
+        cli_main(
+            [
+                "lint",
+                str(path),
+                "--baseline",
+                str(baseline_path),
+                "--update-baseline",
+            ]
+        )
+        capsys.readouterr()
+        code = cli_main(
+            [
+                "lint",
+                str(path),
+                "--format",
+                "sarif",
+                "--baseline",
+                str(baseline_path),
+            ]
+        )
+        out = capsys.readouterr().out
+        assert code == 0  # absorbed -> ratchet clean
+        results = json.loads(out)["runs"][0]["results"]
+        assert [r["baselineState"] for r in results] == ["unchanged"]
+
+    def test_self_sarif_over_repo_validates(self, capsys):
+        code = cli_main(
+            [
+                "lint",
+                "src/repro",
+                "--deep",
+                "--format",
+                "sarif",
+                "--baseline",
+                "lint-baseline.json",
+            ]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        doc = json.loads(out)
+        validate_subset(doc)
+        # Every committed-baseline finding is marked as known debt.
+        states = {
+            r["baselineState"] for r in doc["runs"][0]["results"]
+        }
+        assert states <= {"unchanged"}
