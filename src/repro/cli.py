@@ -389,18 +389,46 @@ def _cmd_serve(args) -> int:
             seed=args.seed,
             contracts=args.contracts,
             retry_policy=retry_policy,
+            concurrent_queries=args.concurrent_queries,
+            time_scale=args.time_scale,
         )
     except ValueError as exc:
         raise ReproError(str(exc)) from exc
     trace = TraceRecorder() if args.trace else None
-    server = QueryServer(
-        model, cache=cache, schema=schema, config=config, trace=trace
-    )
-    if args.socket:
-        print(f"serving on {args.socket}", file=sys.stderr)
-        serve_socket(server, args.socket)
+    if args.tcp:
+        from repro.service import AsyncQueryServer, TcpQueryService
+
+        host, _, port_text = args.tcp.rpartition(":")
+        try:
+            port = int(port_text)
+        except ValueError as exc:
+            raise ReproError(
+                f"--tcp expects HOST:PORT, got {args.tcp!r}"
+            ) from exc
+        server = AsyncQueryServer(
+            model, cache=cache, schema=schema, config=config, trace=trace
+        )
+
+        async def _serve_tcp() -> None:
+            service = TcpQueryService(
+                server, host=host or "127.0.0.1", port=port
+            )
+            bound_host, bound_port = await service.start()
+            print(f"serving on {bound_host}:{bound_port}", file=sys.stderr)
+            await service.serve_forever()
+
+        import asyncio
+
+        asyncio.run(_serve_tcp())
     else:
-        serve_stream(server, sys.stdin, sys.stdout)
+        server = QueryServer(
+            model, cache=cache, schema=schema, config=config, trace=trace
+        )
+        if args.socket:
+            print(f"serving on {args.socket}", file=sys.stderr)
+            serve_socket(server, args.socket)
+        else:
+            serve_stream(server, sys.stdin, sys.stdout)
     snapshot = server.stats()
     print(
         f"served {snapshot['completed']} queries "
@@ -636,6 +664,33 @@ def build_parser() -> argparse.ArgumentParser:
         "--socket",
         default=None,
         help="serve on a unix socket at this path instead of stdio",
+    )
+    serve_parser.add_argument(
+        "--tcp",
+        default=None,
+        metavar="HOST:PORT",
+        help=(
+            "serve multiple concurrent clients over TCP with the async "
+            "runtime (docs/RUNTIME.md); port 0 picks a free one"
+        ),
+    )
+    serve_parser.add_argument(
+        "--concurrent-queries",
+        type=int,
+        default=1,
+        help=(
+            "sessions executing at once on the async (--tcp) server; "
+            "1 keeps answers byte-identical to the sync path (default 1)"
+        ),
+    )
+    serve_parser.add_argument(
+        "--time-scale",
+        type=float,
+        default=0.0,
+        help=(
+            "real seconds per unit of virtual access latency on the async "
+            "server; 0 never sleeps (default 0)"
+        ),
     )
     add_fault_flags(serve_parser)
     add_contracts_flag(serve_parser)

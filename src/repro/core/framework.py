@@ -309,6 +309,21 @@ class FrameworkNC:
         if self._bound_only or self._unseen_abandoned:
             result.partial = True
             result.uncertainty = dict(self._bound_only)
+            # Degraded answers must be visible to the obs ledger (RL105):
+            # a bound-only result leaves a counted reason, not a silent
+            # flag only the caller ever sees.
+            metrics = self.middleware.metrics
+            if metrics is not None:
+                metrics.inc(
+                    "repro_partial_results_total",
+                    reason=(
+                        "budget"
+                        if self._budget_blocked
+                        else "unseen_abandoned"
+                        if not self._bound_only
+                        else "bound_only"
+                    ),
+                )
             reasons = [
                 f"object {obj}: score proven only within [{lo:g}, {hi:g}]"
                 for obj, (lo, hi) in self._bound_only.items()

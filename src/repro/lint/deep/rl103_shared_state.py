@@ -31,11 +31,12 @@ from repro.lint.deep.model import FunctionInfo, ProjectModel
 
 #: Entry points of the concurrent runtime: everything reachable from
 #: here may run interleaved once the async refactor lands.
-_ROOT_PATHS = ("parallel/*", "service/*")
+_ROOT_PATHS = ("parallel/*", "runtime/*", "service/*")
 
 #: Shared infrastructure whose instance state the audit inventories.
 _SHARED_PATHS = (
     "parallel/*",
+    "runtime/*",
     "service/*",
     "sources/middleware.py",
     "sources/cache.py",

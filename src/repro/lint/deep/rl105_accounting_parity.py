@@ -41,6 +41,7 @@ _ACCOUNTING_PATHS = (
     "service/*",
     "core/framework.py",
     "parallel/executor.py",
+    "runtime/*",
 )
 
 #: Raised exceptions that represent rejected-but-chargeable work.

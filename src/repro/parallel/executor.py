@@ -11,9 +11,15 @@ clock and folds in all results at the barrier.
 Two speculation modes trade elapsed time against total cost:
 
 * ``"none"`` (default): a target joins a wave only with the exact access
-  the sequential policy picks for it. Total cost stays essentially equal
-  to the sequential plan's; the speedup is bounded by the plan's natural
-  width (concurrent streams plus independent probes).
+  the sequential policy picks for it. Total cost is *boundedly* above the
+  sequential plan's -- equal whenever ``c == 1`` or ``k == 1``, and
+  otherwise within ``(min(c, k) - 1) * c_max`` extra per wave: every wave
+  access is Theorem-1-justified for *its* target, but positions 2..k of
+  the top-k can be proven unnecessary by position 1's outcome, which the
+  wave has already paid for (see ``tests/test_parallel.py``'s pinned
+  counterexample: an extra ``ra_0(0)`` at ``c=2``, cost 5.0 -> 6.0). The
+  speedup is bounded by the plan's natural width (concurrent streams
+  plus independent probes).
 * ``"eager"``: leftover slots are packed with second-choice accesses of
   the same targets. Elapsed time keeps dropping with ``c``, at the price
   of accesses the sequential plan may prove unnecessary.
@@ -22,7 +28,7 @@ Two speculation modes trade elapsed time against total cost:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional
+from typing import Optional, Union
 
 from repro.core.choices import necessary_choices
 from repro.core.framework import FrameworkNC
@@ -172,15 +178,18 @@ class ParallelExecutor(FrameworkNC):
                     used_sorted.add(access.predicate)
                 progressed = True
 
-    def execute(self) -> ParallelResult:
-        """Run the query to completion under the concurrency bound.
+    def _plan_next_wave(
+        self,
+    ) -> Union[ParallelResult, tuple[list[Access], list[tuple[int, float]]]]:
+        """Advance bookkeeping to the next wave -- or to the finish line.
 
-        Source outages degrade the run instead of crashing it: targets
-        whose remaining accesses all sit behind open circuit breakers are
-        answered bound-only, mirroring the sequential engine's contract
-        (docs/FAULTS.md).
+        Pops the current top-k, degrades unrefinable targets, and either
+        declares the run finished (returning the completed
+        :class:`ParallelResult`) or plans the next wave's access batch,
+        returning ``(batch, popped)`` for :meth:`_fold_wave`. Split out of
+        :meth:`execute` so the async engine can await the wave's makespan
+        between planning and folding while sharing every decision.
         """
-        self._prepare()
         while True:
             popped = self._collect_topk()
             workable: list[int] = []
@@ -211,24 +220,49 @@ class ParallelExecutor(FrameworkNC):
                 )
             batch = self._plan_wave(workable)
             assert batch, "refinable top-k objects always admit an access"
+            return batch, popped
+
+    def _fold_wave(
+        self,
+        batch: list[Access],
+        popped: list[tuple[int, float]],
+        durations: list[float],
+    ) -> None:
+        """Apply one planned wave's results and advance the clocks."""
+        # Fold results in randoms-first: a concurrent sa_i may deliver an
+        # object the same wave also probed on i, and applying the probe
+        # after the delivery would look like a duplicate fetch.
+        for access in sorted(batch, key=lambda acc: acc.is_sorted):
+            try:
+                self._apply(access)
+            except (RetryExhaustedError, SourceUnavailableError) as exc:
+                self._mark_fault(access, exc)
+            except BudgetExceededError as exc:
+                if not self.degrade_on_budget:
+                    raise
+                self._mark_fault(access, exc)
+                self._budget_blocked = True  # repro-ownership: per-query engine task
+        self.clock.run_wave(durations, self.concurrency)
+        self.waves += 1  # repro-ownership: per-query engine task
+        self._check_budget()
+        self._push_back(popped)
+
+    def execute(self) -> ParallelResult:
+        """Run the query to completion under the concurrency bound.
+
+        Source outages degrade the run instead of crashing it: targets
+        whose remaining accesses all sit behind open circuit breakers are
+        answered bound-only, mirroring the sequential engine's contract
+        (docs/FAULTS.md).
+        """
+        self._prepare()
+        while True:
+            step = self._plan_next_wave()
+            if isinstance(step, ParallelResult):
+                return step
+            batch, popped = step
             durations = [self.latency_model.duration(acc) for acc in batch]
-            # Fold results in randoms-first: a concurrent sa_i may deliver an
-            # object the same wave also probed on i, and applying the probe
-            # after the delivery would look like a duplicate fetch.
-            for access in sorted(batch, key=lambda acc: acc.is_sorted):
-                try:
-                    self._apply(access)
-                except (RetryExhaustedError, SourceUnavailableError) as exc:
-                    self._mark_fault(access, exc)
-                except BudgetExceededError as exc:
-                    if not self.degrade_on_budget:
-                        raise
-                    self._mark_fault(access, exc)
-                    self._budget_blocked = True
-            self.clock.run_wave(durations, self.concurrency)
-            self.waves += 1
-            self._check_budget()
-            self._push_back(popped)
+            self._fold_wave(batch, popped, durations)
 
     def run(self) -> QueryResult:
         """TopK-style entry point returning just the query result."""

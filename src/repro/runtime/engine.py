@@ -1,0 +1,284 @@
+"""The async NC engine: overlapped accesses with deterministic accounting.
+
+:class:`AsyncExecutor` is the :class:`~repro.parallel.ParallelExecutor`
+lifted onto the asyncio event loop. The *semantics* are unchanged -- what
+to access, what each access charges under Eq. 1, when Theorem 1 stops the
+run -- all of it still derives from the deterministic access-count tick
+clock and the virtual latency clock, never from wall time (RL104). What
+the event loop adds is *occupancy*: while this query waits out an
+access's latency through the :class:`~repro.runtime.pacing.Pacer`, other
+queries sharing the loop run, so independent accesses overlap in
+wall-clock time the way the paper's middleware setting assumes
+(Fagin-style sources probed concurrently).
+
+Two execution shapes, chosen by the concurrency bound:
+
+* ``concurrency == 1`` -- the *sequential shadow*: the engine replays
+  :meth:`FrameworkNC.answers <repro.core.framework.FrameworkNC.answers>`
+  decision for decision (same access sequence, same charges, same
+  metadata), pacing before each access. A run at concurrency 1 is
+  byte-identical to the sync engine; this is the determinism contract's
+  anchor (docs/RUNTIME.md) and what the async server serves by default.
+* ``concurrency > 1`` -- the *wave shadow*: the parallel executor's wave
+  loop, with the barrier realized as one awaited makespan instead of a
+  silent clock jump.
+
+Atomicity discipline: the **only** suspension points are the pacer waits.
+Everything that touches shared structures -- the middleware's
+charge-and-fetch against the cross-query SourceCache, breaker bookkeeping,
+metrics, trace emission -- runs in one synchronous section per access
+(or per wave), so two sessions can never interleave *inside* an access:
+the ``serves_free`` cache check and the Eq. 1 charge it guards are always
+observed together. Cancellation therefore only ever lands on a wait,
+between consistent states, which is what keeps the obs reconciliation
+invariant (charged + cached == recorded) intact for cancelled queries.
+"""
+
+from __future__ import annotations
+
+from typing import AsyncIterator, Awaitable, Callable, Optional
+
+from repro.core.framework import FrameworkNC, TraceStep
+from repro.core.policies import SelectContext, SelectPolicy
+from repro.core.tasks import UNSEEN
+from repro.exceptions import (
+    BudgetExceededError,
+    ReproError,
+    RetryExhaustedError,
+    SourceUnavailableError,
+)
+from repro.parallel.executor import ParallelExecutor, ParallelResult
+from repro.runtime.pacing import Pacer
+from repro.scoring.functions import ScoringFunction
+from repro.sources.latency import LatencyModel
+from repro.sources.middleware import Middleware
+from repro.types import Access, QueryResult, RankedObject
+
+#: Progressive-answer callback: awaited once per confirmed answer, in
+#: rank order, before processing continues.
+AnswerCallback = Callable[[RankedObject], Awaitable[None]]
+
+
+class AsyncExecutor(ParallelExecutor):
+    """NC engine variant whose latency waits yield to the event loop.
+
+    Args:
+        middleware: a fresh access layer (typically ``Middleware.warm``
+            over the server's shared cache).
+        fn: the monotone scoring function.
+        k: retrieval size.
+        policy: the Select strategy.
+        concurrency: accesses issued concurrently *within* this query;
+            ``1`` replays the sequential engine exactly.
+        latency_model: virtual per-access durations (defaults to
+            cost-proportional, as in the parallel executor).
+        speculation: wave-packing mode at ``concurrency > 1``.
+        degrade_on_budget: surface an exhausted budget as a flagged
+            partial answer instead of an exception (the serving default).
+        pacer: maps virtual durations onto real ``await``\\ s; the
+            default never sleeps (scale 0), so a standalone run is as
+            fast as the sync engine.
+    """
+
+    def __init__(
+        self,
+        middleware: Middleware,
+        fn: ScoringFunction,
+        k: int,
+        policy: SelectPolicy,
+        concurrency: int = 1,
+        latency_model: Optional[LatencyModel] = None,
+        speculation: str = "none",
+        degrade_on_budget: bool = False,
+        pacer: Optional[Pacer] = None,
+    ):
+        super().__init__(
+            middleware,
+            fn,
+            k,
+            policy,
+            concurrency=concurrency,
+            latency_model=latency_model,
+            speculation=speculation,
+            degrade_on_budget=degrade_on_budget,
+        )
+        self.pacer = pacer if pacer is not None else Pacer()
+
+    # ------------------------------------------------------------------
+    # Sequential shadow (concurrency == 1)
+    # ------------------------------------------------------------------
+
+    async def stream(self) -> AsyncIterator[RankedObject]:
+        """Stream confirmed answers progressively, best first.
+
+        The async mirror of :meth:`FrameworkNC.answers`: identical
+        decision sequence, with one pacer wait per access. Only defined
+        at concurrency 1 -- the wave shape has no per-answer confirmation
+        order until the Theorem-1 test passes for the whole top-k; use
+        :meth:`run_async` there.
+        """
+        if self.concurrency != 1:
+            raise ReproError(
+                "progressive streaming requires concurrency 1; "
+                f"this engine was built with concurrency {self.concurrency}"
+            )
+        self._prepare()
+        while True:
+            entry = self._heap.pop_current(self._priority_of)
+            if entry is None:
+                return
+            obj, bound = entry
+            all_seen = len(self.middleware.seen) >= self.middleware.n_objects
+            if obj == UNSEEN and (all_seen or self._unseen_abandoned):
+                self._in_heap.discard(UNSEEN)  # repro-ownership: per-query engine task
+                continue
+            if obj != UNSEEN and self.state.is_complete(obj):
+                yield RankedObject(obj, bound)
+                continue
+            if (
+                obj != UNSEEN
+                and self.theta > 1.0
+                and self._approximately_confirmed(obj)
+            ):
+                yield RankedObject(obj, self.state.lower_bound(obj))
+                continue
+            choices = self._usable_choices(obj)
+            if choices is None:
+                if obj == UNSEEN:
+                    self._abandon_unseen()
+                    continue
+                yield self._degrade(obj)
+                continue
+            await self._iterate_async(obj, choices)
+            self._heap.push(obj, self._priority_of(obj))
+
+    async def _iterate_async(
+        self, target: int, alternatives: list[Access]
+    ) -> None:
+        """One Figure-6 iteration with the latency awaited, not skipped.
+
+        The access is *selected* before the wait (on this query's private
+        score state, which no other task touches) and *performed* after
+        it, in one synchronous section: whether the cache serves it free
+        is decided at perform time, against whatever frontier concurrent
+        queries have built meanwhile -- exactly once, race-free.
+        """
+        ctx = SelectContext(
+            state=self.state, middleware=self.middleware, target=target
+        )
+        access = self.policy.select(alternatives, ctx)
+        if access not in alternatives:
+            raise ReproError(
+                f"policy {self.policy.describe()} selected {access}, which "
+                "is outside the offered alternatives"
+            )
+        duration = self.latency_model.duration(access)
+        await self.pacer.wait(duration)
+        try:
+            result: object = self._apply(access)
+        except (RetryExhaustedError, SourceUnavailableError) as exc:
+            self._mark_fault(access, exc)
+            result = exc
+        except BudgetExceededError as exc:
+            if not self.degrade_on_budget:
+                raise
+            self._mark_fault(access, exc)
+            self._budget_blocked = True  # repro-ownership: per-query engine task
+            result = exc
+        self.clock.advance(duration)
+        self.waves += 1  # repro-ownership: per-query engine task
+        self._steps += 1  # repro-ownership: per-query engine task
+        checker = self.middleware.contracts
+        if checker is not None:
+            checker.observe_threshold(self.state.unseen_bound())
+            if target != UNSEEN:
+                checker.check_interval(
+                    target,
+                    self.state.lower_bound(target),
+                    self.state.upper_bound(target),
+                )
+        self._check_budget()
+        if self.observer is not None:
+            self.observer(
+                TraceStep(
+                    step=self._steps,
+                    target=target,
+                    alternatives=alternatives,
+                    access=access,
+                    result=result,
+                )
+            )
+
+    async def _run_sequential(
+        self, on_answer: Optional[AnswerCallback]
+    ) -> QueryResult:
+        ranking: list[RankedObject] = []
+        answers = self.stream()
+        try:
+            async for answer in answers:
+                ranking.append(answer)
+                if on_answer is not None:
+                    await on_answer(answer)
+                if len(ranking) >= self.k:
+                    break
+        finally:
+            await answers.aclose()
+        # The sequential shadow reports as the sequential engine: same
+        # label, same metadata keys, so a concurrency-1 run serializes
+        # byte-identically to FrameworkNC.run().
+        return self._finish_ranking(ranking, FrameworkNC._label(self))
+
+    # ------------------------------------------------------------------
+    # Wave shadow (concurrency > 1)
+    # ------------------------------------------------------------------
+
+    async def _run_waves(self) -> ParallelResult:
+        self._prepare()
+        while True:
+            step = self._plan_next_wave()
+            if isinstance(step, ParallelResult):
+                return step
+            batch, popped = step
+            durations = [self.latency_model.duration(acc) for acc in batch]
+            await self.pacer.wave(durations)
+            self._fold_wave(batch, popped, durations)
+
+    # ------------------------------------------------------------------
+    # Entry points
+    # ------------------------------------------------------------------
+
+    async def execute_async(self) -> ParallelResult:
+        """Run to completion; full :class:`ParallelResult` accounting.
+
+        At concurrency 1 the embedded query result is the sequential
+        engine's, verbatim; elapsed time is still tracked (sum of access
+        durations) so serving-layer latency accounting is uniform.
+        """
+        if self.concurrency == 1:
+            result = await self._run_sequential(None)
+            return ParallelResult(
+                result=result,
+                elapsed=self.clock.now,
+                waves=self.waves,
+                concurrency=1,
+            )
+        return await self._run_waves()
+
+    async def run_async(
+        self, on_answer: Optional[AnswerCallback] = None
+    ) -> QueryResult:
+        """TopK-style entry point; optionally streams answers as found.
+
+        ``on_answer`` is awaited once per ranked answer. At concurrency 1
+        answers arrive progressively, as each is confirmed; at higher
+        concurrency the Theorem-1 stopping test confirms the whole top-k
+        at once, so the callbacks fire together at the end, still in rank
+        order.
+        """
+        if self.concurrency == 1:
+            return await self._run_sequential(on_answer)
+        outcome = await self._run_waves()
+        if on_answer is not None:
+            for answer in outcome.result.ranking:
+                await on_answer(answer)
+        return outcome.result

@@ -1,0 +1,66 @@
+"""Pacing: mapping virtual access latencies onto the asyncio loop.
+
+The engines decide *what* to access on the deterministic tick/virtual
+clocks (:mod:`repro.parallel.clock`, docs/RUNTIME.md); the pacer is the
+one place where virtual durations become real ``await``\\ s, so that
+independent accesses -- and independent queries sharing one event loop --
+overlap in wall-clock time the way they would against real web sources.
+
+Determinism discipline (RL104): the pacer never *reads* a wall clock.
+It only ever waits -- ``asyncio.sleep`` -- and every engine decision is
+taken before or after the wait on state that does not depend on how long
+the wait really took. Scaling to zero (the default) turns every wait
+into a bare cooperative yield, which keeps the interleaving of concurrent
+sessions deterministic under a fixed submission order: ready tasks
+round-robin in FIFO order, no timers involved.
+"""
+
+from __future__ import annotations
+
+import asyncio
+
+
+class Pacer:
+    """Awaits virtual durations, scaled into real seconds.
+
+    Args:
+        time_scale: real seconds per unit of virtual latency. ``0.0``
+            (the default) never sleeps on a timer: every wait degrades
+            to ``asyncio.sleep(0)``, a pure cooperative yield, so runs
+            are as fast as the hardware allows *and* deterministically
+            interleaved. Positive scales make latency-bearing sources
+            occupy real wall-clock time, which is what the E22 serving
+            benchmark overlaps across clients.
+    """
+
+    def __init__(self, time_scale: float = 0.0):
+        if time_scale < 0:
+            raise ValueError(f"time_scale must be >= 0, got {time_scale}")
+        self.time_scale = time_scale
+
+    async def wait(self, duration: float) -> None:
+        """Occupy one connection for ``duration`` units of virtual time.
+
+        Always yields to the event loop at least once, even at scale
+        zero -- the yield points are where concurrent sessions interleave
+        and where cancellation can land (never inside an access's
+        synchronous charge-and-fetch section).
+        """
+        if duration < 0:
+            raise ValueError(f"cannot wait a negative duration {duration}")
+        if self.time_scale <= 0.0 or duration <= 0.0:
+            await asyncio.sleep(0)
+            return
+        await asyncio.sleep(duration * self.time_scale)
+
+    async def wave(self, durations: list[float]) -> None:
+        """Wait out one wave of concurrent accesses: its makespan.
+
+        Accesses within a wave all start together (the executor never
+        builds waves beyond the concurrency bound), so the wave's real
+        duration is the longest member's -- one sleep, not a sum.
+        """
+        await self.wait(max(durations, default=0.0))
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Pacer(time_scale={self.time_scale})"

@@ -10,20 +10,29 @@ amortizes it over a query *stream*. The pieces:
 * :class:`ServerConfig` / :class:`Session` -- the tuning record and the
   per-query lifecycle record;
 * :func:`handle_request` / :func:`serve_stream` / :func:`serve_socket` --
-  the JSON-lines protocol behind ``repro serve``.
+  the JSON-lines protocol behind ``repro serve``;
+* :class:`AsyncQueryServer` / :class:`TcpQueryService` /
+  :func:`serve_tcp` -- the asyncio serving layer (docs/RUNTIME.md):
+  concurrent in-flight queries over the shared cache, TCP transport,
+  per-client admission, streaming progressive results, graceful drain.
 
 The cross-query substrate itself -- the cache and its metering
-integration -- lives in :mod:`repro.sources.cache`.
+integration -- lives in :mod:`repro.sources.cache`; the async engine in
+:mod:`repro.runtime`.
 """
 
+from repro.service.aio import AsyncQueryServer, TcpQueryService, serve_tcp
 from repro.service.protocol import handle_request, serve_socket, serve_stream
 from repro.service.server import QueryServer, ServerConfig, Session
 
 __all__ = [
+    "AsyncQueryServer",
     "QueryServer",
     "ServerConfig",
     "Session",
+    "TcpQueryService",
     "handle_request",
     "serve_stream",
     "serve_socket",
+    "serve_tcp",
 ]

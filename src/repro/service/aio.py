@@ -1,0 +1,575 @@
+"""The async multi-client serving layer (docs/RUNTIME.md, docs/SERVICE.md).
+
+Two pieces grow ``repro.service`` from a single-client stdio loop into a
+network server:
+
+* :class:`AsyncQueryServer` -- the :class:`~repro.service.server.QueryServer`
+  lifted onto the asyncio event loop: up to ``concurrent_queries``
+  sessions *execute* at once (each on its own
+  :class:`~repro.runtime.AsyncExecutor` over the shared
+  :class:`~repro.sources.cache.SourceCache`), with backpressure
+  (``max_pending``), mid-flight cancellation, and graceful drain.
+* :class:`TcpQueryService` -- the JSON-lines protocol of ``repro serve``
+  over TCP, many clients at once, with per-client admission control and
+  streaming progressive results (``op: "stream"``).
+
+Determinism contract (docs/RUNTIME.md): at ``concurrent_queries=1`` and
+``time_scale=0`` a submit-then-wait request sequence produces answer and
+trace bytes identical to the sync server's -- tasks start in submission
+order, the admission semaphore wakes waiters FIFO, and scale-0 pacing
+never consults a timer. At higher concurrency the *interleaving* of
+accesses changes but the union of charged work does not: each query's
+logical access sequence is value-deterministic and the shared cache
+fetches every position exactly once, so total charged Eq. 1 cost and the
+returned top-k are invariant across concurrency levels (what E22 and the
+``async-serve-smoke`` CI job pin). Per-session *attribution* (who paid
+for a shared frontier extension, who got the free hit) is the one thing
+interleaving may move.
+
+Concurrency discipline: asyncio is cooperative, so instead of locks this
+module relies on *synchronous sections* -- every mutation of shared
+server state (session tables, admission counters, the cache's
+charge-and-fetch) runs between awaits, marked ``repro-ownership`` for
+the RL103 audit. The engine's only suspension points are pacer waits,
+so cancellation always lands between consistent states and the
+reconciliation invariant (charged + cached == recorded) survives a kill.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+from typing import Optional
+
+from repro.exceptions import ReproError, ServiceOverloadError
+from repro.runtime.engine import AnswerCallback, AsyncExecutor
+from repro.runtime.pacing import Pacer
+from repro.service.protocol import _error, _session_response
+from repro.service.server import QueryServer, Session
+from repro.sources.middleware import Middleware
+from repro.types import RankedObject
+
+
+class AsyncQueryServer(QueryServer):
+    """A :class:`QueryServer` whose sessions run as asyncio tasks.
+
+    Construction is identical to the sync server (same args, same shared
+    cache/breakers/ledger); the async entry points are
+    :meth:`submit_async` / :meth:`wait` / :meth:`cancel` /
+    :meth:`drain`. The sync entry points (``submit`` / ``result`` /
+    ``query``) still work and stay strictly FIFO -- useful for warming a
+    cache before serving -- but must not be mixed with in-flight async
+    sessions.
+
+    Concurrency knobs come from the shared
+    :class:`~repro.service.server.ServerConfig`: ``concurrent_queries``
+    (executing at once), ``max_pending`` (admitted but not yet started),
+    and ``time_scale`` (the :class:`~repro.runtime.Pacer`).
+    """
+
+    def __init__(self, *args: object, **kwargs: object) -> None:
+        super().__init__(*args, **kwargs)  # type: ignore[arg-type]
+        self.pacer = Pacer(self.config.time_scale)
+        self._semaphore = asyncio.Semaphore(self.config.concurrent_queries)
+        self._tasks: dict[str, asyncio.Task[None]] = {}
+        self._events: dict[str, asyncio.Event] = {}
+        self._inflight: dict[str, Middleware] = {}
+        self._pending = 0
+        self._draining = False
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+
+    @property
+    def inflight_sessions(self) -> int:
+        """Sessions currently executing accesses."""
+        return len(self._inflight)
+
+    @property
+    def pending_sessions(self) -> int:
+        """Sessions admitted but still waiting for an execution slot."""
+        return self._pending
+
+    @property
+    def draining(self) -> bool:
+        """Whether :meth:`drain` has shut the admission door."""
+        return self._draining
+
+    def current_clock(self) -> int:
+        """The live access-count clock, summed over in-flight sessions.
+
+        Mirrors the sync server's definition: completed sessions' folded
+        accesses plus everything the currently executing sessions have
+        charged so far. With one session in flight this is exactly the
+        sync value.
+        """
+        return self._clock_base + sum(
+            mw.stats.total_accesses for mw in self._inflight.values()
+        )
+
+    def stats(self) -> dict:
+        """The shared-state snapshot, extended with async runtime gauges."""
+        snap = super().stats()
+        snap["inflight"] = self.inflight_sessions
+        snap["pending"] = self.pending_sessions
+        snap["draining"] = self._draining
+        snap["concurrent_queries"] = self.config.concurrent_queries
+        return snap
+
+    # ------------------------------------------------------------------
+    # Async session lifecycle
+    # ------------------------------------------------------------------
+
+    async def submit_async(
+        self,
+        text: str,
+        budget: Optional[float] = None,
+        on_answer: Optional[AnswerCallback] = None,
+    ) -> str:
+        """Admit a session and start its task; returns the session id.
+
+        The session begins executing as soon as an execution slot frees
+        up (``concurrent_queries``); retrieval is a separate
+        :meth:`wait`. ``on_answer`` is awaited once per confirmed answer
+        in rank order -- the streaming-progressive-results hook.
+
+        Raises :class:`~repro.exceptions.ServiceOverloadError` when the
+        server is draining, ``max_in_flight`` sessions are already open,
+        or ``max_pending`` sessions are already waiting for a slot.
+        """
+        if self._draining:
+            self._reject("server", "draining")
+            raise ServiceOverloadError(
+                "server is draining; new sessions are not admitted"
+            )
+        parsed = self._admit(text)
+        limit = self.config.max_pending
+        if limit is not None and self._pending >= limit:
+            self._reject("server", "max_pending")
+            raise ServiceOverloadError(
+                f"{self._pending} sessions already pending "
+                f"(max_pending={limit}); apply backpressure upstream"
+            )
+        session = self._new_session(parsed, text, budget)
+        self._events[session.id] = asyncio.Event()  # repro-ownership: event-loop synchronous section
+        self._pending += 1  # repro-ownership: event-loop synchronous section
+        task = asyncio.create_task(
+            self._run_session(session, on_answer),
+            name=f"repro-session-{session.id}",
+        )
+        self._tasks[session.id] = task  # repro-ownership: event-loop synchronous section
+        return session.id
+
+    async def wait(self, session_id: str) -> Session:
+        """Await a session's terminal state and close its admission slot."""
+        session = self.session(session_id)
+        event = self._events.get(session_id)
+        if event is not None:
+            await event.wait()
+        session.retrieved = True
+        return session
+
+    async def cancel(self, session_id: str) -> Session:
+        """Cancel a session mid-flight (or retrieve it, if already done).
+
+        The cancel lands on the engine's next pacer wait -- never inside
+        an access's charge-and-fetch -- so whatever the session charged
+        up to that point is folded into the shared ledger exactly like a
+        completed session's cost, and the reconciliation invariant
+        (charged + cached == recorded) holds. The session ends with
+        status ``"cancelled"`` and its slot is released.
+        """
+        session = self.session(session_id)
+        task = self._tasks.get(session_id)
+        if task is not None and not task.done():
+            task.cancel()
+            try:
+                await task
+            except asyncio.CancelledError:
+                pass
+            if session.status == "queued":
+                # The cancel landed before the task's coroutine ever ran
+                # a single step: its except/finally never executed, so
+                # the pre-start bookkeeping happens here instead.
+                self._mark_cancelled_prestart(session)
+                self._events[session.id].set()
+        event = self._events.get(session_id)
+        if event is not None:
+            await event.wait()
+        session.retrieved = True
+        return session
+
+    def _mark_cancelled_prestart(self, session: Session) -> None:
+        """Close out a session cancelled before execution started.
+
+        Nothing ran and nothing is charged, but the admission slot must
+        be returned: the pending count drops (the ``async with`` that
+        would have decremented it never entered) and the lifecycle
+        counter records the refusal so sessions_total still equals the
+        number of admitted sessions.
+        """
+        session.status = "cancelled"
+        session.error = "cancelled before execution started"
+        session.error_type = "CancelledError"
+        self._pending -= 1  # repro-ownership: event-loop synchronous section
+        self.metrics.inc("repro_sessions_total", status="cancelled")
+
+    async def query_async(
+        self,
+        text: str,
+        budget: Optional[float] = None,
+        on_answer: Optional[AnswerCallback] = None,
+    ) -> Session:
+        """Convenience: submit, execute, and retrieve in one await."""
+        return await self.wait(
+            await self.submit_async(text, budget=budget, on_answer=on_answer)
+        )
+
+    async def drain(self) -> int:
+        """Stop admitting and await every in-flight session; returns count.
+
+        Graceful shutdown: submissions after this raise
+        :class:`~repro.exceptions.ServiceOverloadError`, queries already
+        admitted run to completion (they are *not* cancelled), and the
+        call returns once the last one has folded its accounting into
+        the shared ledger.
+        """
+        self._draining = True  # repro-ownership: event-loop synchronous section
+        tasks = [task for task in self._tasks.values() if not task.done()]
+        if tasks:
+            await asyncio.gather(*tasks, return_exceptions=True)
+        return len(tasks)
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+
+    def _async_engine(
+        self, middleware: Middleware, session: Session
+    ) -> AsyncExecutor:
+        """The per-session engine: plan with the shared planner, run async.
+
+        The plan depends only on ``(m, fn, k, n_objects, cost model)`` --
+        the planner samples a seeded dummy distribution, not live source
+        state -- so planning is interleaving-invariant and identical to
+        the sync server's.
+        """
+        from repro.query.compiler import compile_expression
+        from repro.core.policies import SRGPolicy
+
+        fn, _order = compile_expression(session.query.expr, schema=self.schema)
+        plan = self._planner.resolve_plan(middleware, fn, session.query.k)
+        policy = SRGPolicy(plan.depths, plan.schedule)
+        return AsyncExecutor(
+            middleware,
+            fn,
+            session.query.k,
+            policy,
+            concurrency=self.config.query_concurrency,
+            speculation=self.config.speculation,
+            degrade_on_budget=self.config.degrade_on_budget,
+            pacer=self.pacer,
+        )
+
+    async def _run_session(
+        self, session: Session, on_answer: Optional[AnswerCallback]
+    ) -> None:
+        try:
+            async with self._semaphore:
+                self._pending -= 1  # repro-ownership: event-loop synchronous section
+                await self._execute_async(session, on_answer)
+        except asyncio.CancelledError:
+            if session.status == "queued":
+                # Cancelled before an execution slot ever opened: nothing
+                # ran, nothing is charged, but the slot comes back and
+                # the refusal is counted.
+                self._mark_cancelled_prestart(session)
+            # Swallow deliberately: waiters rendezvous on the session
+            # event; the task itself must not propagate the cancel into
+            # gather() during drain.
+        finally:
+            self._events[session.id].set()
+
+    async def _execute_async(
+        self, session: Session, on_answer: Optional[AnswerCallback]
+    ) -> None:
+        middleware = self._middleware(session)
+        self._inflight[session.id] = middleware  # repro-ownership: event-loop synchronous section
+        # Pin the cache: concurrent sessions' ticks must not evict
+        # entries under this session's live views (docs/RUNTIME.md).
+        self.cache.retain()
+        self._start_session(session)
+        session.status = "running"
+        try:
+            result = await self._async_engine(middleware, session).run_async(
+                on_answer=on_answer
+            )
+        except asyncio.CancelledError:
+            session.status = "cancelled"
+            session.error = "cancelled mid-flight"
+            session.error_type = "CancelledError"
+            raise
+        except ReproError as exc:
+            session.status = "failed"
+            session.error = str(exc)
+            session.error_type = type(exc).__name__
+        else:
+            self._complete(session, result)
+        finally:
+            # One synchronous section (no awaits): fold the accounting,
+            # tick the eviction clock, unpin. Runs on completion, failure
+            # and cancellation alike -- whatever this session charged is
+            # on the ledger before anyone observes its terminal state.
+            del self._inflight[session.id]  # repro-ownership: event-loop synchronous section
+            self._finalize(session, middleware)
+            self.cache.release()
+
+
+class TcpQueryService:
+    """The JSON-lines protocol over TCP, many concurrent clients.
+
+    Speaks the ``repro serve`` wire protocol (docs/SERVICE.md) with the
+    async extensions:
+
+    ``{"op": "query", "query": "...", "budget": ...}``
+        Submit *and* await one query; responds with the full result.
+    ``{"op": "stream", "query": "...", "budget": ...}``
+        Like ``query``, but each confirmed answer is pushed as a
+        ``{"op": "progress", "session": ..., "rank": ..., "object": ...,
+        "score": ...}`` line as soon as the engine proves it, before the
+        final result line.
+    ``{"op": "cancel", "session": "..."}``
+        Cancel an in-flight session (idempotent on finished ones).
+
+    ``submit`` / ``result`` / ``stats`` / ``shutdown`` behave as in the
+    sync protocol; ``result`` awaits without blocking other clients.
+    A client that disconnects with sessions still in flight gets them
+    cancelled (their charged cost stays on the ledger); ``shutdown``
+    answers, stops accepting connections, drains in-flight queries, and
+    ends :meth:`serve_forever`.
+
+    Args:
+        server: the :class:`AsyncQueryServer` to serve.
+        host: listen address (default loopback).
+        port: listen port; ``0`` (default) picks a free one -- read
+            :attr:`port` after :meth:`start`.
+    """
+
+    def __init__(
+        self,
+        server: AsyncQueryServer,
+        host: str = "127.0.0.1",
+        port: int = 0,
+    ):
+        self.server = server
+        self.host = host
+        self.port = port
+        self._listener: Optional[asyncio.AbstractServer] = None
+        self._shutdown = asyncio.Event()
+        self._connections = 0
+
+    @property
+    def connections(self) -> int:
+        """Total client connections accepted so far."""
+        return self._connections
+
+    async def start(self) -> tuple[str, int]:
+        """Bind and start accepting clients; returns ``(host, port)``."""
+        if self._listener is not None:
+            raise ReproError("service already started")
+        self._listener = await asyncio.start_server(  # repro-ownership: event-loop synchronous section
+            self._handle_client, self.host, self.port
+        )
+        sockets = self._listener.sockets
+        assert sockets, "start_server always binds at least one socket"
+        addr = sockets[0].getsockname()
+        self.port = addr[1]  # repro-ownership: event-loop synchronous section
+        return addr[0], addr[1]
+
+    async def serve_forever(self) -> None:
+        """Serve until a ``shutdown`` op arrives, then drain and close."""
+        if self._listener is None:
+            await self.start()
+        await self._shutdown.wait()
+        await self.aclose()
+
+    async def aclose(self) -> None:
+        """Stop accepting, drain in-flight queries, release the port."""
+        listener, self._listener = self._listener, None  # repro-ownership: event-loop synchronous section
+        if listener is not None:
+            listener.close()
+            await listener.wait_closed()
+        await self.server.drain()
+
+    # ------------------------------------------------------------------
+    # Per-client handling
+    # ------------------------------------------------------------------
+
+    async def _handle_client(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        self._connections += 1  # repro-ownership: event-loop synchronous section
+        owned: set[str] = set()
+        try:
+            while True:
+                line = await reader.readline()
+                if not line:
+                    break
+                text = line.decode("utf-8").strip()
+                if not text:
+                    continue
+                try:
+                    request = json.loads(text)
+                except json.JSONDecodeError as exc:
+                    response = _error(f"bad JSON: {exc}", "ProtocolError")
+                else:
+                    response = await self._dispatch(request, owned, writer)
+                await self._send(writer, response)
+                if response.get("op") == "shutdown" and response.get("ok"):
+                    self._shutdown.set()
+                    break
+        except (ConnectionResetError, BrokenPipeError):
+            pass
+        except asyncio.CancelledError:
+            # Event-loop teardown cancels handler tasks mid-readline;
+            # absorbing it (after the cleanup below) keeps the stream
+            # protocol's done-callback from logging a spurious error.
+            pass
+        finally:
+            # A vanished client must not leak running queries: cancel
+            # whatever it still owns (accounting is folded by cancel).
+            for session_id in sorted(owned):
+                session = self.server._sessions.get(session_id)
+                if session is not None and not session.retrieved:
+                    await self.server.cancel(session_id)
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionResetError, BrokenPipeError):
+                pass
+
+    async def _send(self, writer: asyncio.StreamWriter, response: dict) -> None:
+        writer.write(
+            (json.dumps(response, sort_keys=True) + "\n").encode("utf-8")
+        )
+        try:
+            await writer.drain()
+        except (ConnectionResetError, BrokenPipeError):
+            pass
+
+    def _client_slot(self, owned: set[str]) -> bool:
+        """Per-client admission: may this client open another session?"""
+        limit = self.server.config.client_max_open
+        if limit is None:
+            return True
+        open_count = sum(
+            1
+            for session_id in owned
+            if not self.server._sessions[session_id].retrieved
+        )
+        if open_count >= limit:
+            self.server._reject("client", "client_max_open")
+            return False
+        return True
+
+    async def _dispatch(
+        self,
+        request: object,
+        owned: set[str],
+        writer: asyncio.StreamWriter,
+    ) -> dict:
+        """Handle one decoded request; always returns a response dict."""
+        server = self.server
+        if not isinstance(request, dict):
+            return _error("request must be a JSON object", "ProtocolError")
+        op = request.get("op")
+        try:
+            if op in ("submit", "query", "stream"):
+                text = request.get("query")
+                if not isinstance(text, str):
+                    return _error(
+                        f"{op} needs a 'query' string", "ProtocolError", op
+                    )
+                budget = request.get("budget")
+                if not self._client_slot(owned):
+                    return _error(
+                        "client session limit reached "
+                        f"(client_max_open={server.config.client_max_open}); "
+                        "retrieve results before submitting more",
+                        "ServiceOverloadError",
+                        op,
+                    )
+                on_answer = (
+                    self._progress_hook(writer) if op == "stream" else None
+                )
+                session_id = await server.submit_async(
+                    text,
+                    budget=None if budget is None else float(budget),
+                    on_answer=on_answer,
+                )
+                owned.add(session_id)
+                if op == "submit":
+                    return {"ok": True, "op": "submit", "session": session_id}
+                return _session_response(server, await server.wait(session_id))
+            if op == "result":
+                session_id = request.get("session")
+                if not isinstance(session_id, str):
+                    return _error(
+                        "result needs a 'session' id", "ProtocolError", op
+                    )
+                return _session_response(server, await server.wait(session_id))
+            if op == "cancel":
+                session_id = request.get("session")
+                if not isinstance(session_id, str):
+                    return _error(
+                        "cancel needs a 'session' id", "ProtocolError", op
+                    )
+                session = await server.cancel(session_id)
+                return {
+                    "ok": True,
+                    "op": "cancel",
+                    "session": session.id,
+                    "status": session.status,
+                    "charged_cost": session.charged_cost,
+                }
+            if op == "stats":
+                return {"ok": True, "op": "stats", "stats": server.stats()}
+            if op == "shutdown":
+                return {"ok": True, "op": "shutdown"}
+        except ReproError as exc:
+            return _error(str(exc), type(exc).__name__, op)
+        return _error(f"unknown op {op!r}", "ProtocolError", op)
+
+    def _progress_hook(self, writer: asyncio.StreamWriter) -> AnswerCallback:
+        """An on_answer callback pushing progress lines to one client."""
+        rank = 0
+
+        async def on_answer(answer: RankedObject) -> None:
+            nonlocal rank
+            rank += 1
+            await self._send(
+                writer,
+                {
+                    "ok": True,
+                    "op": "progress",
+                    "rank": rank,
+                    "object": answer.obj,
+                    "score": answer.score,
+                },
+            )
+
+        return on_answer
+
+
+async def serve_tcp(
+    server: AsyncQueryServer, host: str = "127.0.0.1", port: int = 0
+) -> TcpQueryService:
+    """Start a :class:`TcpQueryService`; returns it already listening.
+
+    Callers await :meth:`TcpQueryService.serve_forever` (or manage the
+    lifecycle themselves via :meth:`TcpQueryService.aclose`).
+    """
+    service = TcpQueryService(server, host=host, port=port)
+    await service.start()
+    return service

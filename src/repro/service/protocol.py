@@ -43,11 +43,13 @@ def _error(message: str, error_type: str, op: Optional[str] = None) -> dict:
 
 
 def _session_response(server: QueryServer, session: Session) -> dict:
-    if session.status == "failed":
-        response = _error(session.error or "query failed",
+    if session.status in ("failed", "cancelled"):
+        response = _error(session.error or f"query {session.status}",
                           session.error_type or "ReproError", op="result")
         response["session"] = session.id
         response["charged_cost"] = session.charged_cost
+        if session.status == "cancelled":
+            response["status"] = "cancelled"
         return response
     assert session.result is not None
     return {

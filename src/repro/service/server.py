@@ -81,6 +81,18 @@ class ServerConfig:
         breaker_policy: tuning of the server-wide shared circuit
             breakers (library default when ``None``).
         sample_size: planning sample size of the per-query optimizer.
+        concurrent_queries: sessions *executing* at once -- only the
+            async server (:class:`repro.service.aio.AsyncQueryServer`)
+            honors values above 1; the sync server stays strictly FIFO.
+        max_pending: backpressure bound on admitted-but-not-yet-started
+            sessions of the async server (beyond it submissions raise
+            :class:`~repro.exceptions.ServiceOverloadError`); ``None``
+            leaves the pending queue bounded by ``max_in_flight`` alone.
+        client_max_open: per-client cap on open sessions enforced by the
+            TCP transport; ``None`` disables the per-client cap.
+        time_scale: real seconds per unit of virtual access latency in
+            the async runtime (:class:`repro.runtime.Pacer`); ``0.0``
+            never sleeps and keeps runs deterministic and maximally fast.
     """
 
     max_in_flight: int = 8
@@ -95,6 +107,10 @@ class ServerConfig:
     retry_policy: Optional[RetryPolicy] = None
     breaker_policy: Optional[BreakerPolicy] = None
     sample_size: int = 100
+    concurrent_queries: int = 1
+    max_pending: Optional[int] = None
+    client_max_open: Optional[int] = None
+    time_scale: float = 0.0
 
     def __post_init__(self) -> None:
         if self.max_in_flight < 1:
@@ -105,14 +121,33 @@ class ServerConfig:
             raise ValueError(
                 f"query_concurrency must be >= 1, got {self.query_concurrency}"
             )
+        if self.concurrent_queries < 1:
+            raise ValueError(
+                f"concurrent_queries must be >= 1, got {self.concurrent_queries}"
+            )
+        if self.max_pending is not None and self.max_pending < 0:
+            raise ValueError(
+                f"max_pending must be >= 0, got {self.max_pending}"
+            )
+        if self.client_max_open is not None and self.client_max_open < 1:
+            raise ValueError(
+                f"client_max_open must be >= 1, got {self.client_max_open}"
+            )
+        if self.time_scale < 0:
+            raise ValueError(
+                f"time_scale must be >= 0, got {self.time_scale}"
+            )
 
 
 @dataclass
 class Session:
     """One submitted query's lifecycle record.
 
-    Status flow: ``queued`` -> ``done`` | ``failed``. A session stays
-    *open* (occupying an admission slot) until its outcome is retrieved.
+    Status flow: ``queued`` -> ``done`` | ``failed`` (the async server
+    adds ``running`` in between and ``cancelled`` as a terminal state for
+    queries whose client disconnected or cancelled mid-flight). A session
+    stays *open* (occupying an admission slot) until its outcome is
+    retrieved.
     """
 
     id: str
@@ -287,12 +322,14 @@ class QueryServer:
     # Session lifecycle
     # ------------------------------------------------------------------
 
-    def submit(self, text: str, budget: Optional[float] = None) -> str:
-        """Admit a query session; returns its id.
+    def _admit(self, text: str) -> ParsedQuery:
+        """Parse, schema-check, and admission-control one submission.
 
-        The query is parsed and schema-checked up front so malformed
-        submissions fail immediately (and never occupy a slot); admission
-        control then bounds the open sessions.
+        Malformed submissions fail immediately (and never occupy a
+        slot); admission control then bounds the open sessions. Rejected
+        work is counted (``repro_overload_rejections_total``) so the
+        obs ledger sees the load the server refused, not only the load
+        it carried.
         """
         parsed = parse_query(text)
         unknown = [p for p in parsed.predicates if p not in self.schema]
@@ -302,13 +339,26 @@ class QueryServer:
                 f"{list(self.schema)}"
             )
         if self.open_sessions >= self.config.max_in_flight:
-            self._rejected += 1
+            self._reject("server", "max_in_flight")
             raise ServiceOverloadError(
                 f"{self.open_sessions} sessions already open "
                 f"(max_in_flight={self.config.max_in_flight}); retrieve "
                 "results before submitting more"
             )
-        self._counter += 1
+        return parsed
+
+    def _reject(self, scope: str, limit: str) -> None:
+        """Count one refused submission into stats and the obs ledger."""
+        self._rejected += 1  # repro-ownership: event-loop synchronous section
+        self.metrics.inc(
+            "repro_overload_rejections_total", scope=scope, limit=limit
+        )
+
+    def _new_session(
+        self, parsed: ParsedQuery, text: str, budget: Optional[float]
+    ) -> Session:
+        """Mint the session record and register it (deterministic ids)."""
+        self._counter += 1  # repro-ownership: event-loop synchronous section
         session_id = f"q{self._counter:06d}-{self._rng.getrandbits(32):08x}"
         session = Session(
             id=session_id,
@@ -316,9 +366,15 @@ class QueryServer:
             text=text,
             budget=budget if budget is not None else self.config.default_budget,
         )
-        self._sessions[session_id] = session
-        self._queue.append(session_id)
-        return session_id
+        self._sessions[session_id] = session  # repro-ownership: event-loop synchronous section
+        return session
+
+    def submit(self, text: str, budget: Optional[float] = None) -> str:
+        """Admit a query session; returns its id."""
+        parsed = self._admit(text)
+        session = self._new_session(parsed, text, budget)
+        self._queue.append(session.id)  # repro-ownership: event-loop synchronous section
+        return session.id
 
     def run_pending(self, until: Optional[str] = None) -> int:
         """Execute queued sessions in submission order; returns how many.
@@ -329,7 +385,7 @@ class QueryServer:
         """
         executed = 0
         while self._queue:
-            session_id = self._queue.pop(0)
+            session_id = self._queue.pop(0)  # repro-ownership: event-loop synchronous section
             self._execute(self._sessions[session_id])
             executed += 1
             if until is not None and session_id == until:
@@ -391,9 +447,8 @@ class QueryServer:
             degrade_on_budget=self.config.degrade_on_budget,
         )
 
-    def _execute(self, session: Session) -> None:
-        middleware = self._middleware(session)
-        self._live_middleware = middleware
+    def _start_session(self, session: Session) -> None:
+        """Emit the session-start trace marker (at the current clock)."""
         if self._trace is not None:
             self._trace.emit(
                 "session",
@@ -402,6 +457,49 @@ class QueryServer:
                 status="start",
                 query=session.text,
             )
+
+    def _complete(self, session: Session, result: QueryResult) -> None:
+        """Record a finished query's answer on its session."""
+        result.algorithm = "NC-serve"
+        result.metadata["session"] = session.id
+        result.metadata["query"] = session.text
+        session.status = "done"
+        session.result = result
+
+    def _finalize(self, session: Session, middleware: Middleware) -> None:
+        """Fold one ended session (any terminal status) into shared state.
+
+        Runs whether the query finished, failed, or was cancelled:
+        accesses it charged advance the breaker clock, and the eviction
+        clock ticks exactly once per ended session. Must execute as one
+        synchronous section -- no awaits -- so concurrent sessions under
+        the async server never observe a half-folded clock.
+        """
+        session.charged_cost = middleware.stats.total_cost()
+        session.cache_hits = middleware.stats.total_cached
+        session.charged_accesses = middleware.stats.total_accesses
+        if session.result is not None:
+            session.result.metadata["cache_hits"] = session.cache_hits
+        self._charged_total += session.charged_cost  # repro-ownership: event-loop synchronous section
+        self._clock_base += session.charged_accesses  # repro-ownership: event-loop synchronous section
+        self.metrics.inc("repro_sessions_total", status=session.status)
+        self.metrics.set_gauge("repro_server_clock", self._clock_base)
+        if self._trace is not None:
+            self._trace.emit(
+                "session",
+                self._clock_base,
+                session=session.id,
+                status=session.status,
+                charged_cost=session.charged_cost,
+                charged_accesses=session.charged_accesses,
+                cache_hits=session.cache_hits,
+            )
+        self.cache.tick()
+
+    def _execute(self, session: Session) -> None:
+        middleware = self._middleware(session)
+        self._live_middleware = middleware  # repro-ownership: event-loop synchronous section
+        self._start_session(session)
         try:
             result = self._engine(middleware, session).run()
         except ReproError as exc:
@@ -409,32 +507,7 @@ class QueryServer:
             session.error = str(exc)
             session.error_type = type(exc).__name__
         else:
-            result.algorithm = "NC-serve"
-            result.metadata["session"] = session.id
-            result.metadata["query"] = session.text
-            result.metadata["cache_hits"] = middleware.stats.total_cached
-            session.status = "done"
-            session.result = result
+            self._complete(session, result)
         finally:
-            # Shared-state bookkeeping happens whether the query finished
-            # or died: accesses it charged advance the breaker clock, and
-            # the eviction clock ticks exactly once per completed session.
-            self._live_middleware = None
-            session.charged_cost = middleware.stats.total_cost()
-            session.cache_hits = middleware.stats.total_cached
-            session.charged_accesses = middleware.stats.total_accesses
-            self._charged_total += session.charged_cost
-            self._clock_base += session.charged_accesses
-            self.metrics.inc("repro_sessions_total", status=session.status)
-            self.metrics.set_gauge("repro_server_clock", self._clock_base)
-            if self._trace is not None:
-                self._trace.emit(
-                    "session",
-                    self._clock_base,
-                    session=session.id,
-                    status=session.status,
-                    charged_cost=session.charged_cost,
-                    charged_accesses=session.charged_accesses,
-                    cache_hits=session.cache_hits,
-                )
-            self.cache.tick()
+            self._live_middleware = None  # repro-ownership: event-loop synchronous section
+            self._finalize(session, middleware)

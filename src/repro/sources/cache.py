@@ -33,6 +33,14 @@ used predicates wholesale. Eviction only runs at tick boundaries --
 between queries -- so a live view can never observe a truncated prefix;
 a view that outlives an eviction of its entry fails loudly instead of
 serving stale positions.
+
+Under the async serving layer (docs/RUNTIME.md) "between queries" is no
+longer a global condition -- one session finishing (and ticking) can
+overlap another session's live views. :meth:`retain` / :meth:`release`
+close that hole: each in-flight query pins the cache for its lifetime,
+ticks taken while pinned still advance the TTL clock but *defer* the
+eviction sweep, and the last release runs the pending sweep. The sync
+server never pins, so its behaviour is unchanged.
 """
 
 from __future__ import annotations
@@ -162,6 +170,8 @@ class SourceCache:
         self._stats = CacheStats()
         self._metrics = metrics
         self._trace = trace
+        self._pins = 0
+        self._sweep_pending = False
 
     @classmethod
     def over(
@@ -282,14 +292,56 @@ class SourceCache:
     # Eviction
     # ------------------------------------------------------------------
 
+    @property
+    def pinned(self) -> bool:
+        """Whether any in-flight query currently holds a pin."""
+        return self._pins > 0
+
+    def retain(self) -> None:
+        """Pin the cache for the lifetime of one in-flight query.
+
+        While pinned, :meth:`tick` still advances the TTL clock but the
+        eviction sweep is deferred -- no live view (this query's or any
+        concurrent one's) can have its entry truncated underneath it.
+        Pair every ``retain()`` with exactly one :meth:`release`.
+        """
+        self._pins += 1  # repro-ownership: event-loop synchronous section
+
+    def release(self) -> None:
+        """Drop one query's pin; the last release runs any deferred sweep.
+
+        Running the sweep here -- not at the next tick -- keeps TTL/LRU
+        timing aligned with the sync server's (the sweep observes the
+        same clock the deferring tick advanced) and guarantees a burst of
+        cancelled or completed queries leaves no eviction debt behind.
+        """
+        if self._pins <= 0:
+            raise ReproError("SourceCache.release() without a matching retain()")
+        self._pins -= 1  # repro-ownership: event-loop synchronous section
+        if self._pins == 0 and self._sweep_pending:
+            self._sweep_pending = False  # repro-ownership: event-loop synchronous section
+            self._sweep()
+
     def tick(self) -> int:
         """Advance the logical clock and run eviction; returns evictions.
 
-        The serving layer calls this once per completed query, *between*
-        queries -- the only point where eviction is safe, because no live
-        view can then observe its entry shrinking underneath it.
+        The serving layer calls this once per completed query. Eviction
+        is safe only while no query is in flight: unpinned, the sweep
+        runs immediately (the sync server's between-queries guarantee);
+        pinned, it is deferred to the last :meth:`release`, and this
+        call reports ``0`` evictions.
         """
-        self._clock += 1
+        self._clock += 1  # repro-ownership: event-loop synchronous section
+        if self._pins > 0:
+            self._sweep_pending = True  # repro-ownership: event-loop synchronous section
+            if self._metrics is not None:
+                self._metrics.set_gauge("repro_cache_entries", self.entry_count)
+                self._metrics.set_gauge("repro_cache_clock", self._clock)
+            return 0
+        return self._sweep()
+
+    def _sweep(self) -> int:
+        """TTL-expire and LRU-bound the cache; returns evictions."""
         evicted = 0
         if self._ttl is not None:
             for i, entry in enumerate(self._entries):

@@ -1,8 +1,11 @@
 """Tests for bounded-concurrency execution (Section 9.1.1)."""
 
+import numpy as np
 import pytest
 
+from repro.core.framework import FrameworkNC
 from repro.core.policies import SRGPolicy
+from repro.data.dataset import Dataset
 from repro.data.generators import uniform
 from repro.parallel.clock import VirtualClock
 from repro.parallel.executor import ParallelExecutor
@@ -10,7 +13,7 @@ from repro.scoring.functions import Avg, Min
 from repro.sources.cost import CostModel
 from repro.sources.latency import NoisyLatency
 from repro.sources.middleware import Middleware
-from tests.conftest import assert_valid_topk, mw_over
+from tests.conftest import assert_valid_topk, mw_over, score_multiset
 
 
 class TestVirtualClock:
@@ -153,6 +156,65 @@ class TestElapsedVsCost:
         ).execute()
         assert_valid_topk(outcome.result, small_uniform, Min(2), 3)
         assert outcome.elapsed > 0
+
+
+class TestNoneModeCostParity:
+    """The none-mode cost-parity counterexample, pinned (ROADMAP item).
+
+    None mode only issues accesses the sequential policy would pick *for
+    their targets*, but a wave works on every popped top-k target at once
+    while the sequential engine works only on the heap top -- position
+    1's outcome can prove position 2's access unnecessary after the wave
+    has already paid for it. This minimal instance triggers exactly that,
+    deterministically; it pins both the counterexample (so the old exact
+    -parity claim can never silently return) and the bounded-overhead
+    contract that replaced it.
+    """
+
+    ROWS = (0.0, 0.5, 0.0, 0.25, 0.0, 0.0)
+
+    def _instance(self):
+        dataset = Dataset(np.array(self.ROWS, dtype=float).reshape(3, 2))
+        return dataset, Min(2), 2, SRGPolicy((0.0, 0.0))
+
+    def test_reproducer_costs_exactly_one_extra_access(self):
+        dataset, fn, k, policy = self._instance()
+        mw_seq = Middleware.over(dataset, CostModel.uniform(2))
+        seq = FrameworkNC(mw_seq, fn, k, policy).run()
+        mw_par = Middleware.over(dataset, CostModel.uniform(2))
+        outcome = ParallelExecutor(
+            mw_par, fn, k, SRGPolicy((0.0, 0.0)), concurrency=2
+        ).execute()
+        # The answers agree; the parallel run pays one extra ra_0(0) the
+        # sequential engine proves unnecessary via object 0's probe.
+        assert score_multiset(outcome.result.ranking) == score_multiset(
+            seq.ranking
+        )
+        assert mw_seq.stats.total_cost() == 5.0
+        assert outcome.total_cost == 6.0
+
+    def test_reproducer_within_bounded_overhead(self):
+        dataset, fn, k, policy = self._instance()
+        mw_seq = Middleware.over(dataset, CostModel.uniform(2))
+        FrameworkNC(mw_seq, fn, k, policy).run()
+        mw_par = Middleware.over(dataset, CostModel.uniform(2))
+        outcome = ParallelExecutor(
+            mw_par, fn, k, SRGPolicy((0.0, 0.0)), concurrency=2
+        ).execute()
+        slack = (min(2, 2) - 1) * 1.0 * outcome.waves
+        assert outcome.total_cost <= mw_seq.stats.total_cost() + slack
+
+    @pytest.mark.parametrize("c", [1, 2, 4])
+    def test_reproducer_exact_at_k1_any_c(self, c):
+        """Width-one waves (k == 1) keep exact cost parity at any c."""
+        dataset, fn, _k, policy = self._instance()
+        mw_seq = Middleware.over(dataset, CostModel.uniform(2))
+        FrameworkNC(mw_seq, fn, 1, policy).run()
+        mw_par = Middleware.over(dataset, CostModel.uniform(2))
+        outcome = ParallelExecutor(
+            mw_par, fn, 1, SRGPolicy((0.0, 0.0)), concurrency=c
+        ).execute()
+        assert outcome.total_cost == mw_seq.stats.total_cost()
 
 
 class TestWavePlanning:

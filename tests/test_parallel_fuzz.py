@@ -38,7 +38,20 @@ def parallel_instances(draw):
 class TestParallelContractsFuzz:
     @settings(max_examples=60, deadline=None)
     @given(parallel_instances())
-    def test_none_mode_matches_sequential_cost_and_answer(self, instance):
+    def test_none_mode_bounded_overhead_vs_sequential(self, instance):
+        """The none-mode cost contract, in its *sound* form.
+
+        The old claim -- total cost *equals* the sequential plan's -- is
+        falsifiable: the wave planner gives every popped top-k target its
+        policy-selected access, while the sequential engine works only on
+        the heap top, so positions 2..k of a wave can be accesses the
+        sequential run proves unnecessary (see the pinned reproducer in
+        ``tests/test_parallel.py::TestNoneModeCostParity``). What *is*
+        guaranteed: exact equality when every wave has one slot or one
+        target (``c == 1`` or ``k == 1``), and otherwise at most
+        ``min(c, k) - 1`` speculative accesses per wave, each bounded by
+        the dearest access price.
+        """
         dataset, fn, k, c, depths = instance
 
         mw_seq = Middleware.over(dataset, CostModel.uniform(2))
@@ -53,8 +66,14 @@ class TestParallelContractsFuzz:
         assert score_multiset(outcome.result.ranking) == score_multiset(
             seq.ranking
         )
-        # Default mode performs only sequentially-justified accesses.
-        assert outcome.total_cost == mw_seq.stats.total_cost()
+        # Cost parity: exact at width one, boundedly above otherwise.
+        seq_cost = mw_seq.stats.total_cost()
+        if c == 1 or k == 1:
+            assert outcome.total_cost == seq_cost
+        else:
+            c_max = 1.0  # CostModel.uniform(2): every access costs 1
+            slack = (min(c, k) - 1) * c_max * outcome.waves
+            assert outcome.total_cost <= seq_cost + slack
         # Elapsed-time sandwich: cost/c <= elapsed <= cost.
         assert outcome.elapsed <= outcome.total_cost + 1e-9
         assert outcome.elapsed >= outcome.total_cost / c - 1e-9
