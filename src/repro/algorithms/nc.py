@@ -58,9 +58,16 @@ class NC(TopKAlgorithm):
         self.seed = seed
 
     def _default_planner(
-        self, middleware: Middleware, fn: ScoringFunction, k: int
+        self,
+        middleware: Middleware,
+        fn: ScoringFunction,
+        k: int,
+        warm_start: Optional[list[tuple[float, ...]]] = None,
     ) -> SRGPlan:
         sample = dummy_uniform_sample(middleware.m, self.sample_size, self.seed)
+        kwargs: dict[str, object] = {}
+        if warm_start is not None:
+            kwargs["warm_start"] = warm_start
         return self.optimizer.plan(
             sample,
             fn,
@@ -68,17 +75,27 @@ class NC(TopKAlgorithm):
             middleware.n_objects,
             middleware.cost_model,
             no_wild_guesses=middleware.no_wild_guesses,
+            **kwargs,  # type: ignore[arg-type]
         )
 
     def resolve_plan(
-        self, middleware: Middleware, fn: ScoringFunction, k: int
+        self,
+        middleware: Middleware,
+        fn: ScoringFunction,
+        k: int,
+        warm_start: Optional[list[tuple[float, ...]]] = None,
     ) -> SRGPlan:
-        """The plan this algorithm would execute on the given query."""
+        """The plan this algorithm would execute on the given query.
+
+        ``warm_start`` seeds the optimizer's search with depth vectors
+        from previous winning plans (serving layers remember them per
+        scenario); fixed-plan and custom-planner modes ignore it.
+        """
         if self.plan is not None:
             return self.plan
         if self.planner is not None:
             return self.planner(middleware, fn, k)
-        return self._default_planner(middleware, fn, k)
+        return self._default_planner(middleware, fn, k, warm_start=warm_start)
 
     def run(
         self, middleware: Middleware, fn: ScoringFunction, k: int

@@ -112,14 +112,25 @@ def nc_with_dummy_planner(
     seed: int = 0,
     vectorized: bool | str = "auto",
     workers: Optional[int] = None,
+    frontier: bool | str = "auto",
+    clock: Optional[Callable[[], float]] = None,
 ) -> NC:
     """The paper's worst-case NC: optimize on dummy uniform samples.
 
-    ``vectorized`` and ``workers`` configure the plan-cost estimator's
-    execution path (see :class:`~repro.optimizer.CostEstimator`); they
-    never change the chosen plan, only how fast it is found.
+    ``vectorized``, ``workers`` and ``frontier`` configure the plan-cost
+    estimator's execution path (see
+    :class:`~repro.optimizer.CostEstimator`); they never change the
+    chosen plan, only how fast it is found. ``clock`` (e.g.
+    ``time.perf_counter``) opts into per-phase wall-time reporting in
+    plan notes.
     """
-    optimizer = NCOptimizer(scheme=scheme, vectorized=vectorized, workers=workers)
+    optimizer = NCOptimizer(
+        scheme=scheme,
+        vectorized=vectorized,
+        workers=workers,
+        frontier=frontier,
+        clock=clock,
+    )
     return NC(optimizer=optimizer, sample_size=sample_size, seed=seed)
 
 
@@ -131,13 +142,21 @@ def nc_with_true_sample_planner(
     min_sample_k: Optional[int] = None,
     vectorized: bool | str = "auto",
     workers: Optional[int] = None,
+    frontier: bool | str = "auto",
+    clock: Optional[Callable[[], float]] = None,
 ) -> NC:
     """NC planning on a true-distribution sample of the scenario's data.
 
     ``min_sample_k`` opts into bootstrap amplification against the
     small-``k_s`` distortion of proportional sample scaling.
     """
-    optimizer = NCOptimizer(scheme=scheme, vectorized=vectorized, workers=workers)
+    optimizer = NCOptimizer(
+        scheme=scheme,
+        vectorized=vectorized,
+        workers=workers,
+        frontier=frontier,
+        clock=clock,
+    )
     sample = sample_from_dataset(scenario.dataset, sample_size, seed=seed)
 
     def planner(middleware, fn, k):

@@ -15,11 +15,11 @@ Workload execution reports both sides of that trade separately:
 
 from __future__ import annotations
 
-import random
 from dataclasses import dataclass
 from typing import Callable, Optional, Sequence
 
 from repro.data.dataset import Dataset
+from repro.determinism import derive_rng
 from repro.scoring.functions import (
     Avg,
     Geometric,
@@ -60,7 +60,7 @@ def random_workload(
         raise ValueError(f"m must be >= 1, got {m}")
     if size < 1:
         raise ValueError(f"size must be >= 1, got {size}")
-    rng = random.Random(seed)
+    rng = derive_rng(seed)
     specs: list[QuerySpec] = []
     for _ in range(size):
         family = rng.randrange(5)

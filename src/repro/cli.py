@@ -234,26 +234,47 @@ def _cmd_optimize(args) -> int:
             f"unknown scheme {args.scheme!r}; available: "
             f"{', '.join(sorted(_SCHEMES))}"
         )
-    vectorized: bool | str = {"auto": "auto", "on": True, "off": False}[
-        args.vectorized
-    ]
+    import time
+
+    on_off = {"auto": "auto", "on": True, "off": False}
+    vectorized: bool | str = on_off[args.vectorized]
+    frontier: bool | str = on_off[args.frontier]
     nc = nc_with_dummy_planner(
         scheme=_SCHEMES[scheme_key](),
         sample_size=args.sample_size,
         vectorized=vectorized,
         workers=args.workers,
+        frontier=frontier,
+        clock=time.perf_counter,
     )
     plan = nc.resolve_plan(scenario.middleware(), scenario.fn, scenario.k)
     kernel_runs = plan.notes.get("kernel_runs", 0)
     reference_runs = plan.notes.get("reference_runs", 0)
+    frontier_runs = plan.notes.get("frontier_runs", 0)
+    frontier_batches = plan.notes.get("frontier_batches", 0)
+    frontier_fallbacks = plan.notes.get("frontier_fallbacks", 0)
     pool_failures = plan.notes.get("pool_failures", 0)
     print(f"scenario : {scenario.name}  ({scenario.description})")
     print(f"costs    : {scenario.cost_model.describe()}")
     print(f"plan     : {plan.describe()}")
     print(
         f"overhead : {plan.estimator_runs} estimator simulation runs "
-        f"({kernel_runs} kernel, {reference_runs} reference)"
+        f"({kernel_runs} kernel, {reference_runs} reference, "
+        f"{frontier_runs} frontier in {frontier_batches} batch(es))"
     )
+    phase_seconds = plan.notes.get("phase_seconds")
+    if isinstance(phase_seconds, dict) and phase_seconds:
+        rendered = "  ".join(
+            f"{name}={seconds:.4f}s" for name, seconds in phase_seconds.items()
+        )
+        print(f"timing   : {rendered}")
+    if frontier_fallbacks:
+        print(
+            f"warning  : frontier batch path abandoned {frontier_fallbacks} "
+            "time(s); plan costing degraded to per-plan simulation "
+            "(results unaffected)",
+            file=sys.stderr,
+        )
     if pool_failures:
         print(
             f"warning  : estimator worker pool failed {pool_failures} "
@@ -391,6 +412,7 @@ def _cmd_serve(args) -> int:
             retry_policy=retry_policy,
             concurrent_queries=args.concurrent_queries,
             time_scale=args.time_scale,
+            plan_memory=not args.no_plan_memory,
         )
     except ValueError as exc:
         raise ReproError(str(exc)) from exc
@@ -434,7 +456,8 @@ def _cmd_serve(args) -> int:
         f"served {snapshot['completed']} queries "
         f"({snapshot['failed']} failed, {snapshot['rejected']} rejected); "
         f"charged cost {snapshot['charged_cost_total']:g}, "
-        f"cache hit rate {snapshot['cache']['hit_rate']:.2f}",
+        f"cache hit rate {snapshot['cache']['hit_rate']:.2f}, "
+        f"{snapshot['warm_start_hits']} warm plan start(s)",
         file=sys.stderr,
     )
     _write_observability(trace, args.trace, server.metrics, args.metrics_out)
@@ -607,6 +630,13 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="process-pool size for batched plan costing (default: serial)",
     )
+    opt_parser.add_argument(
+        "--frontier",
+        choices=("auto", "on", "off"),
+        default="auto",
+        help="batch plan costing: plans-as-columns frontier kernel with "
+        "spot-checks (auto), forced (on), or per-plan only (off)",
+    )
 
     query_parser = sub.add_parser("query", help="execute an SQL-like query")
     query_parser.add_argument("text", help="the query text")
@@ -682,6 +712,12 @@ def build_parser() -> argparse.ArgumentParser:
             "sessions executing at once on the async (--tcp) server; "
             "1 keeps answers byte-identical to the sync path (default 1)"
         ),
+    )
+    serve_parser.add_argument(
+        "--no-plan-memory",
+        action="store_true",
+        help="disable per-(expression, k) plan reuse and warm-started "
+        "re-optimization across sessions",
     )
     serve_parser.add_argument(
         "--time-scale",

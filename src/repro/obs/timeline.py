@@ -124,6 +124,37 @@ def _render_lane(
     return "".join(cells)
 
 
+def _optimizer_summaries(events: Sequence[dict]) -> list[str]:
+    """One line per completed optimizer run carrying timing/batch data.
+
+    The optimizer's ``done`` phase event reports per-phase wall time
+    (when a clock was injected) and the frontier batch counters; showing
+    them in the timeline keeps optimization overhead visible next to
+    the execution it paid for.
+    """
+    lines: list[str] = []
+    for record in events:
+        if record.get("event") != "phase" or record.get("phase") != "done":
+            continue
+        parts: list[str] = []
+        seconds = record.get("phase_seconds")
+        if isinstance(seconds, dict) and seconds:
+            parts.append(
+                "phases "
+                + " ".join(
+                    f"{name}={float(value):.4f}s"
+                    for name, value in seconds.items()
+                )
+            )
+        for key in ("frontier_runs", "frontier_batches", "frontier_fallbacks"):
+            value = record.get(key)
+            if isinstance(value, (int, float)) and value:
+                parts.append(f"{key}={int(value)}")
+        if parts:
+            lines.append("  optimizer: " + ", ".join(parts))
+    return lines
+
+
 def format_timeline(events: Sequence[dict], width: int = 64) -> str:
     """Render the Fig. 7-style ASCII timeline of a loaded trace."""
     if width < 8:
@@ -139,6 +170,7 @@ def format_timeline(events: Sequence[dict], width: int = 64) -> str:
     )
     if rendered_counts:
         lines.append(f"  events: {rendered_counts}")
+    lines.extend(_optimizer_summaries(events))
     if not timeline.predicates:
         lines.append("  (no predicate-scoped events)")
         return "\n".join(lines)

@@ -34,10 +34,24 @@ Results are memoized per ``(Delta, H)`` in a bounded LRU so search
 schemes revisiting a configuration (hill-climbing does constantly) pay
 once; the run counter still reports *distinct* simulation runs, the
 optimization-overhead metric of the scheme-comparison experiment.
-:meth:`CostEstimator.estimate_many` accepts whole candidate frontiers at
-once -- semantically a plain loop (identical costs, cache behaviour, and
-run counts), but it lets the estimator fan uncached simulations out to a
-process pool when ``workers`` is set.
+:meth:`CostEstimator.estimate_frontier` (and the older alias
+:meth:`~CostEstimator.estimate_many`) accepts whole candidate frontiers
+at once -- semantically a plain loop (identical costs, cache behaviour,
+and run counts), but it lets the estimator fan uncached simulations out
+to a process pool when ``workers`` is set, or -- the default fast path
+-- cost the whole deduplicated batch in one plans-as-columns pass on the
+:class:`~repro.optimizer.frontier.FrontierKernel`.
+
+The frontier path has the same trust ladder as the scalar kernel:
+``frontier="auto"`` (default) spot-checks the first few frontier
+outcomes against fresh :meth:`SampleIndex.simulate` runs and permanently
+falls back to the serial path on any disagreement; ``frontier=True``
+turns disagreement into :class:`~repro.exceptions.KernelMismatchError`;
+``frontier=False`` never batches. Every abandonment is counted
+(:attr:`CostEstimator.frontier_fallbacks`, with a labelled
+``repro_estimator_frontier_fallbacks_total`` metric reason --
+``unsupported_fn``, ``verify_mismatch``, ``internal_error``), never
+silent.
 """
 
 from __future__ import annotations
@@ -53,7 +67,8 @@ from repro.core.policies import SRGPolicy
 from repro.data.dataset import Dataset
 from repro.exceptions import KernelMismatchError, ReproError
 from repro.obs.metrics import MetricsRegistry
-from repro.optimizer.kernel import SampleIndex
+from repro.optimizer.frontier import FrontierKernel
+from repro.optimizer.kernel import SampleIndex, SimulationCounts
 from repro.scoring.functions import ScoringFunction
 from repro.sources.cost import CostModel
 from repro.sources.middleware import Middleware
@@ -71,6 +86,16 @@ AUTO_VERIFY_RUNS = 3
 #: Minimum number of uncached simulations in one batch before a process
 #: pool is worth its serialization overhead.
 _PARALLEL_MIN_BATCH = 8
+
+#: Minimum number of uncached simulations in one batch before the
+#: plans-as-columns frontier kernel beats the per-plan scalar kernel
+#: (lockstep wall-clock is governed by the slowest plan, so tiny batches
+#: pay dispatch overhead for nothing).
+FRONTIER_MIN_BATCH = 16
+
+#: How many frontier outcomes ``frontier="auto"`` cross-checks against
+#: fresh scalar-kernel runs before trusting the batch path outright.
+FRONTIER_VERIFY_RUNS = 3
 
 # Worker-process state for the parallel fan-out: one SampleIndex per
 # worker, built once by the pool initializer.
@@ -128,6 +153,16 @@ class CostEstimator:
         metrics: optional :class:`~repro.obs.MetricsRegistry` fed with
             run/cache/fallback/pool-failure counters
             (``repro_estimator_*``, docs/OBSERVABILITY.md).
+        frontier: ``True`` | ``False`` | ``"auto"`` -- whether large
+            deduplicated batches are costed in one pass on the
+            plans-as-columns :class:`~repro.optimizer.frontier.\
+FrontierKernel` instead of plan-by-plan. ``"auto"`` (default)
+            spot-verifies the first :data:`FRONTIER_VERIFY_RUNS` frontier
+            outcomes against the scalar kernel and permanently falls
+            back on disagreement; ``True`` raises
+            :class:`~repro.exceptions.KernelMismatchError` instead;
+            ``False`` disables batching. Abandonments are counted in
+            :attr:`frontier_fallbacks` with a labelled metric reason.
     """
 
     def __init__(
@@ -145,6 +180,7 @@ class CostEstimator:
         cache_size: Optional[int] = 65536,
         workers: Optional[int] = None,
         metrics: Optional[MetricsRegistry] = None,
+        frontier: Union[bool, str] = "auto",
     ):
         if k < 1:
             raise ValueError(f"k must be >= 1, got {k}")
@@ -157,6 +193,10 @@ class CostEstimator:
         if vectorized not in (True, False, "auto"):
             raise ValueError(
                 f'vectorized must be True, False or "auto", got {vectorized!r}'
+            )
+        if frontier not in (True, False, "auto"):
+            raise ValueError(
+                f'frontier must be True, False or "auto", got {frontier!r}'
             )
         if cache_size is not None and cache_size < 1:
             raise ValueError(f"cache_size must be >= 1, got {cache_size}")
@@ -210,6 +250,24 @@ class CostEstimator:
         self._pool_broken = False
         self._pool_failures = 0
         self._metrics = metrics
+        self.frontier = frontier
+        self._frontier_kernel: Optional[FrontierKernel] = None
+        # The frontier path is a member of the kernel family: it only
+        # runs while the scalar kernel itself is trusted.
+        self._frontier_enabled = (
+            frontier in (True, "auto") and self._kernel_enabled
+        )
+        self._frontier_runs = 0
+        self._frontier_batches = 0
+        self._frontier_fallbacks = 0
+        if verify is True:
+            self._frontier_verify_remaining = float("inf")
+        elif verify is None and frontier in (True, "auto"):
+            # Spot-check in *both* trusting modes: "auto" so it can fall
+            # back, True so a disagreement raises instead of lying.
+            self._frontier_verify_remaining = float(FRONTIER_VERIFY_RUNS)
+        else:
+            self._frontier_verify_remaining = 0.0
 
     def _m_inc(self, name: str, value: float = 1.0, **labels: object) -> None:
         if self._metrics is not None:
@@ -252,6 +310,34 @@ class CostEstimator:
     def fallbacks(self) -> int:
         """Kernel simulations abandoned to the reference path (auto mode)."""
         return self._fallbacks
+
+    @property
+    def frontier_runs(self) -> int:
+        """Simulations costed by the plans-as-columns frontier kernel."""
+        return self._frontier_runs
+
+    @property
+    def frontier_batches(self) -> int:
+        """Deduplicated batches the frontier kernel costed in one pass."""
+        return self._frontier_batches
+
+    @property
+    def frontier_fallbacks(self) -> int:
+        """Frontier batches abandoned to the per-plan path.
+
+        Non-zero means the batch fast path stopped being used --
+        unsupported scoring function, a spot-check disagreement, or an
+        internal kernel error. Results stay identical (the per-plan path
+        takes over); only wall-clock suffers, so the degrade is counted
+        here, labelled in ``repro_estimator_frontier_fallbacks_total``,
+        and surfaced in ``NCOptimizer`` plan notes.
+        """
+        return self._frontier_fallbacks
+
+    @property
+    def frontier_active(self) -> bool:
+        """Whether eligible batches currently take the frontier path."""
+        return self._frontier_enabled and self._kernel_enabled
 
     @property
     def pool_failures(self) -> int:
@@ -380,6 +466,120 @@ class CostEstimator:
         return self._reference_cost(depths, schedule)
 
     # ------------------------------------------------------------------
+    # Frontier fan-out (plans-as-columns batch path)
+    # ------------------------------------------------------------------
+
+    def _frontier_disable(self, reason: str) -> None:
+        self._frontier_enabled = False
+        self._frontier_fallbacks += 1
+        self._m_inc(
+            "repro_estimator_frontier_fallbacks_total", reason=reason
+        )
+
+    def _ensure_frontier(self) -> Optional[FrontierKernel]:
+        if self._frontier_kernel is None:
+            kernel = FrontierKernel(self._ensure_index())
+            if not kernel.supports(self.fn):
+                self._frontier_disable("unsupported_fn")
+                return None
+            self._frontier_kernel = kernel
+        return self._frontier_kernel
+
+    def _frontier_verify(
+        self,
+        index: SampleIndex,
+        plan: PlanKey,
+        outcome: Union[SimulationCounts, Exception],
+    ) -> bool:
+        """Does ``outcome`` match a fresh scalar-kernel run of ``plan``?"""
+        depths, schedule = plan
+        try:
+            want = index.simulate(self.fn, self.sample_k, depths, schedule)
+        except (ReproError, ValueError) as exc:
+            return (
+                isinstance(outcome, Exception)
+                and type(outcome) is type(exc)
+                and str(outcome) == str(exc)
+            )
+        return (
+            isinstance(outcome, SimulationCounts)
+            and outcome.sorted_counts == want.sorted_counts
+            and outcome.random_counts == want.random_counts
+        )
+
+    def _frontier_costs(self, fresh: list[PlanKey]) -> Optional[list[float]]:
+        """Cost ``fresh`` in one frontier pass; ``None`` = do it serially.
+
+        Serial-order semantics are preserved exactly: duplicate handling
+        happened upstream, the first failing plan raises its per-plan
+        exception with run counters covering the serial prefix up to and
+        including it, and -- like the serial loop, which aborts before
+        its cache writes -- a failing batch memoizes nothing.
+        """
+        if (
+            not self._frontier_enabled
+            or not self._kernel_enabled
+            or len(fresh) < FRONTIER_MIN_BATCH
+        ):
+            return None
+        kernel = self._ensure_frontier()
+        if kernel is None:
+            return None
+        # The scalar kernel's own auto-verification happens exactly as in
+        # serial mode: peel the still-unverified head through the serial
+        # path (which cross-checks against the reference engine there).
+        peel = int(min(self._verify_remaining, len(fresh)))
+        head = [self._simulate(d, s) for d, s in fresh[:peel]]
+        tail = fresh[peel:]
+        if not tail:
+            return head
+        if not self._kernel_enabled:
+            # The peel tripped the kernel-vs-reference cross-check; the
+            # kernel family (frontier included) is no longer trusted.
+            return head + [self._simulate(d, s) for d, s in tail]
+        try:
+            outcomes = kernel.simulate_frontier(self.fn, self.sample_k, tail)
+        except Exception:
+            if self.frontier is True:
+                raise
+            self._frontier_disable("internal_error")
+            return head + [self._simulate(d, s) for d, s in tail]
+        ncheck = int(min(self._frontier_verify_remaining, len(tail)))
+        if ncheck:
+            self._frontier_verify_remaining -= ncheck
+            index = self._ensure_index()
+            for plan, outcome in zip(tail[:ncheck], outcomes[:ncheck]):
+                if not self._frontier_verify(index, plan, outcome):
+                    if self.frontier is True:
+                        raise KernelMismatchError(
+                            f"frontier outcome {outcome!r} disagrees with "
+                            f"the scalar kernel for plan depths="
+                            f"{plan[0]} schedule={plan[1]}"
+                        )
+                    self._frontier_disable("verify_mismatch")
+                    return head + [self._simulate(d, s) for d, s in tail]
+        costs: list[float] = []
+        for i, outcome in enumerate(outcomes):
+            if isinstance(outcome, Exception):
+                self._runs += i + 1
+                self._frontier_runs += i + 1
+                self._m_inc(
+                    "repro_estimator_runs_total",
+                    float(i + 1),
+                    path="frontier",
+                )
+                raise outcome
+            costs.append(outcome.cost(self.cost_model) * self.scale)
+        self._runs += len(tail)
+        self._frontier_runs += len(tail)
+        self._frontier_batches += 1
+        self._m_inc(
+            "repro_estimator_runs_total", float(len(tail)), path="frontier"
+        )
+        self._m_inc("repro_estimator_frontier_batches_total")
+        return head + costs
+
+    # ------------------------------------------------------------------
     # Parallel fan-out
     # ------------------------------------------------------------------
 
@@ -457,7 +657,7 @@ class CostEstimator:
         """Estimated full-database cost of the SR/G plan ``(Delta, H)``."""
         return self.estimate_plans([(depths, schedule)])[0]
 
-    def estimate_many(
+    def estimate_frontier(
         self,
         depth_list: Sequence[Sequence[float]],
         schedule: Optional[Sequence[int]] = None,
@@ -467,9 +667,20 @@ class CostEstimator:
         Exactly equivalent to ``[self.estimate(d, schedule) for d in
         depth_list]`` -- same costs, same memoization, same ``runs``
         accounting -- which is what lets the search schemes submit whole
-        frontiers without changing their selection semantics.
+        frontiers without changing their selection semantics. Large
+        deduplicated batches are costed in one plans-as-columns pass on
+        the :class:`~repro.optimizer.frontier.FrontierKernel` (see the
+        ``frontier`` constructor argument).
         """
         return self.estimate_plans([(d, schedule) for d in depth_list])
+
+    def estimate_many(
+        self,
+        depth_list: Sequence[Sequence[float]],
+        schedule: Optional[Sequence[int]] = None,
+    ) -> list[float]:
+        """Back-compat alias of :meth:`estimate_frontier`."""
+        return self.estimate_frontier(depth_list, schedule)
 
     def estimate_plans(
         self,
@@ -509,6 +720,8 @@ class CostEstimator:
         if pending:
             fresh = list(pending.keys())
             costs = self._parallel_costs(fresh)
+            if costs is None:
+                costs = self._frontier_costs(fresh)
             if costs is None:
                 costs = [self._simulate(d, s) for d, s in fresh]
             for key, cost in zip(fresh, costs):

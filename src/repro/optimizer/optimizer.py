@@ -15,7 +15,8 @@ optimal scheduling with respect to the identified depths."
 
 from __future__ import annotations
 
-from typing import Optional
+import inspect
+from typing import Callable, Optional, Sequence
 
 from repro.data.dataset import Dataset
 from repro.obs.metrics import MetricsRegistry
@@ -44,6 +45,14 @@ class NCOptimizer:
         trace: optional :class:`~repro.obs.TraceRecorder` receiving
             ``phase`` events (schedule / delta-search / h-optimization,
             tick-stamped with the estimator's cumulative run counter).
+        frontier: estimator batch path (``True`` / ``False`` /
+            ``"auto"``); see :class:`CostEstimator`.
+        clock: optional monotonic time source (e.g.
+            ``time.perf_counter``). When provided, per-phase wall times
+            are recorded in plan notes (``phase_seconds``) and the
+            ``repro_optimizer_phase_seconds_total`` metric. The default
+            (``None``) reads no clock at all, keeping the optimizer free
+            of ambient wall-clock access on serving paths.
     """
 
     def __init__(
@@ -54,6 +63,8 @@ class NCOptimizer:
         workers: Optional[int] = None,
         metrics: Optional[MetricsRegistry] = None,
         trace: Optional[TraceRecorder] = None,
+        frontier: bool | str = "auto",
+        clock: Optional[Callable[[], float]] = None,
     ):
         self.scheme = scheme if scheme is not None else HillClimb()
         self.schedule_optimizer = (
@@ -65,6 +76,8 @@ class NCOptimizer:
         self.workers = workers
         self.metrics = metrics
         self.trace = trace
+        self.frontier = frontier
+        self.clock = clock
 
     def _phase(self, estimator: CostEstimator, name: str, **fields) -> None:
         if self.trace is not None:
@@ -81,12 +94,20 @@ class NCOptimizer:
         cost_model: CostModel,
         no_wild_guesses: bool = True,
         min_sample_k: Optional[int] = None,
+        warm_start: Optional[Sequence[Sequence[float]]] = None,
     ) -> SRGPlan:
         """Optimize ``(Delta, H)`` for the query on the given scenario.
 
         ``min_sample_k`` opts into bootstrap amplification of the sample
         when proportional scaling would simulate with a tiny retrieval
         size (see :class:`CostEstimator`).
+
+        ``warm_start`` passes depth vectors believed near-optimal (e.g.
+        a previous winning plan on the same scenario) to the search
+        scheme, when the scheme supports them (:class:`HillClimb` does);
+        schemes without a ``warm_starts`` parameter ignore the hint.
+        Warm starts never replace the scheme's canonical start points,
+        so they can only add evaluations, not degrade the plan.
         """
         estimator = CostEstimator(
             sample,
@@ -99,7 +120,25 @@ class NCOptimizer:
             vectorized=self.vectorized,
             workers=self.workers,
             metrics=self.metrics,
+            frontier=self.frontier,
         )
+        clock = self.clock
+        phase_seconds: dict[str, float] = {}
+        t_phase = clock() if clock is not None else 0.0
+
+        def finish_phase(name: str) -> float:
+            if clock is None:
+                return 0.0
+            now = clock()
+            phase_seconds[name] = now - t_phase
+            if self.metrics is not None:
+                self.metrics.inc(
+                    "repro_optimizer_phase_seconds_total",
+                    now - t_phase,
+                    phase=name,
+                )
+            return now
+
         self._phase(estimator, "schedule", scheme=self.scheme.describe())
         initial_schedule = benefit_cost_schedule(sample, cost_model)
         # The estimator's default schedule is the identity; thread H_0
@@ -124,32 +163,67 @@ class NCOptimizer:
                 )
 
             @staticmethod
+            def estimate_frontier(depth_list, schedule=None):
+                return estimator.estimate_frontier(
+                    depth_list,
+                    schedule if schedule is not None else initial_schedule,
+                )
+
+            @staticmethod
             def estimate_many(depth_list, schedule=None):
                 return estimator.estimate_many(
                     depth_list,
                     schedule if schedule is not None else initial_schedule,
                 )
 
+        t_phase = finish_phase("schedule")
         self._phase(estimator, "delta_search")
-        result = self.scheme.search(_Scheduled())  # type: ignore[arg-type]
+        search_kwargs: dict[str, object] = {}
+        if warm_start is not None:
+            try:
+                params = inspect.signature(self.scheme.search).parameters
+            except (TypeError, ValueError):  # pragma: no cover - exotic callables
+                params = {}
+            if "warm_starts" in params:
+                search_kwargs["warm_starts"] = warm_start
+        result = self.scheme.search(
+            _Scheduled(), **search_kwargs  # type: ignore[arg-type]
+        )
+        t_phase = finish_phase("delta_search")
         self._phase(estimator, "h_optimization")
         schedule = self.schedule_optimizer.optimize(
             estimator, result.depths, initial=initial_schedule
         )
         cost = estimator.estimate(result.depths, schedule)
         estimator.close()
-        self._phase(estimator, "done", cost=cost)
+        finish_phase("h_optimization")
+        done_fields: dict[str, object] = {
+            "cost": cost,
+            "frontier_runs": estimator.frontier_runs,
+            "frontier_batches": estimator.frontier_batches,
+            "frontier_fallbacks": estimator.frontier_fallbacks,
+        }
+        if clock is not None:
+            done_fields["phase_seconds"] = dict(phase_seconds)
+        self._phase(estimator, "done", **done_fields)
+        notes: dict[str, object] = {
+            "scheme": self.scheme.describe(),
+            "sample_size": sample.n,
+            "sample_k": estimator.sample_k,
+            "kernel_runs": estimator.kernel_runs,
+            "reference_runs": estimator.reference_runs,
+            "pool_failures": estimator.pool_failures,
+            "frontier_runs": estimator.frontier_runs,
+            "frontier_batches": estimator.frontier_batches,
+            "frontier_fallbacks": estimator.frontier_fallbacks,
+            "warm_started": bool(search_kwargs),
+        }
+        if clock is not None:
+            notes["phase_seconds"] = phase_seconds
         return SRGPlan(
             depths=result.depths,
             schedule=schedule,
             estimated_cost=cost,
             estimator_runs=estimator.runs - start_runs,
-            notes={
-                "scheme": self.scheme.describe(),
-                "sample_size": sample.n,
-                "sample_k": estimator.sample_k,
-                "kernel_runs": estimator.kernel_runs,
-                "reference_runs": estimator.reference_runs,
-                "pool_failures": estimator.pool_failures,
-            },
+            notes=notes,
         )

@@ -25,6 +25,7 @@ import itertools
 import random
 from abc import ABC, abstractmethod
 from dataclasses import dataclass
+from typing import Sequence
 
 import numpy as np
 
@@ -66,13 +67,16 @@ def _batch_estimate(
 ) -> list[float]:
     """Cost the frontier ``points`` in one estimator submission.
 
-    Batching is purely an execution detail -- ``estimate_many`` is
+    Batching is purely an execution detail -- ``estimate_frontier`` is
     specified to return exactly what a serial ``estimate`` loop would --
-    but it lets the estimator amortize its fast-path setup and fan out to
-    worker processes. Estimator-likes without the batch API (duck-typed
-    test doubles, wrappers) degrade to the serial loop.
+    but it lets the estimator amortize its fast-path setup: cost the
+    whole deduplicated batch in one plans-as-columns frontier pass, or
+    fan out to worker processes. Estimator-likes without the batch API
+    (duck-typed test doubles, wrappers) degrade to the serial loop.
     """
-    batch = getattr(estimator, "estimate_many", None)
+    batch = getattr(estimator, "estimate_frontier", None)
+    if batch is None:
+        batch = getattr(estimator, "estimate_many", None)
     if batch is not None:
         return list(batch(points))
     return [estimator.estimate(point) for point in points]
@@ -85,36 +89,102 @@ class NaiveGrid(SearchScheme):
     against accidental blow-ups for larger ``m``; raise it deliberately
     when an exact grid optimum is worth the cost (e.g. as the quality
     reference in the scheme-comparison experiment).
+
+    ``coarse_resolution`` turns on a coarse-to-fine refinement: the cube
+    is first meshed at the coarse resolution, then only the box within
+    one coarse cell of the coarse winner is re-meshed at the full
+    resolution. Both meshes are select-after-full-scan frontiers, so
+    each is one batch submission. The default (``None``) estimates the
+    full fine mesh and remains exact on its own grid; refinement trades
+    that exhaustiveness for far fewer simulations, which is the point of
+    the grid scheme only ever being a baseline.
     """
 
-    def __init__(self, resolution: int = 5, max_points: int = 20000):
+    def __init__(
+        self,
+        resolution: int = 5,
+        max_points: int = 20000,
+        coarse_resolution: int | None = None,
+    ):
+        if coarse_resolution is not None and not (
+            2 <= coarse_resolution < resolution
+        ):
+            raise OptimizationError(
+                f"coarse_resolution must satisfy 2 <= coarse < resolution, "
+                f"got coarse={coarse_resolution} resolution={resolution}"
+            )
         self.resolution = resolution
         self.max_points = max_points
+        self.coarse_resolution = coarse_resolution
 
-    def search(self, estimator: CostEstimator) -> SearchResult:
-        m = estimator.sample.m
-        if self.resolution**m > self.max_points:
+    def _scan(
+        self,
+        estimator: CostEstimator,
+        points: list[tuple[float, ...]],
+        best_depths: tuple[float, ...] | None,
+        best_cost: float,
+    ) -> tuple[tuple[float, ...] | None, float]:
+        if len(points) > self.max_points:
             raise OptimizationError(
-                f"grid of {self.resolution}^{m} points exceeds max_points="
+                f"grid of {len(points)} points exceeds max_points="
                 f"{self.max_points}; use HillClimb or Strategies for this m"
             )
-        axis = _grid(self.resolution)
-        start_runs = estimator.runs
-        best_depths: tuple[float, ...] | None = None
-        best_cost = float("inf")
-        # The whole mesh is one frontier: every point is estimated
-        # regardless of the others' costs, so submit it as one batch and
-        # keep the first-minimum scan over the returned costs.
-        points = list(itertools.product(axis, repeat=m))
         for point, cost in zip(points, _batch_estimate(estimator, points)):
             if cost < best_cost:
                 best_cost = cost
                 best_depths = point
+        return best_depths, best_cost
+
+    def search(self, estimator: CostEstimator) -> SearchResult:
+        m = estimator.sample.m
+        axis = _grid(self.resolution)
+        start_runs = estimator.runs
+        best_depths: tuple[float, ...] | None = None
+        best_cost = float("inf")
+        # Each mesh is one frontier: every point is estimated regardless
+        # of the others' costs, so submit it as one batch and keep the
+        # first-minimum scan over the returned costs.
+        if self.resolution**m > self.max_points and (
+            self.coarse_resolution is None
+            or self.coarse_resolution**m > self.max_points
+        ):
+            raise OptimizationError(
+                f"grid of {self.resolution}^{m} points exceeds max_points="
+                f"{self.max_points}; use HillClimb or Strategies for this m"
+            )
+        if self.coarse_resolution is None:
+            points = list(itertools.product(axis, repeat=m))
+            best_depths, best_cost = self._scan(
+                estimator, points, best_depths, best_cost
+            )
+        else:
+            coarse_axis = _grid(self.coarse_resolution)
+            coarse = list(itertools.product(coarse_axis, repeat=m))
+            best_depths, best_cost = self._scan(
+                estimator, coarse, best_depths, best_cost
+            )
+            assert best_depths is not None
+            # Fine pass over the box within one coarse cell of the
+            # winner; the memo makes re-submitting the winner itself free.
+            cell = 1.0 / (self.coarse_resolution - 1)
+            sub_axes = [
+                [v for v in axis if abs(v - best_depths[i]) <= cell + 1e-12]
+                for i in range(m)
+            ]
+            fine = list(itertools.product(*sub_axes))
+            best_depths, best_cost = self._scan(
+                estimator, fine, best_depths, best_cost
+            )
         assert best_depths is not None
         return SearchResult(best_depths, best_cost, estimator.runs - start_runs)
 
     def describe(self) -> str:
         """Short scheme label for reports."""
+        if self.coarse_resolution is not None:
+            return (
+                f"Naive(grid={self.resolution},"
+                f"coarse={self.coarse_resolution})"
+            )
         return f"Naive(grid={self.resolution})"
 
 
@@ -211,6 +281,14 @@ class HillClimb(SearchScheme):
     Restart points are drawn from a scheme-owned generator seeded by
     ``seed``, or from an injected caller-owned ``rng`` (which then spans
     every subsequent :meth:`search` call on this instance).
+
+    :meth:`search` additionally accepts ``warm_starts`` -- depth vectors
+    believed to be near-optimal (e.g. the winning plan of a previous
+    query on the same scenario). They are climbed *first*, before the
+    canonical starts, so a good warm start turns the whole search into
+    cache hits around one basin; they never replace the canonical
+    starts, so a misleading warm start costs extra evaluations but
+    cannot worsen the result.
     """
 
     def __init__(
@@ -281,12 +359,25 @@ class HillClimb(SearchScheme):
             step /= 2.0
         return current, current_cost
 
-    def search(self, estimator: CostEstimator) -> SearchResult:
+    def search(
+        self,
+        estimator: CostEstimator,
+        warm_starts: Sequence[Sequence[float]] | None = None,
+    ) -> SearchResult:
         m = estimator.sample.m
         start_runs = estimator.runs
         best_depths: tuple[float, ...] | None = None
         best_cost = float("inf")
+        starts: list[tuple[float, ...]] = []
+        if warm_starts is not None:
+            for ws in warm_starts:
+                point = tuple(min(1.0, max(0.0, float(d))) for d in ws)
+                if len(point) == m and point not in starts:
+                    starts.append(point)
         for start in self._starts(m):
+            if start not in starts:
+                starts.append(start)
+        for start in starts:
             depths, cost = self._climb(estimator, start)
             if cost < best_cost:
                 best_cost, best_depths = cost, depths

@@ -259,7 +259,7 @@ class AsyncQueryServer(QueryServer):
         from repro.core.policies import SRGPolicy
 
         fn, _order = compile_expression(session.query.expr, schema=self.schema)
-        plan = self._planner.resolve_plan(middleware, fn, session.query.k)
+        plan = self._session_plan(middleware, fn, session)
         policy = SRGPolicy(plan.depths, plan.schedule)
         return AsyncExecutor(
             middleware,

@@ -26,6 +26,7 @@ of an exception, mirroring how dead sources degrade.
 
 from __future__ import annotations
 
+from collections import OrderedDict
 from dataclasses import dataclass, field
 from typing import Optional, Sequence, Union
 
@@ -40,6 +41,8 @@ from repro.faults.breaker import BreakerPolicy, breakers_for, degraded_predicate
 from repro.faults.retry import RetryPolicy
 from repro.obs.metrics import MetricsRegistry
 from repro.obs.trace import TraceRecorder
+from repro.optimizer.optimizer import NCOptimizer
+from repro.optimizer.plan import SRGPlan
 from repro.parallel.executor import ParallelExecutor
 from repro.query.ast import ParsedQuery, QueryError
 from repro.query.compiler import compile_expression
@@ -81,6 +84,14 @@ class ServerConfig:
         breaker_policy: tuning of the server-wide shared circuit
             breakers (library default when ``None``).
         sample_size: planning sample size of the per-query optimizer.
+        plan_memory: whether the server remembers winning SR/G plans per
+            ``(expression, k)``. An exact repeat reuses the remembered
+            plan verbatim (planning cost drops to a lookup; the answer
+            is identical because planning is deterministic); a repeat of
+            the expression at a *different* ``k`` warm-starts the
+            optimizer's search from the remembered depths. Hits are
+            counted in ``stats()["warm_start_hits"]`` and the
+            ``repro_server_warm_start_total`` metric.
         concurrent_queries: sessions *executing* at once -- only the
             async server (:class:`repro.service.aio.AsyncQueryServer`)
             honors values above 1; the sync server stays strictly FIFO.
@@ -107,6 +118,7 @@ class ServerConfig:
     retry_policy: Optional[RetryPolicy] = None
     breaker_policy: Optional[BreakerPolicy] = None
     sample_size: int = 100
+    plan_memory: bool = True
     concurrent_queries: int = 1
     max_pending: Optional[int] = None
     client_max_open: Optional[int] = None
@@ -240,7 +252,17 @@ class QueryServer:
         self.schema = tuple(schema)
         self.breakers = breakers_for(cost_model.m, self.config.breaker_policy)
         self._rng = derive_rng(self.config.seed)
-        self._planner = NC(sample_size=self.config.sample_size)
+        # The planner joins the server's shared metrics ledger so
+        # estimator counters (runs, cache, frontier batches/fallbacks)
+        # appear in stats() next to the serving-layer ones.
+        self._planner = NC(
+            sample_size=self.config.sample_size,
+            optimizer=NCOptimizer(metrics=self.metrics),
+        )
+        self._plan_memory: OrderedDict[tuple[str, int], SRGPlan] = (
+            OrderedDict()
+        )
+        self._warm_start_hits = 0
         self._sessions: dict[str, Session] = {}
         self._queue: list[str] = []
         self._counter = 0
@@ -310,6 +332,8 @@ class QueryServer:
             "rejected": self._rejected,
             "charged_cost_total": self._charged_total,
             "charged_accesses_total": self._clock_base,
+            "warm_start_hits": self._warm_start_hits,
+            "plan_memory_entries": len(self._plan_memory),
             "cache": self.cache.stats.snapshot(),
             "cache_entries": self.cache.entry_count,
             "degraded_predicates": degraded_predicates(
@@ -425,9 +449,51 @@ class QueryServer:
             trace=self._trace,
         )
 
+    #: Bound on remembered winning plans; oldest-used evicted beyond it.
+    _PLAN_MEMORY_CAP = 256
+
+    def _session_plan(self, middleware: Middleware, fn, session: Session) -> SRGPlan:
+        """Resolve the session's SR/G plan, amortizing optimizer work.
+
+        The server's scenario (cost model, pool size, wild-guess
+        setting) is fixed, so a plan is a pure function of
+        ``(expression, k)`` -- planning samples a seeded dummy
+        distribution, never live source state. That makes verbatim reuse
+        of a remembered plan *exactly* the plan a fresh optimization
+        would return, and remembered depths for the same expression at
+        another ``k`` a sound warm start (warm starts extend, never
+        replace, the search's canonical start points).
+        """
+        if not self.config.plan_memory:
+            return self._planner.resolve_plan(middleware, fn, session.query.k)
+        key = (str(session.query.expr), session.query.k)
+        plan = self._plan_memory.get(key)
+        if plan is not None:
+            self._plan_memory.move_to_end(key)  # repro-ownership: event-loop synchronous section
+            self._warm_start_hits += 1  # repro-ownership: event-loop synchronous section
+            self.metrics.inc("repro_server_warm_start_total", kind="reuse")
+            return plan
+        warm = [
+            remembered.depths
+            for (expr_key, _k), remembered in self._plan_memory.items()
+            if expr_key == key[0]
+        ]
+        if warm:
+            self._warm_start_hits += 1  # repro-ownership: event-loop synchronous section
+            self.metrics.inc("repro_server_warm_start_total", kind="climb")
+            plan = self._planner.resolve_plan(
+                middleware, fn, session.query.k, warm_start=warm[-3:]
+            )
+        else:
+            plan = self._planner.resolve_plan(middleware, fn, session.query.k)
+        self._plan_memory[key] = plan  # repro-ownership: event-loop synchronous section
+        while len(self._plan_memory) > self._PLAN_MEMORY_CAP:
+            self._plan_memory.popitem(last=False)  # repro-ownership: event-loop synchronous section
+        return plan
+
     def _engine(self, middleware: Middleware, session: Session) -> FrameworkNC:
         fn, _order = compile_expression(session.query.expr, schema=self.schema)
-        plan = self._planner.resolve_plan(middleware, fn, session.query.k)
+        plan = self._session_plan(middleware, fn, session)
         policy = SRGPolicy(plan.depths, plan.schedule)
         if self.config.query_concurrency > 1:
             return ParallelExecutor(
