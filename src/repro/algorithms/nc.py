@@ -28,6 +28,11 @@ from repro.core.framework import FrameworkNC
 from repro.core.policies import SRGPolicy
 from repro.optimizer.optimizer import NCOptimizer
 from repro.optimizer.plan import SRGPlan
+from repro.optimizer.replan import (
+    ReplanConfig,
+    ReplanController,
+    plan_fingerprint,
+)
 from repro.optimizer.sampling import dummy_uniform_sample
 from repro.scoring.functions import ScoringFunction
 from repro.sources.middleware import Middleware
@@ -48,6 +53,7 @@ class NC(TopKAlgorithm):
         optimizer: Optional[NCOptimizer] = None,
         sample_size: int = 100,
         seed: int = 0,
+        replan: Optional[ReplanConfig] = None,
     ):
         if plan is not None and planner is not None:
             raise ValueError("pass either a fixed plan or a planner, not both")
@@ -56,6 +62,7 @@ class NC(TopKAlgorithm):
         self.optimizer = optimizer if optimizer is not None else NCOptimizer()
         self.sample_size = sample_size
         self.seed = seed
+        self.replan = replan
 
     def _default_planner(
         self,
@@ -97,16 +104,52 @@ class NC(TopKAlgorithm):
             return self.planner(middleware, fn, k)
         return self._default_planner(middleware, fn, k, warm_start=warm_start)
 
+    def controller_for(
+        self, middleware: Middleware, fn: ScoringFunction, k: int, plan: SRGPlan
+    ) -> ReplanController:
+        """Build the mid-flight replanning controller for one run.
+
+        The controller reasons over the same knowledge model the default
+        planner optimizes on (the seeded dummy uniform sample) -- even in
+        fixed-plan and custom-planner modes, where it is the only sample
+        available to re-search against.
+        """
+        sample = dummy_uniform_sample(middleware.m, self.sample_size, self.seed)
+        return ReplanController(
+            sample,
+            fn,
+            k,
+            middleware.n_objects,
+            middleware.cost_model,
+            initial_plan=plan,
+            config=self.replan,
+            optimizer=self.optimizer,
+            no_wild_guesses=middleware.no_wild_guesses,
+        )
+
     def run(
         self, middleware: Middleware, fn: ScoringFunction, k: int
     ) -> QueryResult:
         plan = self.resolve_plan(middleware, fn, k)
         policy = SRGPolicy(plan.depths, plan.schedule)
-        engine = FrameworkNC(middleware, fn, k, policy)
+        # Mode "off" builds no controller at all: the run (result
+        # metadata included) is byte-identical to a replan-less engine.
+        controller = (
+            self.controller_for(middleware, fn, k, plan)
+            if self.replan is not None and self.replan.mode != "off"
+            else None
+        )
+        engine = FrameworkNC(middleware, fn, k, policy, replan=controller)
+        engine.plan_id = plan_fingerprint(plan)
         result = engine.run()
         result.algorithm = self.name
         result.metadata["plan"] = plan.describe()
         result.metadata["depths"] = plan.depths
         result.metadata["schedule"] = plan.schedule
         result.metadata["estimator_runs"] = plan.estimator_runs
+        if controller is not None:
+            result.metadata["depths"] = controller.plan.depths
+            result.metadata["schedule"] = controller.plan.schedule
+            result.metadata["plan"] = controller.plan.describe()
+            result.metadata["initial_plan"] = plan.describe()
         return result

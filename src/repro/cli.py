@@ -413,6 +413,7 @@ def _cmd_serve(args) -> int:
             concurrent_queries=args.concurrent_queries,
             time_scale=args.time_scale,
             plan_memory=not args.no_plan_memory,
+            replan=args.replan,
         )
     except ValueError as exc:
         raise ReproError(str(exc)) from exc
@@ -718,6 +719,17 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="disable per-(expression, k) plan reuse and warm-started "
         "re-optimization across sessions",
+    )
+    serve_parser.add_argument(
+        "--replan",
+        choices=["off", "drift", "always"],
+        default="off",
+        help=(
+            "mid-flight adaptive replanning (docs/OPTIMIZER.md): re-optimize "
+            "a session's (Delta, H) at engine checkpoints when observed "
+            "source behaviour drifts from the assumed cost model; 'off' "
+            "(default) runs exactly the static engines"
+        ),
     )
     serve_parser.add_argument(
         "--time-scale",

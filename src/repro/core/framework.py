@@ -35,11 +35,11 @@ from __future__ import annotations
 
 import itertools
 from dataclasses import dataclass
-from typing import Callable, Iterator, Optional, Sequence
+from typing import TYPE_CHECKING, Callable, Iterator, Optional, Sequence
 
 from repro.core.choices import necessary_choices
 from repro.core.heap import LazyMaxHeap
-from repro.core.policies import SelectContext, SelectPolicy
+from repro.core.policies import SelectContext, SelectPolicy, SRGPolicy
 from repro.core.state import ScoreState
 from repro.core.tasks import UNSEEN
 from repro.exceptions import (
@@ -52,6 +52,9 @@ from repro.exceptions import (
 from repro.scoring.functions import ScoringFunction
 from repro.sources.middleware import Middleware
 from repro.types import Access, QueryResult, RankedObject
+
+if TYPE_CHECKING:  # pragma: no cover - optimizer imports this module
+    from repro.optimizer.replan import ReplanController
 
 
 @dataclass
@@ -100,6 +103,12 @@ class FrameworkNC:
             filtered from the choice sets, targets left unrefinable are
             answered bound-only, and the result comes back flagged
             ``partial`` with its proven intervals rather than raising.
+        replan: optional :class:`~repro.optimizer.replan.ReplanController`
+            consulted at safe checkpoints (between iterations); when it
+            decides the observed source behaviour warrants a better
+            ``(Delta, H)``, the engine swaps its Select policy for the new
+            plan's and continues -- score state, bounds and middleware
+            accounting carry over untouched.
     """
 
     def __init__(
@@ -112,6 +121,7 @@ class FrameworkNC:
         max_accesses: Optional[int] = None,
         theta: float = 1.0,
         degrade_on_budget: bool = False,
+        replan: Optional["ReplanController"] = None,
     ):
         if k < 1:
             raise ValueError(f"k must be >= 1, got {k}")
@@ -127,6 +137,22 @@ class FrameworkNC:
         self.max_accesses = max_accesses
         self.theta = theta
         self.degrade_on_budget = degrade_on_budget
+        if replan is not None and replan.config.mode == "off":
+            # An off-mode controller is indistinguishable from no
+            # controller -- normalize so result metadata (and therefore
+            # serialized bytes) cannot differ either.
+            replan = None
+        self.replan = replan
+        # Plan provenance (docs/OPTIMIZER.md): which (Delta, H) the engine
+        # is executing, stamped into degraded results so a budget-
+        # exhausted partial answer is attributable even after replanning
+        # swapped policies mid-run. Set by plan-aware callers (the NC
+        # algorithm, the serving layers); None for ad-hoc policies.
+        self.plan_id: Optional[str] = None
+        self.plan_revision: int = 0
+        if replan is not None:
+            self.plan_id = replan.plan_id
+            self.plan_revision = replan.revision
         self._budget_blocked = False
         self.state = ScoreState(middleware, fn)
         self._heap = LazyMaxHeap()
@@ -294,6 +320,30 @@ class FrameworkNC:
         self._unseen_abandoned = True
         self._in_heap.discard(UNSEEN)
 
+    # ------------------------------------------------------------------
+    # Adaptive replanning checkpoint (docs/OPTIMIZER.md)
+    # ------------------------------------------------------------------
+
+    def _replan_checkpoint(self) -> None:
+        """Safe point between accesses: let the controller swap the plan.
+
+        Called with no access in flight, so the swap is purely a policy
+        exchange: the score state, bound heap, middleware accounting and
+        budgets all carry over -- the charged-cost ledger cannot tell a
+        replanned run from a straight one, only the *future* access
+        choices change. The controller itself gates frequency, drift and
+        the improvement margin; most calls return immediately.
+        """
+        if self.replan is None:
+            return
+        plan = self.replan.maybe_replan(self.middleware)
+        if plan is None:
+            return
+        self.policy = SRGPolicy(plan.depths, plan.schedule)  # repro-ownership: per-query engine task
+        self.policy.reset()
+        self.plan_id = self.replan.plan_id  # repro-ownership: per-query engine task
+        self.plan_revision = self.replan.revision  # repro-ownership: per-query engine task
+
     def _annotate(self, result: QueryResult) -> QueryResult:
         """Attach fault events and degradation flags to a finished result.
 
@@ -304,8 +354,17 @@ class FrameworkNC:
         """
         if self._fault_events:
             result.metadata["fault_events"] = list(self._fault_events)
+        if self.replan is not None:
+            result.metadata["replan"] = self.replan.summary()
         if self._budget_blocked:
             result.metadata["budget_exhausted"] = True
+            if self.plan_id is not None:
+                # Which (Delta, H) was live when the budget ran dry --
+                # replanning makes "the plan" ambiguous without this.
+                result.metadata["plan_at_exhaustion"] = {
+                    "id": self.plan_id,
+                    "revision": self.plan_revision,
+                }
         if self._bound_only or self._unseen_abandoned:
             result.partial = True
             result.uncertainty = dict(self._bound_only)
@@ -443,6 +502,7 @@ class FrameworkNC:
         """
         self._prepare()
         while True:
+            self._replan_checkpoint()
             entry = self._heap.pop_current(self._priority_of)
             if entry is None:
                 return

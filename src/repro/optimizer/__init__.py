@@ -18,7 +18,10 @@ estimated access cost for the query and cost scenario at hand:
 * :mod:`repro.optimizer.schedule` -- global schedule ``H`` optimization
   (benefit/cost ranking a la MPro, optionally exhaustive for small ``m``);
 * :mod:`repro.optimizer.optimizer` -- the :class:`NCOptimizer` facade
-  producing an :class:`SRGPlan`.
+  producing an :class:`SRGPlan`;
+* :mod:`repro.optimizer.replan` -- mid-flight adaptive replanning: fold
+  observed costs / breaker state back into the model at engine
+  checkpoints and switch plans on projected-remaining-cost improvement.
 """
 
 from repro.optimizer.estimator import CostEstimator
@@ -32,6 +35,11 @@ from repro.optimizer.sampling import (
     histogram_sample,
     online_sample,
     sample_from_dataset,
+)
+from repro.optimizer.replan import (
+    ReplanConfig,
+    ReplanController,
+    plan_fingerprint,
 )
 from repro.optimizer.schedule import ScheduleOptimizer, benefit_cost_schedule
 from repro.optimizer.search import (
@@ -48,6 +56,9 @@ __all__ = [
     "SampleIndex",
     "SimulationCounts",
     "NCOptimizer",
+    "ReplanConfig",
+    "ReplanController",
+    "plan_fingerprint",
     "SearchScheme",
     "SearchResult",
     "NaiveGrid",

@@ -28,7 +28,7 @@ Two speculation modes trade elapsed time against total cost:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional, Union
+from typing import TYPE_CHECKING, Optional, Union
 
 from repro.core.choices import necessary_choices
 from repro.core.framework import FrameworkNC
@@ -44,6 +44,9 @@ from repro.scoring.functions import ScoringFunction
 from repro.sources.latency import ConstantLatency, LatencyModel
 from repro.sources.middleware import Middleware
 from repro.types import Access, QueryResult
+
+if TYPE_CHECKING:  # pragma: no cover - optimizer imports the core engine
+    from repro.optimizer.replan import ReplanController
 
 
 @dataclass
@@ -80,9 +83,15 @@ class ParallelExecutor(FrameworkNC):
         latency_model: Optional[LatencyModel] = None,
         speculation: str = "none",
         degrade_on_budget: bool = False,
+        replan: Optional["ReplanController"] = None,
     ):
         super().__init__(
-            middleware, fn, k, policy, degrade_on_budget=degrade_on_budget
+            middleware,
+            fn,
+            k,
+            policy,
+            degrade_on_budget=degrade_on_budget,
+            replan=replan,
         )
         if concurrency < 1:
             raise ValueError(f"concurrency must be >= 1, got {concurrency}")
@@ -191,6 +200,9 @@ class ParallelExecutor(FrameworkNC):
         between planning and folding while sharing every decision.
         """
         while True:
+            # Wave boundary == safe checkpoint: no access is in flight,
+            # the previous wave is fully folded in.
+            self._replan_checkpoint()
             popped = self._collect_topk()
             workable: list[int] = []
             abandoned_unseen = False

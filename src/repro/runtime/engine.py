@@ -36,7 +36,7 @@ invariant (charged + cached == recorded) intact for cancelled queries.
 
 from __future__ import annotations
 
-from typing import AsyncIterator, Awaitable, Callable, Optional
+from typing import TYPE_CHECKING, AsyncIterator, Awaitable, Callable, Optional
 
 from repro.core.framework import FrameworkNC, TraceStep
 from repro.core.policies import SelectContext, SelectPolicy
@@ -53,6 +53,9 @@ from repro.scoring.functions import ScoringFunction
 from repro.sources.latency import LatencyModel
 from repro.sources.middleware import Middleware
 from repro.types import Access, QueryResult, RankedObject
+
+if TYPE_CHECKING:  # pragma: no cover - optimizer imports the core engine
+    from repro.optimizer.replan import ReplanController
 
 #: Progressive-answer callback: awaited once per confirmed answer, in
 #: rank order, before processing continues.
@@ -91,6 +94,7 @@ class AsyncExecutor(ParallelExecutor):
         speculation: str = "none",
         degrade_on_budget: bool = False,
         pacer: Optional[Pacer] = None,
+        replan: Optional["ReplanController"] = None,
     ):
         super().__init__(
             middleware,
@@ -101,6 +105,7 @@ class AsyncExecutor(ParallelExecutor):
             latency_model=latency_model,
             speculation=speculation,
             degrade_on_budget=degrade_on_budget,
+            replan=replan,
         )
         self.pacer = pacer if pacer is not None else Pacer()
 
@@ -124,6 +129,9 @@ class AsyncExecutor(ParallelExecutor):
             )
         self._prepare()
         while True:
+            # Same safe point as the sync engine's answers() loop: no
+            # access in flight, no await since the last fold.
+            self._replan_checkpoint()
             entry = self._heap.pop_current(self._priority_of)
             if entry is None:
                 return

@@ -258,10 +258,12 @@ class AsyncQueryServer(QueryServer):
         from repro.query.compiler import compile_expression
         from repro.core.policies import SRGPolicy
 
+        from repro.optimizer.replan import plan_fingerprint
+
         fn, _order = compile_expression(session.query.expr, schema=self.schema)
         plan = self._session_plan(middleware, fn, session)
         policy = SRGPolicy(plan.depths, plan.schedule)
-        return AsyncExecutor(
+        engine = AsyncExecutor(
             middleware,
             fn,
             session.query.k,
@@ -270,7 +272,12 @@ class AsyncQueryServer(QueryServer):
             speculation=self.config.speculation,
             degrade_on_budget=self.config.degrade_on_budget,
             pacer=self.pacer,
+            replan=self._replan_controller(
+                middleware, fn, session.query.k, plan
+            ),
         )
+        engine.plan_id = plan_fingerprint(plan)
+        return engine
 
     async def _run_session(
         self, session: Session, on_answer: Optional[AnswerCallback]
@@ -301,10 +308,10 @@ class AsyncQueryServer(QueryServer):
         self.cache.retain()
         self._start_session(session)
         session.status = "running"
+        engine = None
         try:
-            result = await self._async_engine(middleware, session).run_async(
-                on_answer=on_answer
-            )
+            engine = self._async_engine(middleware, session)
+            result = await engine.run_async(on_answer=on_answer)
         except asyncio.CancelledError:
             session.status = "cancelled"
             session.error = "cancelled mid-flight"
@@ -322,6 +329,8 @@ class AsyncQueryServer(QueryServer):
             # and cancellation alike -- whatever this session charged is
             # on the ledger before anyone observes its terminal state.
             del self._inflight[session.id]  # repro-ownership: event-loop synchronous section
+            if engine is not None:
+                self._fold_replan(engine.replan)
             self._finalize(session, middleware)
             self.cache.release()
 

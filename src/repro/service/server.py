@@ -27,7 +27,7 @@ of an exception, mirroring how dead sources degrade.
 from __future__ import annotations
 
 from collections import OrderedDict
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import Optional, Sequence, Union
 
 from repro.algorithms.nc import NC
@@ -43,6 +43,13 @@ from repro.obs.metrics import MetricsRegistry
 from repro.obs.trace import TraceRecorder
 from repro.optimizer.optimizer import NCOptimizer
 from repro.optimizer.plan import SRGPlan
+from repro.optimizer.replan import (
+    REPLAN_MODES,
+    ReplanConfig,
+    ReplanController,
+    plan_fingerprint,
+)
+from repro.optimizer.sampling import dummy_uniform_sample
 from repro.parallel.executor import ParallelExecutor
 from repro.query.ast import ParsedQuery, QueryError
 from repro.query.compiler import compile_expression
@@ -50,6 +57,7 @@ from repro.query.parser import parse_query
 from repro.sources.cache import SourceCache
 from repro.sources.cost import CostModel
 from repro.sources.middleware import Middleware
+from repro.sources.monitor import CostMonitor
 from repro.types import QueryResult
 
 
@@ -104,6 +112,19 @@ class ServerConfig:
         time_scale: real seconds per unit of virtual access latency in
             the async runtime (:class:`repro.runtime.Pacer`); ``0.0``
             never sleeps and keeps runs deterministic and maximally fast.
+        replan: mid-flight adaptive replanning mode
+            (:mod:`repro.optimizer.replan`). ``"off"`` (default) runs
+            exactly today's engines; ``"drift"`` attaches a
+            :class:`~repro.sources.monitor.CostMonitor` to every session
+            and re-optimizes ``(Delta, H)`` at engine checkpoints once
+            observed source behaviour drifts beyond
+            ``replan_config.drift_tolerance``; ``"always"`` re-evaluates
+            at every checkpoint. Remembered plans keep warm-starting the
+            re-search either way.
+        replan_config: full knob set for the controller; its ``mode``
+            field is overridden by ``replan`` (the single coarse switch
+            transports expose). ``None`` uses :class:`ReplanConfig`
+            defaults.
     """
 
     max_in_flight: int = 8
@@ -123,8 +144,14 @@ class ServerConfig:
     max_pending: Optional[int] = None
     client_max_open: Optional[int] = None
     time_scale: float = 0.0
+    replan: str = "off"
+    replan_config: Optional[ReplanConfig] = None
 
     def __post_init__(self) -> None:
+        if self.replan not in REPLAN_MODES:
+            raise ValueError(
+                f"replan must be one of {REPLAN_MODES}, got {self.replan!r}"
+            )
         if self.max_in_flight < 1:
             raise ValueError(
                 f"max_in_flight must be >= 1, got {self.max_in_flight}"
@@ -259,10 +286,18 @@ class QueryServer:
             sample_size=self.config.sample_size,
             optimizer=NCOptimizer(metrics=self.metrics),
         )
-        self._plan_memory: OrderedDict[tuple[str, int], SRGPlan] = (
-            OrderedDict()
-        )
+        # Plan memory is keyed by (scenario fingerprint, expression, k):
+        # a plan is a pure function of all three, and the fingerprint
+        # part is what keeps a remembered (Delta, H) from surviving a
+        # dataset reload or source-set change (a plan optimized for the
+        # old pool size replays stale depths against the new one).
+        self._plan_memory: OrderedDict[
+            tuple[tuple, str, int], SRGPlan
+        ] = OrderedDict()
+        self._plan_epoch = 0
         self._warm_start_hits = 0
+        self._replan_sample: Optional[Dataset] = None
+        self._replan_outcomes: dict[str, int] = {}
         self._sessions: dict[str, Session] = {}
         self._queue: list[str] = []
         self._counter = 0
@@ -334,6 +369,9 @@ class QueryServer:
             "charged_accesses_total": self._clock_base,
             "warm_start_hits": self._warm_start_hits,
             "plan_memory_entries": len(self._plan_memory),
+            "plan_epoch": self._plan_epoch,
+            "replan_mode": self.config.replan,
+            "replans": dict(self._replan_outcomes),
             "cache": self.cache.stats.snapshot(),
             "cache_entries": self.cache.entry_count,
             "degraded_predicates": degraded_predicates(
@@ -341,6 +379,60 @@ class QueryServer:
             ),
             "metrics": self.metrics.snapshot(),
         }
+
+    # ------------------------------------------------------------------
+    # Dataset / source-set lifecycle
+    # ------------------------------------------------------------------
+
+    def reload(
+        self,
+        dataset: Optional[Dataset] = None,
+        cache: Optional[SourceCache] = None,
+    ) -> None:
+        """Swap the served source pool; remembered plans are invalidated.
+
+        The supported way to point a live server at new data. Exactly one
+        of ``dataset`` (fresh simulated sources are built, as in the
+        constructor) or ``cache`` (a pre-built pool, e.g. fault-injected)
+        must be given. Bumps the plan-memory epoch and drops every
+        remembered plan: a ``(Delta, H)`` optimized against the old pool
+        must never replay against the new one, even when the pool sizes
+        coincide. Open sessions keep the middleware (and cache) they
+        were built over; sessions admitted after the reload see the new
+        pool.
+        """
+        if (dataset is None) == (cache is None):
+            raise ValueError("pass exactly one of dataset or cache")
+        if cache is None:
+            assert dataset is not None
+            cache = SourceCache.over(
+                dataset,
+                self.cost_model,
+                ttl=self.config.cache_ttl,
+                max_entries=self.config.cache_max_entries,
+                metrics=self.metrics,
+                trace=self._trace,
+            )
+        elif cache.metrics is None or (
+            self._trace is not None and cache.trace is None
+        ):
+            cache.attach_observability(
+                metrics=self.metrics if cache.metrics is None else None,
+                trace=self._trace if cache.trace is None else None,
+            )
+        if cache.m != self.cost_model.m:
+            raise ValueError(
+                f"cache covers {cache.m} predicates but cost model "
+                f"{self.cost_model.m}"
+            )
+        self.cache = cache  # repro-ownership: event-loop synchronous section
+        self._plan_epoch += 1  # repro-ownership: event-loop synchronous section
+        self._plan_memory.clear()  # repro-ownership: event-loop synchronous section
+        self.metrics.inc("repro_server_reloads_total")
+        if self._trace is not None:
+            self._trace.emit(
+                "reload", self._clock_base, epoch=self._plan_epoch
+            )
 
     # ------------------------------------------------------------------
     # Session lifecycle
@@ -437,6 +529,15 @@ class QueryServer:
     # ------------------------------------------------------------------
 
     def _middleware(self, session: Session) -> Middleware:
+        # Replanning needs eyes: a per-session CostMonitor observing the
+        # sources' reported durations (and breaker refusals) against the
+        # assumed cost model. Off mode attaches none -- byte-identity
+        # with today's engines extends to the monitor's absence.
+        monitor = (
+            CostMonitor(self.cost_model)
+            if self.config.replan != "off"
+            else None
+        )
         return Middleware.warm(
             self.cache,
             self.cost_model,
@@ -445,6 +546,7 @@ class QueryServer:
             contracts=self.config.contracts,
             breakers=self.breakers,
             clock_base=self._clock_base,
+            monitor=monitor,
             metrics=self.metrics,
             trace=self._trace,
         )
@@ -452,21 +554,42 @@ class QueryServer:
     #: Bound on remembered winning plans; oldest-used evicted beyond it.
     _PLAN_MEMORY_CAP = 256
 
+    def _scenario_fingerprint(self, middleware: Middleware) -> tuple:
+        """What the remembered plans' validity actually depends on.
+
+        Planning is a pure function of the dummy sample (seeded), the
+        cost model, the pool size and the wild-guess setting -- *not* of
+        live source state. The fingerprint pins exactly those inputs plus
+        a reload epoch, so a plan memorized against one source pool can
+        never be replayed against a different one: :meth:`reload` bumps
+        the epoch, and even a raw ``server.cache`` swap changes
+        ``n_objects`` whenever the pool size does.
+        """
+        return (
+            self._plan_epoch,
+            middleware.n_objects,
+            middleware.m,
+            middleware.no_wild_guesses,
+            self.cost_model.cs,
+            self.cost_model.cr,
+            self.config.sample_size,
+        )
+
     def _session_plan(self, middleware: Middleware, fn, session: Session) -> SRGPlan:
         """Resolve the session's SR/G plan, amortizing optimizer work.
 
-        The server's scenario (cost model, pool size, wild-guess
-        setting) is fixed, so a plan is a pure function of
-        ``(expression, k)`` -- planning samples a seeded dummy
-        distribution, never live source state. That makes verbatim reuse
-        of a remembered plan *exactly* the plan a fresh optimization
-        would return, and remembered depths for the same expression at
-        another ``k`` a sound warm start (warm starts extend, never
-        replace, the search's canonical start points).
+        A plan is a pure function of ``(scenario fingerprint, expression,
+        k)`` -- planning samples a seeded dummy distribution, never live
+        source state. That makes verbatim reuse of a remembered plan
+        *exactly* the plan a fresh optimization would return, and
+        remembered depths for the same expression at another ``k`` a
+        sound warm start (warm starts extend, never replace, the
+        search's canonical start points).
         """
         if not self.config.plan_memory:
             return self._planner.resolve_plan(middleware, fn, session.query.k)
-        key = (str(session.query.expr), session.query.k)
+        fingerprint = self._scenario_fingerprint(middleware)
+        key = (fingerprint, str(session.query.expr), session.query.k)
         plan = self._plan_memory.get(key)
         if plan is not None:
             self._plan_memory.move_to_end(key)  # repro-ownership: event-loop synchronous section
@@ -475,8 +598,8 @@ class QueryServer:
             return plan
         warm = [
             remembered.depths
-            for (expr_key, _k), remembered in self._plan_memory.items()
-            if expr_key == key[0]
+            for (fp_key, expr_key, _k), remembered in self._plan_memory.items()
+            if fp_key == fingerprint and expr_key == key[1]
         ]
         if warm:
             self._warm_start_hits += 1  # repro-ownership: event-loop synchronous section
@@ -491,12 +614,49 @@ class QueryServer:
             self._plan_memory.popitem(last=False)  # repro-ownership: event-loop synchronous section
         return plan
 
+    def _replan_controller(
+        self, middleware: Middleware, fn, k: int, plan: SRGPlan
+    ) -> Optional[ReplanController]:
+        """The session's mid-flight replanning controller, if enabled.
+
+        Shares the server's metrics-wired optimizer (re-search estimator
+        counters land in :meth:`stats` like initial planning's do) and
+        the cached dummy sample all sessions plan on.
+        """
+        if self.config.replan == "off":
+            return None
+        config = (
+            self.config.replan_config
+            if self.config.replan_config is not None
+            else ReplanConfig()
+        )
+        if config.mode != self.config.replan:
+            config = replace(config, mode=self.config.replan)
+        if self._replan_sample is None:
+            self._replan_sample = dummy_uniform_sample(  # repro-ownership: event-loop synchronous section
+                middleware.m, self.config.sample_size, self._planner.seed
+            )
+        return ReplanController(
+            self._replan_sample,
+            fn,
+            k,
+            middleware.n_objects,
+            self.cost_model,
+            initial_plan=plan,
+            config=config,
+            optimizer=self._planner.optimizer,
+            no_wild_guesses=middleware.no_wild_guesses,
+        )
+
     def _engine(self, middleware: Middleware, session: Session) -> FrameworkNC:
         fn, _order = compile_expression(session.query.expr, schema=self.schema)
         plan = self._session_plan(middleware, fn, session)
         policy = SRGPolicy(plan.depths, plan.schedule)
+        controller = self._replan_controller(
+            middleware, fn, session.query.k, plan
+        )
         if self.config.query_concurrency > 1:
-            return ParallelExecutor(
+            engine: FrameworkNC = ParallelExecutor(
                 middleware,
                 fn,
                 session.query.k,
@@ -504,14 +664,19 @@ class QueryServer:
                 concurrency=self.config.query_concurrency,
                 speculation=self.config.speculation,
                 degrade_on_budget=self.config.degrade_on_budget,
+                replan=controller,
             )
-        return FrameworkNC(
-            middleware,
-            fn,
-            session.query.k,
-            policy,
-            degrade_on_budget=self.config.degrade_on_budget,
-        )
+        else:
+            engine = FrameworkNC(
+                middleware,
+                fn,
+                session.query.k,
+                policy,
+                degrade_on_budget=self.config.degrade_on_budget,
+                replan=controller,
+            )
+        engine.plan_id = plan_fingerprint(plan)
+        return engine
 
     def _start_session(self, session: Session) -> None:
         """Emit the session-start trace marker (at the current clock)."""
@@ -562,12 +727,23 @@ class QueryServer:
             )
         self.cache.tick()
 
+    def _fold_replan(self, controller: Optional[ReplanController]) -> None:
+        """Aggregate one ended session's replan decisions into stats()."""
+        if controller is None:
+            return
+        for outcome, count in controller.outcomes.items():
+            self._replan_outcomes[outcome] = (  # repro-ownership: event-loop synchronous section
+                self._replan_outcomes.get(outcome, 0) + count
+            )
+
     def _execute(self, session: Session) -> None:
         middleware = self._middleware(session)
         self._live_middleware = middleware  # repro-ownership: event-loop synchronous section
         self._start_session(session)
+        engine: Optional[FrameworkNC] = None
         try:
-            result = self._engine(middleware, session).run()
+            engine = self._engine(middleware, session)
+            result = engine.run()
         except ReproError as exc:
             session.status = "failed"
             session.error = str(exc)
@@ -576,4 +752,6 @@ class QueryServer:
             self._complete(session, result)
         finally:
             self._live_middleware = None  # repro-ownership: event-loop synchronous section
+            if engine is not None:
+                self._fold_replan(engine.replan)
             self._finalize(session, middleware)

@@ -560,6 +560,8 @@ class Middleware:
                     kind=access.kind.value,
                 )
             self._emit("breaker_rejected", access)
+            if self._monitor is not None:
+                self._monitor.observe_unavailable(access)
             raise SourceUnavailableError(
                 "circuit breaker is open; access refused without charge",
                 predicate=access.predicate,

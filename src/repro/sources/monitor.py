@@ -17,6 +17,22 @@ against the assumed :class:`~repro.sources.cost.CostModel`:
 Estimates require a minimum number of observations per (predicate,
 access-kind) cell before they are trusted; unobserved cells fall back to
 the assumed costs.
+
+Two failure modes the original monitor missed (both matter to the
+adaptive replanning loop in :mod:`repro.optimizer.replan`):
+
+* **Breaker-open channels never drifted.** An open circuit breaker
+  refuses accesses *uncharged and unobserved* -- the monitor saw zero
+  durations for exactly the channel that was misbehaving, and
+  :meth:`drifted` skipped zero-observation cells. :meth:`observe_unavailable`
+  (fed by the middleware's breaker gate) marks such refusals, and a
+  marked cell reports an ``inf`` drift ratio even with no duration data.
+* **Adopting a new plan re-triggered the same drift.** After replanning
+  against the observed costs, the *old* assumed model kept flagging the
+  very drift that was just acted upon. :meth:`rebase` starts a fresh
+  drift window anchored to the current estimate, while :meth:`reset`
+  keeps its replay contract: back to the construction-time assumed
+  model with no history at all.
 """
 
 from __future__ import annotations
@@ -66,17 +82,53 @@ class CostMonitor:
         if min_observations < 1:
             raise ValueError("min_observations must be >= 1")
         self.assumed = assumed
+        self._initial_assumed = assumed
         self.min_observations = min_observations
         self.observe_failures = observe_failures
         self._sorted = [_RunningMean() for _ in range(assumed.m)]
         self._random = [_RunningMean() for _ in range(assumed.m)]
+        self._sorted_unavailable = [0] * assumed.m
+        self._random_unavailable = [0] * assumed.m
         self._failure_observations = 0
 
     def reset(self) -> None:
-        """Drop every observation (a middleware reset starts a fresh run)."""
+        """Drop every observation (a middleware reset starts a fresh run).
+
+        Restores the *construction-time* assumed model, discarding any
+        :meth:`rebase` re-anchoring, so a reset middleware replays a run
+        bit-for-bit from the same starting expectations.
+        """
+        self.assumed = self._initial_assumed
         self._sorted = [_RunningMean() for _ in range(self.assumed.m)]
         self._random = [_RunningMean() for _ in range(self.assumed.m)]
+        self._sorted_unavailable = [0] * self.assumed.m
+        self._random_unavailable = [0] * self.assumed.m
         self._failure_observations = 0
+
+    def rebase(self, assumed: Optional[CostModel] = None) -> CostModel:
+        """Start a fresh drift window anchored to updated expectations.
+
+        Called after a consumer *acts* on drift (e.g. adopts a replanned
+        (Δ, H)): the observed reality becomes the new assumed model, the
+        per-cell histories and unavailability marks are cleared, and
+        :meth:`drifted` goes quiet until behaviour diverges *again*. Unlike
+        :meth:`reset` this does not forget what was learned -- it promotes
+        it. Pass ``assumed`` to anchor to an explicit model instead of the
+        current :meth:`estimated_model`. Returns the new anchor.
+        """
+        anchor = self.estimated_model() if assumed is None else assumed
+        if anchor.m != self.assumed.m:
+            raise ValueError(
+                f"rebase model arity {anchor.m} != monitored arity "
+                f"{self.assumed.m}"
+            )
+        self.assumed = anchor
+        self._sorted = [_RunningMean() for _ in range(self.assumed.m)]
+        self._random = [_RunningMean() for _ in range(self.assumed.m)]
+        self._sorted_unavailable = [0] * self.assumed.m
+        self._random_unavailable = [0] * self.assumed.m
+        self._failure_observations = 0
+        return anchor
 
     def observe(self, access: Access, duration: float) -> None:
         """Record one access's measured duration (>= 0)."""
@@ -101,6 +153,31 @@ class CostMonitor:
             return
         self._failure_observations += 1
         self.observe(access, duration)
+
+    def observe_unavailable(self, access: Access) -> None:
+        """Record an access *refused without charge* (breaker open).
+
+        Refusals carry no duration, so they never feed the running means
+        -- but a channel that refuses service has drifted from any finite
+        assumed cost. Marked cells report ``inf`` in :meth:`drift_ratios`
+        regardless of how few durations they accumulated, closing the
+        loop the old zero-observation skip left open.
+        """
+        cell = (
+            self._sorted_unavailable
+            if access.kind is AccessType.SORTED
+            else self._random_unavailable
+        )
+        cell[access.predicate] += 1
+
+    def unavailable_count(self, predicate: int, kind: AccessType) -> int:
+        """How many uncharged refusals were recorded for one cell."""
+        cell = (
+            self._sorted_unavailable
+            if kind is AccessType.SORTED
+            else self._random_unavailable
+        )
+        return cell[predicate]
 
     @property
     def failure_observations(self) -> int:
@@ -147,6 +224,9 @@ class CostMonitor:
 
         Cells with an assumed cost of 0 report ``inf`` when any positive
         duration was observed (a free access that started costing).
+        Cells with recorded unavailability (:meth:`observe_unavailable`)
+        report ``inf`` unconditionally -- refusal of service dominates
+        whatever durations the cell saw before its breaker opened.
         """
         ratios: dict[tuple[int, str], float] = {}
         for i in range(self.assumed.m):
@@ -154,6 +234,9 @@ class CostMonitor:
                 (AccessType.SORTED, "sorted", self.assumed.sorted_cost(i)),
                 (AccessType.RANDOM, "random", self.assumed.random_cost(i)),
             ):
+                if self.unavailable_count(i, kind) > 0:
+                    ratios[(i, label)] = float("inf")
+                    continue
                 observed = self.estimated_cost(i, kind)
                 if observed is None:
                     continue

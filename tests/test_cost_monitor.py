@@ -80,6 +80,123 @@ class TestDriftDetection:
             monitor.drifted(tolerance=0.5)
 
 
+class TestUnavailability:
+    """Breaker-open channels must be able to report drift (replanning
+    relies on it): refusals carry no duration, so the old
+    zero-observation skip made dead channels look perfectly healthy."""
+
+    def test_unavailable_channel_drifts_with_zero_observations(self):
+        monitor = CostMonitor(CostModel.uniform(2))
+        assert not monitor.drifted()
+        monitor.observe_unavailable(Access.random(1, 7))
+        assert monitor.observations(1, AccessType.RANDOM) == 0
+        assert monitor.unavailable_count(1, AccessType.RANDOM) == 1
+        assert monitor.drift_ratios()[(1, "random")] == float("inf")
+        assert monitor.drifted()
+
+    def test_unavailability_dominates_observed_ratio(self):
+        monitor = CostMonitor(CostModel.uniform(1, cs=1.0))
+        feed(monitor, Access.sorted(0), [1.0] * 6)  # healthy so far
+        monitor.observe_unavailable(Access.sorted(0))
+        assert monitor.drift_ratios()[(0, "sorted")] == float("inf")
+
+    def test_unavailability_is_per_channel(self):
+        monitor = CostMonitor(CostModel.uniform(2))
+        monitor.observe_unavailable(Access.sorted(0))
+        ratios = monitor.drift_ratios()
+        assert (0, "sorted") in ratios
+        assert (0, "random") not in ratios
+        assert (1, "sorted") not in ratios
+
+    def test_estimated_model_unaffected_by_refusals(self):
+        # Refusals have no duration; the estimate stays the assumed cost
+        # (the replan controller applies its breaker penalty on top).
+        monitor = CostMonitor(CostModel.uniform(1, cs=3.0))
+        monitor.observe_unavailable(Access.sorted(0))
+        assert monitor.estimated_model().sorted_cost(0) == 3.0
+
+    def test_middleware_gate_feeds_refusals(self):
+        """An open breaker's uncharged refusal reaches the monitor."""
+        from repro.data.generators import uniform
+        from repro.exceptions import SourceUnavailableError
+        from repro.faults.breaker import BreakerPolicy, breakers_for
+        from repro.sources.middleware import Middleware
+        from repro.sources.simulated import sources_for
+        from repro.types import Access as A
+
+        model = CostModel.uniform(2)
+        monitor = CostMonitor(model)
+        breakers = breakers_for(
+            2, BreakerPolicy(failure_threshold=1, cooldown=1000)
+        )
+        middleware = Middleware(
+            sources_for(uniform(10, 2, seed=0)),
+            model,
+            breakers=breakers,
+            monitor=monitor,
+        )
+        breakers[(0, AccessType.SORTED)].record_failure(0)  # breaker opens
+        with pytest.raises(SourceUnavailableError):
+            middleware.perform(A.sorted(0))
+        assert monitor.unavailable_count(0, AccessType.SORTED) == 1
+        assert monitor.drifted()
+
+
+class TestRebase:
+    """rebase() starts a fresh drift window anchored to the estimate --
+    acting on drift must not leave the same drift firing forever."""
+
+    def test_rebase_quiets_known_drift(self):
+        monitor = CostMonitor(CostModel.uniform(1, cs=1.0, cr=1.0))
+        feed(monitor, Access.sorted(0), [10.0] * 6)
+        assert monitor.drifted(tolerance=2.0)
+        anchor = monitor.rebase()
+        assert anchor.sorted_cost(0) == pytest.approx(10.0)
+        assert monitor.assumed is anchor
+        assert not monitor.drifted(tolerance=2.0)
+        assert monitor.observations(0, AccessType.SORTED) == 0
+
+    def test_rebase_detects_further_drift(self):
+        monitor = CostMonitor(CostModel.uniform(1, cs=1.0, cr=1.0))
+        feed(monitor, Access.sorted(0), [10.0] * 6)
+        monitor.rebase()
+        feed(monitor, Access.sorted(0), [100.0] * 6)  # drifted *again*
+        assert monitor.drifted(tolerance=2.0)
+        assert monitor.drift_ratios()[(0, "sorted")] == pytest.approx(10.0)
+
+    def test_rebase_clears_unavailability_marks(self):
+        monitor = CostMonitor(CostModel.uniform(1))
+        monitor.observe_unavailable(Access.sorted(0))
+        monitor.rebase()
+        assert monitor.unavailable_count(0, AccessType.SORTED) == 0
+        assert not monitor.drifted()
+
+    def test_rebase_to_explicit_model(self):
+        monitor = CostMonitor(CostModel.uniform(1, cs=1.0, cr=1.0))
+        target = CostModel.uniform(1, cs=5.0, cr=5.0)
+        assert monitor.rebase(target) is target
+        assert monitor.assumed is target
+
+    def test_rebase_arity_checked(self):
+        monitor = CostMonitor(CostModel.uniform(2))
+        with pytest.raises(ValueError):
+            monitor.rebase(CostModel.uniform(3))
+
+    def test_reset_restores_construction_assumed(self):
+        """reset() is the replay contract: construction-time expectations,
+        no history -- a rebase in a previous run must not leak through."""
+        original = CostModel.uniform(1, cs=1.0, cr=1.0)
+        monitor = CostMonitor(original)
+        feed(monitor, Access.sorted(0), [10.0] * 6)
+        monitor.observe_unavailable(Access.random(0, 1))
+        monitor.rebase()
+        monitor.reset()
+        assert monitor.assumed is original
+        assert monitor.observations(0, AccessType.SORTED) == 0
+        assert monitor.unavailable_count(0, AccessType.RANDOM) == 0
+        assert not monitor.drifted()
+
+
 class TestEstimatedModel:
     def test_fallback_to_assumed(self):
         assumed = CostModel.uniform(2, cs=1.0, cr=7.0)

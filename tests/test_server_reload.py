@@ -1,0 +1,159 @@
+"""Server plan-memory invalidation across dataset / source-set changes.
+
+The regression being pinned (and its fix): remembered plans used to be
+keyed only by ``(expression, k)``, so a server whose source pool was
+swapped out -- :meth:`QueryServer.reload`, or even a raw ``server.cache``
+assignment -- would happily replay a ``(Delta, H)`` optimized against the
+*old* pool. The key now leads with a scenario fingerprint (reload epoch,
+pool size, arity, wild-guess setting, cost model, sample size).
+"""
+
+import pytest
+
+from repro.data.generators import uniform
+from repro.service import QueryServer, ServerConfig
+from repro.sources.cache import SourceCache
+from repro.sources.cost import CostModel
+
+Q = "SELECT * FROM r ORDER BY min(a, b) STOP AFTER 20"
+MODEL = CostModel.uniform(2, cs=1.0, cr=2.0)
+
+
+def make_server(n: int = 1600, **config_kwargs) -> QueryServer:
+    return QueryServer(
+        MODEL,
+        dataset=uniform(n, 2, seed=3),
+        schema=["a", "b"],
+        config=ServerConfig(**config_kwargs),
+    )
+
+
+class TestRawCacheSwap:
+    def test_pool_size_change_invalidates_remembered_plan(self):
+        """The fail-on-pre-fix regression: same expression and k, new
+        source pool of a very different size -- the remembered plan must
+        NOT be replayed (its sample-k scaling is wrong by 40x)."""
+        server = make_server(n=1600)
+        before = server.query(Q)
+        assert server.stats()["plan_memory_entries"] == 1
+
+        # Raw swap, bypassing reload(): the fingerprint's n_objects
+        # still catches it because the pool size changed.
+        server.cache = SourceCache.over(uniform(40, 2, seed=7), MODEL)
+        after = server.query(Q)
+
+        assert before.status == "done" and after.status == "done"
+        assert (
+            after.result.metadata["policy"]
+            != before.result.metadata["policy"]
+        )
+        assert server.stats()["warm_start_hits"] == 0  # no verbatim reuse
+        # Both scenarios are remembered side by side, not overwritten.
+        assert server.stats()["plan_memory_entries"] == 2
+
+    def test_same_pool_still_reuses(self):
+        """The fingerprint must not over-invalidate: an unchanged server
+        reuses its remembered plan verbatim."""
+        server = make_server(n=1600)
+        server.query(Q)
+        hits_before = server.stats()["warm_start_hits"]
+        server.query(Q)
+        assert server.stats()["warm_start_hits"] == hits_before + 1
+        assert server.stats()["plan_memory_entries"] == 1
+
+
+class TestReload:
+    def test_reload_clears_memory_and_bumps_epoch(self):
+        server = make_server(n=300)
+        server.query(Q)
+        stats = server.stats()
+        assert stats["plan_memory_entries"] == 1
+        epoch = stats["plan_epoch"]
+
+        server.reload(dataset=uniform(300, 2, seed=9))
+
+        stats = server.stats()
+        assert stats["plan_epoch"] == epoch + 1
+        assert stats["plan_memory_entries"] == 0
+        assert (
+            server.metrics.counter_value("repro_server_reloads_total") == 1
+        )
+
+    def test_same_size_reload_invalidates_via_epoch(self):
+        """A same-n reload leaves every fingerprint component equal
+        except the epoch -- which must be enough to force a re-plan."""
+        server = make_server(n=300)
+        server.query(Q)
+        hits = server.stats()["warm_start_hits"]
+        server.reload(dataset=uniform(300, 2, seed=9))
+        server.query(Q)
+        # No verbatim reuse and no cross-epoch warm climb happened.
+        assert server.stats()["warm_start_hits"] == hits
+        assert server.stats()["plan_memory_entries"] == 1
+
+    def test_reload_with_prebuilt_cache(self):
+        server = make_server(n=300)
+        cache = SourceCache.over(uniform(200, 2, seed=11), MODEL)
+        server.reload(cache=cache)
+        assert server.cache is cache
+        # Observability is attached so reloaded pools keep reporting.
+        assert cache.metrics is server.metrics
+        response = server.query(Q)
+        assert response.status == "done"
+
+    def test_reload_argument_validation(self):
+        server = make_server(n=300)
+        with pytest.raises(ValueError):
+            server.reload()
+        with pytest.raises(ValueError):
+            server.reload(
+                dataset=uniform(100, 2, seed=0),
+                cache=SourceCache.over(uniform(100, 2, seed=0), MODEL),
+            )
+        with pytest.raises(ValueError):
+            server.reload(
+                cache=SourceCache.over(
+                    uniform(100, 3, seed=0), CostModel.uniform(3)
+                )
+            )
+
+    def test_queries_answer_correctly_after_reload(self):
+        server = make_server(n=300)
+        before = server.query(Q)
+        server.reload(dataset=uniform(300, 2, seed=3))
+        after = server.query(Q)
+        # Same dataset seed: same answers, freshly planned and executed.
+        assert [e.obj for e in after.result.ranking] == [
+            e.obj for e in before.result.ranking
+        ]
+
+
+class TestServerReplanKnob:
+    def test_replan_mode_validated(self):
+        with pytest.raises(ValueError):
+            ServerConfig(replan="sometimes")
+
+    def test_off_attaches_no_monitor(self):
+        server = make_server(n=300, replan="off")
+        response = server.query(Q)
+        assert response.status == "done"
+        assert server.stats()["replan_mode"] == "off"
+        assert server.stats()["replans"] == {}
+
+    def test_always_mode_checks_and_stays_put_when_static(self):
+        """Simulated sources report no durations, so the revised model
+        never moves: the server records checkpoint outcomes but keeps
+        the plan, and answers match the off-mode server exactly."""
+        server = make_server(n=300, replan="always")
+        response = server.query(Q)
+        assert response.status == "done"
+        assert server.stats()["replan_mode"] == "always"
+        outcomes = server.stats()["replans"]
+        assert outcomes.get("switched", 0) == 0
+        assert response.result.metadata["replan"]["checks"] > 0
+
+        baseline = make_server(n=300, replan="off").query(Q)
+        assert [e.obj for e in response.result.ranking] == [
+            e.obj for e in baseline.result.ranking
+        ]
+        assert response.charged_cost == baseline.charged_cost
